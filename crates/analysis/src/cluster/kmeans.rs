@@ -1,0 +1,237 @@
+//! Lloyd's k-means with k-means++ seeding.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cluster::Clustering;
+use crate::distance::euclidean_sq;
+use crate::error::AnalysisError;
+use crate::matrix::Matrix;
+
+/// Maximum Lloyd iterations before declaring convergence.
+const MAX_ITER: usize = 200;
+
+/// Number of independent k-means++ restarts; the run with the lowest
+/// within-cluster sum of squares wins (R's `kmeans(nstart = ...)`
+/// convention, which the paper's toolchain uses).
+const RESTARTS: u64 = 10;
+
+/// Cluster the rows of `m` into `k` clusters with Lloyd's algorithm seeded
+/// by k-means++, taking the best of several restarts. Deterministic for a
+/// given `seed`.
+pub fn kmeans(m: &Matrix, k: usize, seed: u64) -> Result<Clustering, AnalysisError> {
+    let mut best: Option<(f64, Clustering)> = None;
+    for r in 0..RESTARTS {
+        let c = kmeans_once(m, k, seed.wrapping_add(r))?;
+        let cost = inertia(m, &c);
+        if best.as_ref().map(|(b, _)| cost < *b).unwrap_or(true) {
+            best = Some((cost, c));
+        }
+    }
+    Ok(best.expect("RESTARTS >= 1").1)
+}
+
+/// Total within-cluster sum of squared distances to the centroid.
+fn inertia(m: &Matrix, c: &Clustering) -> f64 {
+    let k = c.k();
+    let cols = m.cols();
+    let mut centroids = vec![vec![0.0; cols]; k];
+    let mut counts = vec![0usize; k];
+    for (i, &l) in c.labels().iter().enumerate() {
+        counts[l] += 1;
+        for (s, v) in centroids[l].iter_mut().zip(m.row(i)) {
+            *s += v;
+        }
+    }
+    for (centroid, &n) in centroids.iter_mut().zip(&counts) {
+        if n > 0 {
+            for v in centroid.iter_mut() {
+                *v /= n as f64;
+            }
+        }
+    }
+    c.labels()
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| euclidean_sq(m.row(i), &centroids[l]))
+        .sum()
+}
+
+/// One seeded k-means++/Lloyd run.
+fn kmeans_once(m: &Matrix, k: usize, seed: u64) -> Result<Clustering, AnalysisError> {
+    let n = m.rows();
+    if k == 0 || k > n {
+        return Err(AnalysisError::InvalidClusterCount(format!(
+            "k = {k} for {n} observations"
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut centroids = plus_plus_init(m, k, &mut rng);
+    let mut labels = vec![0usize; n];
+
+    for _ in 0..MAX_ITER {
+        // Assignment step.
+        let mut changed = false;
+        for i in 0..n {
+            let row = m.row(i);
+            let best = (0..k)
+                .min_by(|&a, &b| {
+                    euclidean_sq(row, &centroids[a])
+                        .partial_cmp(&euclidean_sq(row, &centroids[b]))
+                        .expect("finite distances")
+                })
+                .expect("k >= 1");
+            if labels[i] != best {
+                labels[i] = best;
+                changed = true;
+            }
+        }
+        // Update step.
+        let mut sums = vec![vec![0.0; m.cols()]; k];
+        let mut counts = vec![0usize; k];
+        for i in 0..n {
+            counts[labels[i]] += 1;
+            for (s, v) in sums[labels[i]].iter_mut().zip(m.row(i)) {
+                *s += v;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster on the point farthest from its
+                // centroid, keeping k clusters alive.
+                let far = (0..n)
+                    .max_by(|&a, &b| {
+                        euclidean_sq(m.row(a), &centroids[labels[a]])
+                            .partial_cmp(&euclidean_sq(m.row(b), &centroids[labels[b]]))
+                            .expect("finite distances")
+                    })
+                    .expect("n >= 1");
+                centroids[c] = m.row(far).to_vec();
+                labels[far] = c;
+            } else {
+                for (j, s) in sums[c].iter().enumerate() {
+                    centroids[c][j] = s / counts[c] as f64;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    Clustering::new(labels, k)
+}
+
+/// k-means++ seeding: the first centroid is uniform, each next one is drawn
+/// with probability proportional to the squared distance to the nearest
+/// chosen centroid.
+fn plus_plus_init(m: &Matrix, k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+    let n = m.rows();
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(m.row(rng.gen_range(0..n)).to_vec());
+    while centroids.len() < k {
+        let d2: Vec<f64> = (0..n)
+            .map(|i| {
+                centroids
+                    .iter()
+                    .map(|c| euclidean_sq(m.row(i), c))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let total: f64 = d2.iter().sum();
+        if total <= 0.0 {
+            // All points coincide with a centroid: duplicate one.
+            centroids.push(m.row(rng.gen_range(0..n)).to_vec());
+            continue;
+        }
+        let mut target = rng.gen_range(0.0..total);
+        let mut chosen = n - 1;
+        for (i, &d) in d2.iter().enumerate() {
+            if target < d {
+                chosen = i;
+                break;
+            }
+            target -= d;
+        }
+        centroids.push(m.row(chosen).to_vec());
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated blobs of three points each.
+    fn blobs() -> Matrix {
+        Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.1, 0.1],
+            vec![0.0, 0.2],
+            vec![10.0, 10.0],
+            vec![10.1, 10.2],
+            vec![10.2, 10.0],
+            vec![-10.0, 10.0],
+            vec![-10.1, 10.1],
+            vec![-10.0, 10.2],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let c = kmeans(&blobs(), 3, 42).unwrap();
+        let l = c.labels();
+        assert_eq!(l[0], l[1]);
+        assert_eq!(l[1], l[2]);
+        assert_eq!(l[3], l[4]);
+        assert_eq!(l[4], l[5]);
+        assert_eq!(l[6], l[7]);
+        assert_eq!(l[7], l[8]);
+        assert_ne!(l[0], l[3]);
+        assert_ne!(l[0], l[6]);
+        assert_ne!(l[3], l[6]);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let m = blobs();
+        assert_eq!(kmeans(&m, 3, 7).unwrap(), kmeans(&m, 3, 7).unwrap());
+    }
+
+    #[test]
+    fn k_equals_n_gives_singletons() {
+        let m = blobs();
+        let c = kmeans(&m, 9, 1).unwrap();
+        let mut labels = c.labels().to_vec();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 9, "every point its own cluster");
+    }
+
+    #[test]
+    fn k_one_groups_everything() {
+        let c = kmeans(&blobs(), 1, 1).unwrap();
+        assert!(c.labels().iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn invalid_k_rejected() {
+        let m = blobs();
+        assert!(kmeans(&m, 0, 1).is_err());
+        assert!(kmeans(&m, 10, 1).is_err());
+    }
+
+    #[test]
+    fn identical_points_do_not_crash() {
+        let m = Matrix::from_rows(&vec![vec![1.0, 1.0]; 5]).unwrap();
+        let c = kmeans(&m, 3, 3).unwrap();
+        assert_eq!(c.len(), 5);
+    }
+
+    #[test]
+    fn all_labels_within_k() {
+        let c = kmeans(&blobs(), 4, 11).unwrap();
+        assert!(c.labels().iter().all(|&l| l < 4));
+    }
+}

@@ -1,0 +1,124 @@
+//! Clustering algorithms: k-means, PAM and agglomerative hierarchical.
+//!
+//! The paper applies all three to the benchmark feature matrix and selects
+//! k = 5; all three group the benchmarks identically, which it takes as
+//! validation of the clusters (§VI-A, Figures 5 and 6).
+
+mod hierarchical;
+mod kmeans;
+mod pam;
+
+pub use hierarchical::{hierarchical, Dendrogram, Linkage, Merge};
+pub use kmeans::kmeans;
+pub use pam::pam;
+
+use crate::error::AnalysisError;
+
+/// A flat cluster assignment over `n` observations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clustering {
+    labels: Vec<usize>,
+    k: usize,
+}
+
+impl Clustering {
+    /// Build from per-observation labels in `0..k`. Fails when a label is
+    /// out of range or `k` is 0.
+    pub fn new(labels: Vec<usize>, k: usize) -> Result<Self, AnalysisError> {
+        if k == 0 {
+            return Err(AnalysisError::InvalidClusterCount("k = 0".into()));
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= k) {
+            return Err(AnalysisError::InvalidClusterCount(format!(
+                "label {bad} out of range for k = {k}"
+            )));
+        }
+        Ok(Clustering { labels, k })
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Per-observation labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether there are no observations.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Observation indices grouped per cluster (`result[c]` lists the
+    /// members of cluster `c`, ascending).
+    pub fn members(&self) -> Vec<Vec<usize>> {
+        let mut groups = vec![Vec::new(); self.k];
+        for (i, &l) in self.labels.iter().enumerate() {
+            groups[l].push(i);
+        }
+        groups
+    }
+
+    /// Whether observations `a` and `b` share a cluster.
+    pub fn same_cluster(&self, a: usize, b: usize) -> bool {
+        self.labels[a] == self.labels[b]
+    }
+
+    /// Whether two clusterings induce the same partition (labels may be
+    /// permuted between them).
+    pub fn same_partition(&self, other: &Clustering) -> bool {
+        if self.len() != other.len() {
+            return false;
+        }
+        let n = self.len();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if self.same_cluster(a, b) != other.same_cluster(a, b) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(Clustering::new(vec![0, 1, 2], 3).is_ok());
+        assert!(Clustering::new(vec![0, 3], 3).is_err());
+        assert!(Clustering::new(vec![], 0).is_err());
+    }
+
+    #[test]
+    fn members_group_by_label() {
+        let c = Clustering::new(vec![0, 1, 0, 2, 1], 3).unwrap();
+        assert_eq!(c.members(), vec![vec![0, 2], vec![1, 4], vec![3]]);
+    }
+
+    #[test]
+    fn same_partition_ignores_label_permutation() {
+        let a = Clustering::new(vec![0, 0, 1, 1], 2).unwrap();
+        let b = Clustering::new(vec![1, 1, 0, 0], 2).unwrap();
+        let c = Clustering::new(vec![0, 1, 0, 1], 2).unwrap();
+        assert!(a.same_partition(&b));
+        assert!(!a.same_partition(&c));
+    }
+
+    #[test]
+    fn same_partition_different_lengths() {
+        let a = Clustering::new(vec![0, 0], 1).unwrap();
+        let b = Clustering::new(vec![0], 1).unwrap();
+        assert!(!a.same_partition(&b));
+    }
+}

@@ -1,0 +1,180 @@
+//! Partitioning Around Medoids (Kaufman & Rousseeuw's PAM).
+//!
+//! BUILD seeds the medoids greedily; SWAP exchanges medoid/non-medoid pairs
+//! while the total dissimilarity decreases. PAM is fully deterministic —
+//! the `seed` parameter exists for interface symmetry with k-means but does
+//! not influence the result.
+
+use crate::cluster::Clustering;
+use crate::distance::pairwise_euclidean;
+use crate::error::AnalysisError;
+use crate::matrix::Matrix;
+
+/// Cluster the rows of `m` into `k` clusters around medoids.
+pub fn pam(m: &Matrix, k: usize, _seed: u64) -> Result<Clustering, AnalysisError> {
+    let n = m.rows();
+    if k == 0 || k > n {
+        return Err(AnalysisError::InvalidClusterCount(format!(
+            "k = {k} for {n} observations"
+        )));
+    }
+    let d = pairwise_euclidean(m);
+
+    // BUILD: first medoid minimizes total distance; each further medoid
+    // maximizes the decrease in total dissimilarity.
+    let mut medoids: Vec<usize> = Vec::with_capacity(k);
+    let first = (0..n)
+        .min_by(|&a, &b| {
+            total_dist(&d, a, n)
+                .partial_cmp(&total_dist(&d, b, n))
+                .expect("finite distances")
+        })
+        .expect("n >= 1");
+    medoids.push(first);
+    while medoids.len() < k {
+        let mut best_gain = f64::NEG_INFINITY;
+        let mut best = None;
+        for cand in 0..n {
+            if medoids.contains(&cand) {
+                continue;
+            }
+            let gain: f64 = (0..n)
+                .map(|j| {
+                    let current = nearest_dist(&d, &medoids, j);
+                    (current - d.get(j, cand)).max(0.0)
+                })
+                .sum();
+            if gain > best_gain {
+                best_gain = gain;
+                best = Some(cand);
+            }
+        }
+        medoids.push(best.expect("candidates remain while medoids < k <= n"));
+    }
+
+    // SWAP: steepest-descent exchange until no swap improves the cost.
+    let mut cost = assignment_cost(&d, &medoids, n);
+    loop {
+        let mut best_delta = -1e-12;
+        let mut best_swap = None;
+        for mi in 0..medoids.len() {
+            for cand in 0..n {
+                if medoids.contains(&cand) {
+                    continue;
+                }
+                let mut trial = medoids.clone();
+                trial[mi] = cand;
+                let trial_cost = assignment_cost(&d, &trial, n);
+                let delta = trial_cost - cost;
+                if delta < best_delta {
+                    best_delta = delta;
+                    best_swap = Some((mi, cand, trial_cost));
+                }
+            }
+        }
+        match best_swap {
+            Some((mi, cand, new_cost)) => {
+                medoids[mi] = cand;
+                cost = new_cost;
+            }
+            None => break,
+        }
+    }
+
+    let labels = (0..n)
+        .map(|j| {
+            (0..k)
+                .min_by(|&a, &b| {
+                    d.get(j, medoids[a])
+                        .partial_cmp(&d.get(j, medoids[b]))
+                        .expect("finite distances")
+                })
+                .expect("k >= 1")
+        })
+        .collect();
+    Clustering::new(labels, k)
+}
+
+// Small helpers kept private to the module.
+
+fn total_dist(d: &Matrix, from: usize, n: usize) -> f64 {
+    (0..n).map(|j| d.get(from, j)).sum()
+}
+
+fn nearest_dist(d: &Matrix, medoids: &[usize], j: usize) -> f64 {
+    medoids
+        .iter()
+        .map(|&m| d.get(j, m))
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn assignment_cost(d: &Matrix, medoids: &[usize], n: usize) -> f64 {
+    (0..n).map(|j| nearest_dist(d, medoids, j)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Matrix {
+        Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.2, 0.1],
+            vec![0.1, 0.3],
+            vec![8.0, 8.0],
+            vec![8.1, 8.2],
+            vec![7.9, 8.1],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn recovers_two_blobs() {
+        let c = pam(&blobs(), 2, 0).unwrap();
+        let l = c.labels();
+        assert_eq!(l[0], l[1]);
+        assert_eq!(l[1], l[2]);
+        assert_eq!(l[3], l[4]);
+        assert_eq!(l[4], l[5]);
+        assert_ne!(l[0], l[3]);
+    }
+
+    #[test]
+    fn deterministic_regardless_of_seed() {
+        let m = blobs();
+        assert_eq!(pam(&m, 2, 1).unwrap(), pam(&m, 2, 999).unwrap());
+    }
+
+    #[test]
+    fn agrees_with_kmeans_on_clean_data() {
+        let m = blobs();
+        let p = pam(&m, 2, 0).unwrap();
+        let k = crate::cluster::kmeans(&m, 2, 42).unwrap();
+        assert!(p.same_partition(&k));
+    }
+
+    #[test]
+    fn invalid_k_rejected() {
+        let m = blobs();
+        assert!(pam(&m, 0, 0).is_err());
+        assert!(pam(&m, 7, 0).is_err());
+    }
+
+    #[test]
+    fn k_equals_n_singletons() {
+        let m = blobs();
+        let c = pam(&m, 6, 0).unwrap();
+        let mut l = c.labels().to_vec();
+        l.sort_unstable();
+        l.dedup();
+        assert_eq!(l.len(), 6);
+    }
+
+    #[test]
+    fn medoids_are_actual_points() {
+        // With k = 1, the single cluster's medoid minimizes total distance;
+        // every point must be labelled 0.
+        let c = pam(&blobs(), 1, 0).unwrap();
+        assert!(c.labels().iter().all(|&l| l == 0));
+    }
+}

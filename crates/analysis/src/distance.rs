@@ -1,0 +1,96 @@
+//! Distance functions and pairwise distance matrices.
+
+use crate::matrix::Matrix;
+
+/// Euclidean (L2) distance between two equal-length points.
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "points must have equal dimension");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).powi(2))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Manhattan (L1) distance between two equal-length points.
+pub fn manhattan(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "points must have equal dimension");
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// Squared Euclidean distance (avoids the square root in hot loops).
+pub fn euclidean_sq(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "points must have equal dimension");
+    a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum()
+}
+
+/// Symmetric pairwise Euclidean distance matrix of the rows of `m`.
+pub fn pairwise_euclidean(m: &Matrix) -> Matrix {
+    let n = m.rows();
+    let mut d = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..i {
+            let dist = euclidean(m.row(i), m.row(j));
+            d.set(i, j, dist);
+            d.set(j, i, dist);
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_345() {
+        assert!((euclidean(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn manhattan_known() {
+        assert!((manhattan(&[1.0, 1.0], &[4.0, -1.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_distance_to_self() {
+        let p = [1.5, -2.5, 3.0];
+        assert_eq!(euclidean(&p, &p), 0.0);
+        assert_eq!(manhattan(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn sq_is_square() {
+        let a = [1.0, 2.0];
+        let b = [4.0, 6.0];
+        assert!((euclidean_sq(&a, &b) - euclidean(&a, &b).powi(2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pairwise_symmetric_zero_diagonal() {
+        let m = Matrix::from_rows(&[vec![0.0, 0.0], vec![3.0, 4.0], vec![6.0, 8.0]]).unwrap();
+        let d = pairwise_euclidean(&m);
+        for i in 0..3 {
+            assert_eq!(d.get(i, i), 0.0);
+            for j in 0..3 {
+                assert_eq!(d.get(i, j), d.get(j, i));
+            }
+        }
+        assert!((d.get(0, 1) - 5.0).abs() < 1e-12);
+        assert!((d.get(0, 2) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangle_inequality_holds() {
+        let a = [1.0, 0.0, 2.0];
+        let b = [-1.0, 3.0, 1.0];
+        let c = [2.0, 2.0, 2.0];
+        assert!(euclidean(&a, &c) <= euclidean(&a, &b) + euclidean(&b, &c) + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal dimension")]
+    fn dimension_mismatch_panics() {
+        euclidean(&[1.0], &[1.0, 2.0]);
+    }
+}

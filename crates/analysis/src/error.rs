@@ -1,0 +1,48 @@
+//! Error type for analysis operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by analysis routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AnalysisError {
+    /// Matrix dimensions are inconsistent with the operation.
+    DimensionMismatch(String),
+    /// A clustering request is infeasible (k = 0, k > number of rows, ...).
+    InvalidClusterCount(String),
+    /// The input data is empty where data is required.
+    EmptyInput(String),
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::DimensionMismatch(what) => write!(f, "dimension mismatch: {what}"),
+            AnalysisError::InvalidClusterCount(what) => {
+                write!(f, "invalid cluster count: {what}")
+            }
+            AnalysisError::EmptyInput(what) => write!(f, "empty input: {what}"),
+        }
+    }
+}
+
+impl Error for AnalysisError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        assert!(AnalysisError::DimensionMismatch("3 vs 4".into())
+            .to_string()
+            .contains("3 vs 4"));
+        assert!(AnalysisError::InvalidClusterCount("k=0".into())
+            .to_string()
+            .contains("k=0"));
+        assert!(AnalysisError::EmptyInput("matrix".into())
+            .to_string()
+            .contains("matrix"));
+    }
+}

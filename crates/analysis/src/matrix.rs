@@ -1,0 +1,203 @@
+//! A minimal dense row-major matrix for observation × feature data.
+
+use crate::error::AnalysisError;
+
+/// A dense row-major matrix of `f64`. Rows are observations (benchmarks),
+/// columns are features (performance metrics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Build a matrix from row-major data. Fails if `data.len()` is not
+    /// `rows × cols`.
+    pub fn from_rows_data(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, AnalysisError> {
+        if data.len() != rows * cols {
+            return Err(AnalysisError::DimensionMismatch(format!(
+                "{} values for a {rows}×{cols} matrix",
+                data.len()
+            )));
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Build a matrix from a slice of equal-length rows. Fails on ragged
+    /// input or when `rows` is empty.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self, AnalysisError> {
+        let Some(first) = rows.first() else {
+            return Err(AnalysisError::EmptyInput("matrix rows".into()));
+        };
+        let cols = first.len();
+        if rows.iter().any(|r| r.len() != cols) {
+            return Err(AnalysisError::DimensionMismatch("ragged rows".into()));
+        }
+        let data = rows.iter().flatten().copied().collect();
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// A matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Number of rows (observations).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (features).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor. Panics on out-of-range indices, matching slice
+    /// indexing semantics.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element accessor. Panics on out-of-range indices.
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow one row as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row {r} out of range");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copy one column into a new vector.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        assert!(c < self.cols, "column {c} out of range");
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// Iterator over row slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols)
+    }
+
+    /// A new matrix with column `c` removed (for leave-one-column-out
+    /// stability validation).
+    pub fn without_col(&self, c: usize) -> Matrix {
+        assert!(c < self.cols, "column {c} out of range");
+        let mut data = Vec::with_capacity(self.rows * (self.cols - 1));
+        for r in 0..self.rows {
+            for cc in 0..self.cols {
+                if cc != c {
+                    data.push(self.get(r, cc));
+                }
+            }
+        }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols - 1,
+            data,
+        }
+    }
+
+    /// A new matrix containing only the given rows, in the given order.
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        for &r in indices {
+            data.extend_from_slice(self.row(r));
+        }
+        Matrix {
+            rows: indices.len(),
+            cols: self.cols,
+            data,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> Matrix {
+        Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap()
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let m = m();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(1, 2), 6.0);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.col(0), vec![1.0, 4.0]);
+    }
+
+    #[test]
+    fn set_updates_value() {
+        let mut m = m();
+        m.set(0, 0, 9.0);
+        assert_eq!(m.get(0, 0), 9.0);
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        assert!(Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+    }
+
+    #[test]
+    fn empty_rows_rejected() {
+        assert!(Matrix::from_rows(&[]).is_err());
+    }
+
+    #[test]
+    fn wrong_data_length_rejected() {
+        assert!(Matrix::from_rows_data(2, 2, vec![1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn without_col_drops_column() {
+        let m = m().without_col(1);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m.row(0), &[1.0, 3.0]);
+        assert_eq!(m.row(1), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn select_rows_reorders() {
+        let m = m().select_rows(&[1, 0, 1]);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.row(0), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.row(2), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn iter_rows_yields_all() {
+        let matrix = m();
+        let rows: Vec<&[f64]> = matrix.iter_rows().collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_get_panics() {
+        m().get(5, 0);
+    }
+
+    #[test]
+    fn zeros() {
+        let z = Matrix::zeros(2, 2);
+        assert_eq!(z.get(1, 1), 0.0);
+    }
+}

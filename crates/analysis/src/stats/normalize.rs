@@ -1,0 +1,109 @@
+//! Feature normalization.
+//!
+//! The paper uses two normalizations:
+//!
+//! * **max-normalization** for the Yi-et-al. representativeness vectors —
+//!   *"Normalize the performance metrics to the maximum recorded value of
+//!   each"* (§VI-B);
+//! * **min-max normalization to `[0, 1]`** for the temporal plots of
+//!   Figure 2 and the clustering features.
+
+use crate::matrix::Matrix;
+use crate::stats::descriptive::{max, min};
+
+/// Which normalization to apply per column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormalizeMode {
+    /// Divide by the column maximum (paper's subsetting step 2).
+    Max,
+    /// Map the column range onto `[0, 1]`.
+    MinMax,
+}
+
+/// Normalize one series by its maximum. Columns whose maximum is 0 (or
+/// negative) are left untouched — there is nothing meaningful to scale by.
+pub fn max_normalize(xs: &[f64]) -> Vec<f64> {
+    let m = max(xs);
+    if m <= 0.0 {
+        return xs.to_vec();
+    }
+    xs.iter().map(|x| x / m).collect()
+}
+
+/// Min-max normalize one series to `[0, 1]`. A constant series maps to all
+/// zeros.
+pub fn min_max_normalize(xs: &[f64]) -> Vec<f64> {
+    let lo = min(xs);
+    let hi = max(xs);
+    let span = hi - lo;
+    if span <= 0.0 {
+        return vec![0.0; xs.len()];
+    }
+    xs.iter().map(|x| (x - lo) / span).collect()
+}
+
+/// Normalize every column of a matrix with the given mode.
+pub fn normalize_columns(m: &Matrix, mode: NormalizeMode) -> Matrix {
+    let mut out = Matrix::zeros(m.rows(), m.cols());
+    for c in 0..m.cols() {
+        let col = m.col(c);
+        let normalized = match mode {
+            NormalizeMode::Max => max_normalize(&col),
+            NormalizeMode::MinMax => min_max_normalize(&col),
+        };
+        for (r, v) in normalized.into_iter().enumerate() {
+            out.set(r, c, v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_normalize_unit_maximum() {
+        let n = max_normalize(&[2.0, 4.0, 8.0]);
+        assert_eq!(n, vec![0.25, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn max_normalize_zero_max_untouched() {
+        assert_eq!(max_normalize(&[0.0, 0.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn min_max_covers_unit_interval() {
+        let n = min_max_normalize(&[10.0, 20.0, 30.0]);
+        assert_eq!(n, vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn min_max_constant_is_zero() {
+        assert_eq!(min_max_normalize(&[5.0, 5.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn normalize_columns_independent() {
+        let m = Matrix::from_rows(&[vec![1.0, 100.0], vec![2.0, 50.0], vec![4.0, 25.0]]).unwrap();
+        let n = normalize_columns(&m, NormalizeMode::Max);
+        assert_eq!(n.col(0), vec![0.25, 0.5, 1.0]);
+        assert_eq!(n.col(1), vec![1.0, 0.5, 0.25]);
+        let mm = normalize_columns(&m, NormalizeMode::MinMax);
+        assert_eq!(mm.col(0), vec![0.0, 1.0 / 3.0, 1.0]);
+        assert_eq!(mm.col(1), vec![1.0, 1.0 / 3.0, 0.0]);
+    }
+
+    #[test]
+    fn outputs_bounded() {
+        let m = Matrix::from_rows(&[vec![3.0], vec![9.0], vec![6.0]]).unwrap();
+        for mode in [NormalizeMode::Max, NormalizeMode::MinMax] {
+            let n = normalize_columns(&m, mode);
+            for r in 0..n.rows() {
+                let v = n.get(r, 0);
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Pearson correlation (Table III of the paper).
+
+use crate::matrix::Matrix;
+use crate::stats::descriptive::mean;
+
+/// Qualitative strength bands the paper applies to correlation values:
+/// |r| ≥ 0.8 is strong, 0.4 ≤ |r| < 0.8 moderate, below that none (§V-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorrelationStrength {
+    /// |r| ≥ 0.8.
+    Strong,
+    /// 0.4 ≤ |r| < 0.8.
+    Moderate,
+    /// |r| < 0.4.
+    None,
+}
+
+impl CorrelationStrength {
+    /// Classify a correlation coefficient per the paper's bands.
+    pub fn classify(r: f64) -> Self {
+        let a = r.abs();
+        if a >= 0.8 {
+            CorrelationStrength::Strong
+        } else if a >= 0.4 {
+            CorrelationStrength::Moderate
+        } else {
+            CorrelationStrength::None
+        }
+    }
+}
+
+/// Pearson correlation coefficient of two equal-length series.
+///
+/// Returns 0 when either series is constant or shorter than 2 (the
+/// coefficient is undefined there; 0 = "no association" is the conservative
+/// reading the paper's bands imply).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "series must have equal length");
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Pairwise Pearson correlation matrix of the columns of `m`
+/// (features × features, symmetric, unit diagonal).
+pub fn correlation_matrix(m: &Matrix) -> Matrix {
+    let k = m.cols();
+    let cols: Vec<Vec<f64>> = (0..k).map(|c| m.col(c)).collect();
+    let mut out = Matrix::zeros(k, k);
+    for i in 0..k {
+        out.set(i, i, 1.0);
+        for j in 0..i {
+            let r = pearson(&cols[i], &cols[j]);
+            out.set(i, j, r);
+            out.set(j, i, r);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_positive() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [10.0, 20.0, 30.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_negative() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [3.0, 2.0, 1.0];
+        assert!((pearson(&xs, &ys) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_series_yields_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn short_series_yields_zero() {
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+    }
+
+    #[test]
+    fn known_value() {
+        // Anscombe-like small example.
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [2.0, 1.0, 4.0, 3.0, 5.0];
+        let r = pearson(&xs, &ys);
+        assert!((r - 0.8).abs() < 1e-12, "got {r}");
+    }
+
+    #[test]
+    fn symmetric() {
+        let xs = [1.0, 4.0, 2.0, 8.0];
+        let ys = [3.0, 1.0, 5.0, 2.0];
+        assert!((pearson(&xs, &ys) - pearson(&ys, &xs)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn matrix_has_unit_diagonal_and_symmetry() {
+        let m = Matrix::from_rows(&[
+            vec![1.0, 2.0, 0.5],
+            vec![2.0, 4.1, 0.4],
+            vec![3.0, 5.9, 0.2],
+            vec![4.0, 8.2, 0.1],
+        ])
+        .unwrap();
+        let c = correlation_matrix(&m);
+        assert_eq!(c.rows(), 3);
+        for i in 0..3 {
+            assert!((c.get(i, i) - 1.0).abs() < 1e-12);
+            for j in 0..3 {
+                assert!((c.get(i, j) - c.get(j, i)).abs() < 1e-15);
+                assert!(c.get(i, j).abs() <= 1.0 + 1e-12);
+            }
+        }
+        // Columns 0 and 1 are nearly proportional → strong positive.
+        assert!(c.get(0, 1) > 0.99);
+        // Column 2 decreases as 0 grows → strong negative.
+        assert!(c.get(0, 2) < -0.9);
+    }
+
+    #[test]
+    fn strength_bands_match_paper() {
+        assert_eq!(CorrelationStrength::classify(0.867), CorrelationStrength::Strong);
+        assert_eq!(CorrelationStrength::classify(-0.845), CorrelationStrength::Strong);
+        assert_eq!(CorrelationStrength::classify(0.588), CorrelationStrength::Moderate);
+        assert_eq!(CorrelationStrength::classify(-0.672), CorrelationStrength::Moderate);
+        assert_eq!(CorrelationStrength::classify(0.350), CorrelationStrength::None);
+        assert_eq!(CorrelationStrength::classify(-0.228), CorrelationStrength::None);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        pearson(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,117 @@
+//! Spearman rank correlation — a robustness cross-check for Table III.
+//!
+//! The paper reports Pearson coefficients; because the simulated metric
+//! scales differ from the capture tool's (see EXPERIMENTS.md), a
+//! rank-based coefficient provides a scale-free confirmation that the
+//! orderings agree.
+
+use crate::matrix::Matrix;
+use crate::stats::pearson::pearson;
+
+/// Ranks of a series (average ranks for ties), 1-based.
+pub fn ranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("finite values"));
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        // Find the tie group [i, j).
+        let mut j = i + 1;
+        while j < n && xs[order[j]] == xs[order[i]] {
+            j += 1;
+        }
+        // Average rank of the group (1-based).
+        let avg = (i + 1 + j) as f64 / 2.0;
+        for &idx in &order[i..j] {
+            out[idx] = avg;
+        }
+        i = j;
+    }
+    out
+}
+
+/// Spearman rank correlation coefficient of two equal-length series.
+///
+/// Computed as the Pearson correlation of the rank vectors (the definition
+/// that handles ties correctly). Returns 0 for constant or too-short
+/// series, matching [`pearson`].
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "series must have equal length");
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+/// Pairwise Spearman correlation matrix of the columns of `m`.
+pub fn spearman_matrix(m: &Matrix) -> Matrix {
+    let k = m.cols();
+    let cols: Vec<Vec<f64>> = (0..k).map(|c| ranks(&m.col(c))).collect();
+    let mut out = Matrix::zeros(k, k);
+    for i in 0..k {
+        out.set(i, i, 1.0);
+        for j in 0..i {
+            let r = pearson(&cols[i], &cols[j]);
+            out.set(i, j, r);
+            out.set(j, i, r);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_simple() {
+        assert_eq!(ranks(&[30.0, 10.0, 20.0]), vec![3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn ranks_average_ties() {
+        // 10 appears twice at positions 1 and 2 → both get rank 1.5.
+        assert_eq!(ranks(&[20.0, 10.0, 10.0]), vec![3.0, 1.5, 1.5]);
+    }
+
+    #[test]
+    fn monotone_relation_is_perfect() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [1.0, 8.0, 27.0, 64.0]; // nonlinear but monotone
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+        let zs = [4.0, 3.0, 2.0, 1.0];
+        assert!((spearman(&xs, &zs) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn robust_to_outliers() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [2.0, 3.0, 4.0, 5.0, 1e9]; // extreme outlier, still monotone
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+        assert!(pearson(&xs, &ys) < 0.95, "Pearson is dragged by the outlier");
+    }
+
+    #[test]
+    fn constant_series_yields_zero() {
+        assert_eq!(spearman(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn matrix_shape_and_bounds() {
+        let m = Matrix::from_rows(&[
+            vec![1.0, 9.0],
+            vec![2.0, 7.0],
+            vec![3.0, 5.0],
+            vec![4.0, 2.0],
+        ])
+        .unwrap();
+        let s = spearman_matrix(&m);
+        assert_eq!(s.rows(), 2);
+        assert!((s.get(0, 0) - 1.0).abs() < 1e-12);
+        assert!((s.get(0, 1) + 1.0).abs() < 1e-12, "columns are anti-monotone");
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        spearman(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,187 @@
+//! Benchmark subsetting and representativeness (§VI-B, Figure 7).
+//!
+//! * [`fastest_per_cluster`] — the paper's Naive subsetting rule: one
+//!   benchmark per cluster, chosen by shortest runtime.
+//! * [`total_min_euclidean`] — the Yi-et-al. representativeness measure:
+//!   the sum over non-subset benchmarks of the distance to their nearest
+//!   subset member (smaller = better coverage).
+//! * [`incremental_distances`] — the build-up curve of Figure 7: distances
+//!   as subset members are added one by one, then the remaining benchmarks
+//!   greedily.
+//! * [`runtime_reduction`] — Table VI's evaluation-time saving.
+
+use crate::cluster::Clustering;
+use crate::distance::euclidean;
+use crate::matrix::Matrix;
+
+/// The paper's Naive subsetting rule: from every cluster pick the member
+/// with the shortest runtime. Returns subset indices in cluster order.
+///
+/// Panics if `runtimes` does not have one entry per clustered observation.
+pub fn fastest_per_cluster(clustering: &Clustering, runtimes: &[f64]) -> Vec<usize> {
+    assert_eq!(
+        clustering.len(),
+        runtimes.len(),
+        "one runtime per observation required"
+    );
+    clustering
+        .members()
+        .iter()
+        .filter(|members| !members.is_empty())
+        .map(|members| {
+            *members
+                .iter()
+                .min_by(|&&a, &&b| {
+                    runtimes[a].partial_cmp(&runtimes[b]).expect("finite runtimes")
+                })
+                .expect("cluster is non-empty")
+        })
+        .collect()
+}
+
+/// Yi et al.'s representativeness measure: for every benchmark *not* in
+/// `subset`, take the Euclidean distance to its nearest subset member, and
+/// sum those distances. Smaller totals mean the subset represents and
+/// covers the full set better.
+///
+/// `m` should hold max-normalized feature vectors (one row per benchmark).
+/// An empty subset returns infinity; a subset covering everything returns 0.
+pub fn total_min_euclidean(m: &Matrix, subset: &[usize]) -> f64 {
+    if subset.is_empty() {
+        return f64::INFINITY;
+    }
+    let mut total = 0.0;
+    for i in 0..m.rows() {
+        if subset.contains(&i) {
+            continue;
+        }
+        let nearest = subset
+            .iter()
+            .map(|&s| euclidean(m.row(i), m.row(s)))
+            .fold(f64::INFINITY, f64::min);
+        total += nearest;
+    }
+    total
+}
+
+/// The Figure 7 build-up curve. Starting from the first element of
+/// `ordered_subset`, add the subset members one at a time; once the subset
+/// is exhausted, "we add the rest of the benchmarks" (§VI-B) in their
+/// benchmark-set order. Returns the distance after each addition
+/// (`m.rows()` values; the last is always 0).
+pub fn incremental_distances(m: &Matrix, ordered_subset: &[usize]) -> Vec<f64> {
+    let n = m.rows();
+    let mut current: Vec<usize> = Vec::with_capacity(n);
+    let mut curve = Vec::with_capacity(n);
+    for &s in ordered_subset {
+        current.push(s);
+        curve.push(total_min_euclidean(m, &current));
+    }
+    for i in 0..n {
+        if !current.contains(&i) {
+            current.push(i);
+            curve.push(total_min_euclidean(m, &current));
+        }
+    }
+    curve
+}
+
+/// Percentage reduction in total running time from executing only `subset`
+/// instead of every benchmark (Table VI). Returns a value in `[0, 100]`.
+pub fn runtime_reduction(runtimes: &[f64], subset: &[usize]) -> f64 {
+    let total: f64 = runtimes.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let subset_time: f64 = subset.iter().map(|&i| runtimes[i]).sum();
+    (1.0 - subset_time / total) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Clustering;
+
+    fn m() -> Matrix {
+        Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![5.0, 5.0],
+            vec![5.1, 5.0],
+            vec![9.0, 0.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn fastest_per_cluster_picks_minimum_runtime() {
+        let c = Clustering::new(vec![0, 0, 1, 1, 2], 3).unwrap();
+        let runtimes = [100.0, 50.0, 30.0, 80.0, 10.0];
+        assert_eq!(fastest_per_cluster(&c, &runtimes), vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn empty_subset_is_infinitely_bad() {
+        assert_eq!(total_min_euclidean(&m(), &[]), f64::INFINITY);
+    }
+
+    #[test]
+    fn full_subset_has_zero_distance() {
+        assert_eq!(total_min_euclidean(&m(), &[0, 1, 2, 3, 4]), 0.0);
+    }
+
+    #[test]
+    fn near_neighbours_give_small_distance() {
+        let d_good = total_min_euclidean(&m(), &[0, 2, 4]);
+        let d_bad = total_min_euclidean(&m(), &[0]);
+        assert!(d_good < d_bad);
+        // 1 is 0.1 from 0; 3 is 0.1 from 2 → total 0.2.
+        assert!((d_good - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adding_members_never_hurts() {
+        let mat = m();
+        let d1 = total_min_euclidean(&mat, &[0]);
+        let d2 = total_min_euclidean(&mat, &[0, 2]);
+        let d3 = total_min_euclidean(&mat, &[0, 2, 4]);
+        assert!(d2 <= d1);
+        assert!(d3 <= d2);
+    }
+
+    #[test]
+    fn incremental_curve_is_monotone_and_ends_at_zero() {
+        let mat = m();
+        let curve = incremental_distances(&mat, &[0, 2]);
+        assert_eq!(curve.len(), 5);
+        for w in curve.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12, "curve must not increase: {curve:?}");
+        }
+        assert!(curve.last().unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_follows_benchmark_order() {
+        let mat = m();
+        let curve = incremental_distances(&mat, &[2]);
+        // After the subset member 2, the tail adds 0, 1, 3, 4 in order.
+        assert!((curve[1] - total_min_euclidean(&mat, &[2, 0])).abs() < 1e-12);
+        assert!((curve[2] - total_min_euclidean(&mat, &[2, 0, 1])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn runtime_reduction_table6_style() {
+        let runtimes = [100.0, 200.0, 300.0, 400.0];
+        let r = runtime_reduction(&runtimes, &[0]);
+        assert!((r - 90.0).abs() < 1e-9);
+        assert_eq!(runtime_reduction(&runtimes, &[0, 1, 2, 3]), 0.0);
+        assert_eq!(runtime_reduction(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one runtime per observation")]
+    fn mismatched_runtimes_panic() {
+        let c = Clustering::new(vec![0, 0], 1).unwrap();
+        fastest_per_cluster(&c, &[1.0]);
+    }
+}

@@ -1,0 +1,112 @@
+//! Connectivity — the third internal validation measure of the clValid
+//! toolkit whose methodology the paper follows (alongside Dunn and
+//! silhouette; Handl, Knowles & Kell 2005).
+//!
+//! Connectivity penalizes placing an observation in a different cluster
+//! than its nearest neighbours: for each observation, the `l` nearest
+//! neighbours are examined and every neighbour in a *different* cluster
+//! contributes `1/rank`. Lower values are better; 0 means every
+//! observation shares a cluster with all of its `l` nearest neighbours.
+
+use crate::cluster::Clustering;
+use crate::distance::euclidean;
+use crate::matrix::Matrix;
+
+/// Default neighbourhood size used by clValid.
+pub const DEFAULT_NEIGHBOURS: usize = 10;
+
+/// Connectivity of a clustering with an `l`-nearest-neighbour
+/// neighbourhood. `l` is clamped to `n − 1`. Lower is better.
+pub fn connectivity(m: &Matrix, c: &Clustering, l: usize) -> f64 {
+    let n = m.rows();
+    if n < 2 {
+        return 0.0;
+    }
+    let l = l.min(n - 1);
+    let labels = c.labels();
+    let mut total = 0.0;
+    for i in 0..n {
+        // Rank the other observations by distance to i.
+        let mut others: Vec<usize> = (0..n).filter(|&j| j != i).collect();
+        others.sort_by(|&a, &b| {
+            euclidean(m.row(i), m.row(a))
+                .partial_cmp(&euclidean(m.row(i), m.row(b)))
+                .expect("finite distances")
+        });
+        for (rank, &j) in others.iter().take(l).enumerate() {
+            if labels[j] != labels[i] {
+                total += 1.0 / (rank + 1) as f64;
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::kmeans;
+
+    fn blobs() -> Matrix {
+        Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![0.0, 0.1],
+            vec![9.0, 9.0],
+            vec![9.1, 9.0],
+            vec![9.0, 9.1],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn perfect_partition_has_zero_connectivity() {
+        let m = blobs();
+        let c = Clustering::new(vec![0, 0, 0, 1, 1, 1], 2).unwrap();
+        assert_eq!(connectivity(&m, &c, 2), 0.0);
+    }
+
+    #[test]
+    fn scrambled_partition_is_penalized() {
+        let m = blobs();
+        let good = Clustering::new(vec![0, 0, 0, 1, 1, 1], 2).unwrap();
+        let bad = Clustering::new(vec![0, 1, 0, 1, 0, 1], 2).unwrap();
+        assert!(connectivity(&m, &bad, 2) > connectivity(&m, &good, 2));
+    }
+
+    #[test]
+    fn closer_neighbours_cost_more() {
+        // An observation separated from its single nearest neighbour costs
+        // 1/1; separation from only the 2nd-nearest costs 1/2.
+        let m = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.5]]).unwrap();
+        // Point 1's nearest is 0 (d=1) then 2 (d=1.5).
+        let split_nearest = Clustering::new(vec![0, 1, 1], 2).unwrap();
+        let split_second = Clustering::new(vec![0, 0, 1], 2).unwrap();
+        assert!(connectivity(&m, &split_nearest, 2) > connectivity(&m, &split_second, 2));
+    }
+
+    #[test]
+    fn neighbourhood_clamps_to_n_minus_1() {
+        let m = blobs();
+        let c = kmeans(&m, 2, 1).unwrap();
+        let a = connectivity(&m, &c, 100);
+        let b = connectivity(&m, &c, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_observation_is_trivially_connected() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        let c = Clustering::new(vec![0], 1).unwrap();
+        assert_eq!(connectivity(&m, &c, 10), 0.0);
+    }
+
+    #[test]
+    fn finer_partitions_never_decrease_connectivity() {
+        // Splitting clusters can only cut neighbour links.
+        let m = blobs();
+        let coarse = Clustering::new(vec![0, 0, 0, 1, 1, 1], 2).unwrap();
+        let fine = Clustering::new(vec![0, 2, 0, 1, 3, 1], 4).unwrap();
+        assert!(connectivity(&m, &fine, 3) >= connectivity(&m, &coarse, 3));
+    }
+}

@@ -1,0 +1,13 @@
+//! Cluster validation: internal measures (Dunn index, silhouette width)
+//! and stability measures (APN, AD), plus the k-sweep machinery behind the
+//! paper's Figure 4.
+
+mod connectivity;
+mod internal;
+mod stability;
+mod sweep;
+
+pub use connectivity::{connectivity, DEFAULT_NEIGHBOURS};
+pub use internal::{dunn_index, silhouette_width};
+pub use stability::{average_distance, average_proportion_non_overlap};
+pub use sweep::{sweep, Algorithm, SweepPoint, ValidationSweep};

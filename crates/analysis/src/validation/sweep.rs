@@ -1,0 +1,196 @@
+//! Validation sweep over cluster counts and algorithms (Figure 4).
+
+use crate::cluster::{hierarchical, kmeans, pam, Clustering, Linkage};
+use crate::error::AnalysisError;
+use crate::matrix::Matrix;
+use crate::validation::internal::{dunn_index, silhouette_width};
+use crate::validation::stability::{average_distance, average_proportion_non_overlap};
+
+/// The clustering algorithms compared in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Lloyd's k-means with k-means++ seeding.
+    KMeans,
+    /// Partitioning Around Medoids.
+    Pam,
+    /// Agglomerative hierarchical clustering (Ward linkage).
+    Hierarchical,
+}
+
+impl Algorithm {
+    /// All algorithms, in the paper's order.
+    pub const ALL: [Algorithm; 3] = [Algorithm::KMeans, Algorithm::Pam, Algorithm::Hierarchical];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::KMeans => "K-means",
+            Algorithm::Pam => "PAM",
+            Algorithm::Hierarchical => "Hierarchical",
+        }
+    }
+
+    /// Run the algorithm on `m` with `k` clusters (seed fixed; all three
+    /// algorithms are deterministic in this crate's implementations).
+    pub fn run(self, m: &Matrix, k: usize) -> Result<Clustering, AnalysisError> {
+        match self {
+            Algorithm::KMeans => kmeans(m, k, 42),
+            Algorithm::Pam => pam(m, k, 42),
+            Algorithm::Hierarchical => hierarchical(m, Linkage::Ward)?.cut(k),
+        }
+    }
+}
+
+/// All four validation measures for one (algorithm, k) pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// The algorithm evaluated.
+    pub algorithm: Algorithm,
+    /// The number of clusters evaluated.
+    pub k: usize,
+    /// Dunn index (higher better).
+    pub dunn: f64,
+    /// Mean silhouette width (higher better).
+    pub silhouette: f64,
+    /// Average proportion of non-overlap (lower better).
+    pub apn: f64,
+    /// Average distance (lower better).
+    pub ad: f64,
+}
+
+/// The full sweep result across algorithms and cluster counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationSweep {
+    /// One point per (algorithm, k) pair, grouped by algorithm then k.
+    pub points: Vec<SweepPoint>,
+}
+
+impl ValidationSweep {
+    /// The k that maximizes the Dunn index for the given algorithm.
+    pub fn best_k_by_dunn(&self, algorithm: Algorithm) -> Option<usize> {
+        self.best_k_by(algorithm, |p| p.dunn, true)
+    }
+
+    /// The k that maximizes silhouette width for the given algorithm.
+    pub fn best_k_by_silhouette(&self, algorithm: Algorithm) -> Option<usize> {
+        self.best_k_by(algorithm, |p| p.silhouette, true)
+    }
+
+    /// The k that minimizes APN for the given algorithm.
+    pub fn best_k_by_apn(&self, algorithm: Algorithm) -> Option<usize> {
+        self.best_k_by(algorithm, |p| p.apn, false)
+    }
+
+    /// The k that minimizes AD for the given algorithm.
+    pub fn best_k_by_ad(&self, algorithm: Algorithm) -> Option<usize> {
+        self.best_k_by(algorithm, |p| p.ad, false)
+    }
+
+    fn best_k_by(
+        &self,
+        algorithm: Algorithm,
+        score: impl Fn(&SweepPoint) -> f64,
+        maximize: bool,
+    ) -> Option<usize> {
+        // Ties break toward the smaller k: a coarser clustering that scores
+        // the same is preferred (the parsimony reading the paper applies
+        // when APN "shows a tie ... with a general preference towards the
+        // lower range").
+        let mut best: Option<(f64, usize)> = None;
+        for p in self.points.iter().filter(|p| p.algorithm == algorithm) {
+            let s = if maximize { score(p) } else { -score(p) };
+            if best.map(|(b, _)| s > b).unwrap_or(true) {
+                best = Some((s, p.k));
+            }
+        }
+        best.map(|(_, k)| k)
+    }
+
+    /// Points for one algorithm, ascending in k.
+    pub fn for_algorithm(&self, algorithm: Algorithm) -> Vec<&SweepPoint> {
+        self.points.iter().filter(|p| p.algorithm == algorithm).collect()
+    }
+}
+
+/// Evaluate every algorithm at every `k` in `ks` with all four measures.
+pub fn sweep(m: &Matrix, ks: &[usize]) -> Result<ValidationSweep, AnalysisError> {
+    let mut points = Vec::with_capacity(ks.len() * Algorithm::ALL.len());
+    for &algorithm in &Algorithm::ALL {
+        for &k in ks {
+            let clustering = algorithm.run(m, k)?;
+            let clusterer = move |mm: &Matrix, kk: usize| {
+                algorithm.run(mm, kk).expect("k validated by outer call")
+            };
+            points.push(SweepPoint {
+                algorithm,
+                k,
+                dunn: dunn_index(m, &clustering),
+                silhouette: silhouette_width(m, &clustering),
+                apn: average_proportion_non_overlap(m, k, &clusterer),
+                ad: average_distance(m, k, &clusterer),
+            });
+        }
+    }
+    Ok(ValidationSweep { points })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three clearly separated blobs in 4-D; every feature carries the
+    /// separation, so stability measures behave.
+    fn data() -> Matrix {
+        let mut rows = Vec::new();
+        for c in 0..3 {
+            let base = c as f64 * 10.0;
+            for i in 0..4 {
+                let jitter = i as f64 * 0.15;
+                rows.push(vec![base + jitter, base - jitter, base + 0.5 * jitter, base]);
+            }
+        }
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn sweep_covers_all_pairs() {
+        let s = sweep(&data(), &[2, 3, 4]).unwrap();
+        assert_eq!(s.points.len(), 9);
+    }
+
+    #[test]
+    fn internal_measures_pick_true_k() {
+        let s = sweep(&data(), &[2, 3, 4, 5]).unwrap();
+        for alg in Algorithm::ALL {
+            assert_eq!(s.best_k_by_dunn(alg), Some(3), "{alg:?} dunn");
+            assert_eq!(s.best_k_by_silhouette(alg), Some(3), "{alg:?} silhouette");
+        }
+    }
+
+    #[test]
+    fn ad_prefers_large_k() {
+        let s = sweep(&data(), &[2, 3, 4, 5]).unwrap();
+        let best = s.best_k_by_ad(Algorithm::KMeans).unwrap();
+        assert!(best >= 4, "AD is biased toward many clusters, got {best}");
+    }
+
+    #[test]
+    fn for_algorithm_filters() {
+        let s = sweep(&data(), &[2, 3]).unwrap();
+        let pts = s.for_algorithm(Algorithm::Pam);
+        assert_eq!(pts.len(), 2);
+        assert!(pts.iter().all(|p| p.algorithm == Algorithm::Pam));
+    }
+
+    #[test]
+    fn invalid_k_propagates() {
+        assert!(sweep(&data(), &[0]).is_err());
+    }
+
+    #[test]
+    fn algorithm_names() {
+        assert_eq!(Algorithm::KMeans.name(), "K-means");
+        assert_eq!(Algorithm::Pam.name(), "PAM");
+        assert_eq!(Algorithm::Hierarchical.name(), "Hierarchical");
+    }
+}

@@ -1,0 +1,54 @@
+//! Criterion benches for the clustering algorithms: scaling in observation
+//! count on synthetic blob data, plus the paper-sized (18 x 14) problem.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mwc_analysis::cluster::{hierarchical, kmeans, pam, Linkage};
+use mwc_analysis::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Synthetic data: `n` points around 5 well-separated centers in `dims`-D.
+fn blobs(n: usize, dims: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            let center = (i % 5) as f64 * 10.0;
+            (0..dims).map(|_| center + rng.gen_range(-1.0..1.0)).collect()
+        })
+        .collect();
+    Matrix::from_rows(&rows).expect("uniform rows")
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clustering");
+    for &n in &[18usize, 64, 256] {
+        let m = blobs(n, 14, 42);
+        group.bench_with_input(BenchmarkId::new("kmeans_k5", n), &m, |b, m| {
+            b.iter(|| kmeans(m, 5, 42).expect("valid k"))
+        });
+        group.bench_with_input(BenchmarkId::new("pam_k5", n), &m, |b, m| {
+            b.iter(|| pam(m, 5, 42).expect("valid k"))
+        });
+        group.bench_with_input(BenchmarkId::new("hierarchical_ward", n), &m, |b, m| {
+            b.iter(|| hierarchical(m, Linkage::Ward).expect("non-empty"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_linkages(c: &mut Criterion) {
+    let m = blobs(128, 14, 7);
+    let mut group = c.benchmark_group("hierarchical_linkages");
+    for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average, Linkage::Ward] {
+        group.bench_function(format!("{linkage:?}"), |b| {
+            b.iter(|| hierarchical(&m, linkage).expect("non-empty"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_clustering, bench_linkages
+}
+criterion_main!(benches);

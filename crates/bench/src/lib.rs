@@ -1,0 +1,50 @@
+//! # mwc-bench — the experiment harness
+//!
+//! One binary per table and figure of the paper (`table1` … `table6`,
+//! `fig1` … `fig7`, `observations`, and `all` for everything in paper
+//! order), plus Criterion performance benches of the analysis kernels and
+//! the simulator (`cargo bench`).
+//!
+//! Every binary runs the same deterministic study: the 18 characterization
+//! units on the simulated Snapdragon 888 platform, three runs each,
+//! seed 2024 — the `mwc_core::Characterization::run_default` protocol.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::sync::OnceLock;
+
+use mwc_analysis::cluster::Clustering;
+use mwc_core::pipeline::Characterization;
+
+static STUDY: OnceLock<Characterization> = OnceLock::new();
+
+/// The shared study instance (computed once per process).
+pub fn study() -> &'static Characterization {
+    STUDY.get_or_init(Characterization::run_default)
+}
+
+/// The k = 5 clustering used by the subsetting analyses (k-means on the
+/// normalized feature matrix; PAM and hierarchical clustering produce the
+/// identical partition — see the `fig5`/`fig6` binaries).
+pub fn clustering() -> Clustering {
+    mwc_core::figures::fig6(study()).expect("18 units cluster into 5 groups")
+}
+
+/// Print a section header in the style used by all binaries.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn study_is_cached_and_complete() {
+        let a = study();
+        let b = study();
+        assert!(std::ptr::eq(a, b), "OnceLock caches the study");
+        assert_eq!(a.profiles().len(), 18);
+    }
+}

@@ -1,0 +1,42 @@
+//! # mwc-core — the workload-characterization study
+//!
+//! The primary contribution of *Workload Characterization of Commercial
+//! Mobile Benchmark Suites* (ISPASS 2024), reproduced end to end on the
+//! simulated platform:
+//!
+//! * [`pipeline`] — run every characterization unit on the simulated
+//!   Snapdragon-888 platform, three runs averaged, and collect profiles;
+//! * [`features`] — the Figure-1 metric vectors and the clustering feature
+//!   matrix;
+//! * [`observations`] — the paper's nine numbered observations as
+//!   checkable predicates over the profiles;
+//! * [`tables`] — Tables III (metric correlations), V (load-level
+//!   residency) and VI (subset running times);
+//! * [`figures`] — the data series behind Figures 1–7;
+//! * [`subsets`] — the Naive, Select and Select + GPU reduced benchmark
+//!   sets and their representativeness evaluation.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use mwc_core::pipeline::Characterization;
+//!
+//! // Run the full study (18 units × 3 runs) on the default platform.
+//! let study = Characterization::run_default();
+//! for profile in study.profiles() {
+//!     println!("{}: IPC {:.2}", profile.name, profile.metrics.ipc);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod features;
+pub mod figures;
+pub mod observations;
+pub mod pipeline;
+pub mod subsets;
+pub mod tables;
+
+pub use pipeline::{Characterization, UnitProfile};

@@ -1,0 +1,184 @@
+//! The characterization pipeline: run all units, average runs, collect
+//! profiles.
+
+use mwc_profiler::capture::{Profiler, SeriesKey, PAPER_RUNS};
+use mwc_profiler::derive::BenchmarkMetrics;
+use mwc_profiler::timeseries::TimeSeries;
+use mwc_soc::config::{ClusterKind, SocConfig};
+use mwc_soc::engine::Engine;
+use mwc_workloads::registry::{all_units, ClusterLabel, Suite};
+
+/// The per-unit time series the temporal and heterogeneity analyses use.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnitSeries {
+    /// Mean CPU load across clusters (Table IV).
+    pub cpu_load: TimeSeries,
+    /// Load of the little cluster.
+    pub little_load: TimeSeries,
+    /// Load of the mid cluster.
+    pub mid_load: TimeSeries,
+    /// Load of the big cluster.
+    pub big_load: TimeSeries,
+    /// GPU load (Table IV).
+    pub gpu_load: TimeSeries,
+    /// Fraction of time all shaders are busy (Table IV).
+    pub shaders_busy: TimeSeries,
+    /// Fraction of time the GPU bus is busy (Table IV).
+    pub bus_busy: TimeSeries,
+    /// AIE load (Table IV).
+    pub aie_load: TimeSeries,
+    /// Fraction of system memory in use (Table IV).
+    pub memory_fraction: TimeSeries,
+    /// Raw used memory in MiB.
+    pub memory_mib: TimeSeries,
+    /// Instantaneous IPC.
+    pub ipc: TimeSeries,
+    /// Storage busy fraction.
+    pub storage_busy: TimeSeries,
+}
+
+/// The profile of one characterization unit: averaged metrics plus the
+/// averaged time series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnitProfile {
+    /// Unit name as the paper's figures label it.
+    pub name: String,
+    /// Owning suite.
+    pub suite: Suite,
+    /// Ground-truth behavioural family (colour group in Figure 1).
+    pub label: ClusterLabel,
+    /// Aggregate metrics averaged over the runs.
+    pub metrics: BenchmarkMetrics,
+    /// Run-averaged time series.
+    pub series: UnitSeries,
+}
+
+/// The full study: one profile per characterization unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Characterization {
+    profiles: Vec<UnitProfile>,
+}
+
+impl Characterization {
+    /// Run the complete study on the paper's platform (Snapdragon 888,
+    /// Table II) with the paper's three-run protocol and the default seed.
+    pub fn run_default() -> Self {
+        Characterization::run(SocConfig::snapdragon_888(), 2024, PAPER_RUNS)
+    }
+
+    /// Run the study on an arbitrary platform with `runs` runs per unit.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails validation — configurations are
+    /// produced by [`SocConfig::builder`] which validates on `build`, so an
+    /// invalid one reaching this point is a programming error.
+    pub fn run(config: SocConfig, seed: u64, runs: usize) -> Self {
+        let engine = Engine::new(config, seed).expect("validated SoC configuration");
+        let mut profiler = Profiler::new(engine, seed);
+        let profiles = all_units()
+            .into_iter()
+            .map(|unit| {
+                let captures = profiler.capture_runs(&unit.workload, runs);
+                let metrics = BenchmarkMetrics::from_captures(&captures);
+                let avg = |key: SeriesKey| {
+                    let series: Vec<TimeSeries> =
+                        captures.iter().map(|c| c.series(key)).collect();
+                    TimeSeries::average(&series)
+                };
+                let series = UnitSeries {
+                    cpu_load: avg(SeriesKey::CpuLoad),
+                    little_load: avg(SeriesKey::ClusterLoad(ClusterKind::Little)),
+                    mid_load: avg(SeriesKey::ClusterLoad(ClusterKind::Mid)),
+                    big_load: avg(SeriesKey::ClusterLoad(ClusterKind::Big)),
+                    gpu_load: avg(SeriesKey::GpuLoad),
+                    shaders_busy: avg(SeriesKey::GpuShadersBusy),
+                    bus_busy: avg(SeriesKey::GpuBusBusy),
+                    aie_load: avg(SeriesKey::AieLoad),
+                    memory_fraction: avg(SeriesKey::MemoryUsedFraction),
+                    memory_mib: avg(SeriesKey::MemoryUsedMib),
+                    ipc: avg(SeriesKey::Ipc),
+                    storage_busy: avg(SeriesKey::StorageBusy),
+                };
+                UnitProfile {
+                    name: unit.name.to_owned(),
+                    suite: unit.suite,
+                    label: unit.label,
+                    metrics,
+                    series,
+                }
+            })
+            .collect();
+        Characterization { profiles }
+    }
+
+    /// The unit profiles, in the paper's fixed order.
+    pub fn profiles(&self) -> &[UnitProfile] {
+        &self.profiles
+    }
+
+    /// Find a profile by unit name.
+    pub fn profile(&self, name: &str) -> Option<&UnitProfile> {
+        self.profiles.iter().find(|p| p.name == name)
+    }
+
+    /// Unit names, in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.profiles.iter().map(|p| p.name.as_str()).collect()
+    }
+
+    /// Runtimes in seconds, in unit order.
+    pub fn runtimes(&self) -> Vec<f64> {
+        self.profiles.iter().map(|p| p.metrics.runtime_seconds).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The full 3-run study is exercised by integration tests and the bench
+    // harness; unit tests here use a single run to stay fast.
+    fn quick_study() -> Characterization {
+        Characterization::run(SocConfig::snapdragon_888(), 7, 1)
+    }
+
+    #[test]
+    fn covers_all_eighteen_units() {
+        let study = quick_study();
+        assert_eq!(study.profiles().len(), 18);
+        assert!(study.profile("Antutu Mem").is_some());
+        assert!(study.profile("GFXBench Special").is_some());
+        assert!(study.profile("nonexistent").is_none());
+    }
+
+    #[test]
+    fn runtimes_match_workload_durations() {
+        let study = quick_study();
+        let total: f64 = study.runtimes().iter().sum();
+        assert!((total - 4429.5).abs() < 1.0, "got {total}");
+    }
+
+    #[test]
+    fn every_unit_executes_instructions() {
+        let study = quick_study();
+        for p in study.profiles() {
+            assert!(p.metrics.instruction_count > 0.0, "{}", p.name);
+            assert!(p.metrics.ipc > 0.0, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn series_span_the_runtime() {
+        let study = quick_study();
+        let p = study.profile("3DMark Wild Life").unwrap();
+        assert!((p.series.cpu_load.duration_seconds() - 65.0).abs() < 0.2);
+        assert_eq!(p.series.cpu_load.len(), p.series.gpu_load.len());
+    }
+
+    #[test]
+    fn study_is_deterministic() {
+        let a = Characterization::run(SocConfig::snapdragon_888(), 9, 1);
+        let b = Characterization::run(SocConfig::snapdragon_888(), 9, 1);
+        assert_eq!(a, b);
+    }
+}

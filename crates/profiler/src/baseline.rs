@@ -1,0 +1,87 @@
+//! Idle-baseline measurement and subtraction.
+//!
+//! Snapdragon Profiler reports *total* system memory including the Android
+//! OS and resident services. The paper gathers statistics with the system
+//! idle, computes the average idle memory usage, and deducts it from all
+//! process-specific numbers (Limitations §IV-A item 3). This module
+//! implements that protocol against the simulator.
+
+use mwc_soc::engine::Engine;
+use mwc_soc::workload::{ConstantWorkload, Demand};
+
+use crate::capture::{Capture, SeriesKey};
+use crate::timeseries::TimeSeries;
+
+/// The measured idle baseline of a platform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IdleBaseline {
+    /// Average idle memory usage, in MiB.
+    pub memory_mib: f64,
+}
+
+impl IdleBaseline {
+    /// Measure the idle baseline by running the engine with no workload
+    /// demand for `seconds` and averaging the reported memory usage.
+    pub fn measure(engine: &mut Engine, seconds: f64) -> Self {
+        engine.reset(0);
+        let idle = ConstantWorkload::new("idle", seconds, Demand::idle());
+        let trace = engine.run(&idle);
+        let capture = Capture::from_trace(trace);
+        IdleBaseline {
+            memory_mib: capture.series(SeriesKey::MemoryUsedMib).mean(),
+        }
+    }
+
+    /// Subtract the baseline from a raw used-memory series (values are
+    /// floored at zero — a workload cannot use negative memory).
+    pub fn subtract_memory(&self, raw: &TimeSeries) -> TimeSeries {
+        TimeSeries::new(
+            raw.tick_seconds,
+            raw.values.iter().map(|v| (v - self.memory_mib).max(0.0)).collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwc_soc::config::SocConfig;
+    use mwc_soc::cpu::CpuDemand;
+    use mwc_soc::memory::MemoryDemand;
+
+    #[test]
+    fn baseline_matches_configured_os_memory() {
+        let config = SocConfig::snapdragon_888();
+        let os_mib = config.memory.os_baseline_mib;
+        let mut engine = Engine::new(config, 0).unwrap();
+        let b = IdleBaseline::measure(&mut engine, 5.0);
+        assert!((b.memory_mib - os_mib).abs() < 1.0, "got {}", b.memory_mib);
+    }
+
+    #[test]
+    fn subtraction_isolates_workload_memory() {
+        let config = SocConfig::snapdragon_888();
+        let mut engine = Engine::new(config, 0).unwrap();
+        let baseline = IdleBaseline::measure(&mut engine, 2.0);
+
+        let mut d = Demand::idle();
+        d.cpu = CpuDemand::single_thread(0.5);
+        d.memory = MemoryDemand {
+            footprint_mib: 1000.0,
+            bandwidth_gbps: 0.0,
+        };
+        engine.reset(1);
+        let trace = engine.run(&ConstantWorkload::new("app", 2.0, d));
+        let raw = Capture::from_trace(trace).series(SeriesKey::MemoryUsedMib);
+        let net = baseline.subtract_memory(&raw);
+        assert!((net.mean() - 1000.0).abs() < 5.0, "got {}", net.mean());
+    }
+
+    #[test]
+    fn subtraction_floors_at_zero() {
+        let b = IdleBaseline { memory_mib: 100.0 };
+        let raw = TimeSeries::new(0.1, vec![50.0, 150.0]);
+        let net = b.subtract_memory(&raw);
+        assert_eq!(net.values, vec![0.0, 50.0]);
+    }
+}

@@ -1,0 +1,289 @@
+//! Capture sessions: run workloads on an engine and extract named series.
+
+use mwc_soc::config::ClusterKind;
+use mwc_soc::counters::{TickSample, Trace};
+use mwc_soc::engine::Engine;
+use mwc_soc::workload::Workload;
+
+use crate::timeseries::TimeSeries;
+
+/// The named series the analysis consumes (the six metrics of Table IV
+/// plus the Figure-1 ingredients and a few extras).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SeriesKey {
+    /// Mean CPU load across all clusters (Table IV: frequency × utilization).
+    CpuLoad,
+    /// Load of one CPU cluster.
+    ClusterLoad(ClusterKind),
+    /// Utilization of one CPU cluster.
+    ClusterUtilization(ClusterKind),
+    /// GPU load (Table IV).
+    GpuLoad,
+    /// Percentage of time all shader cores are busy (Table IV).
+    GpuShadersBusy,
+    /// Percentage of time the GPU↔memory bus is busy (Table IV).
+    GpuBusBusy,
+    /// AIE load (Table IV).
+    AieLoad,
+    /// Fraction of total system memory used (Table IV).
+    MemoryUsedFraction,
+    /// Used memory in MiB (raw, OS baseline included).
+    MemoryUsedMib,
+    /// Memory-bus bandwidth utilization.
+    MemoryBandwidth,
+    /// Storage busy fraction.
+    StorageBusy,
+    /// Instantaneous IPC.
+    Ipc,
+    /// Instantaneous all-level cache MPKI.
+    CacheMpki,
+    /// Instantaneous branch MPKI.
+    BranchMpki,
+    /// Instructions retired per tick.
+    Instructions,
+    /// L1 texture-cache misses per tick (millions).
+    GpuL1TextureMisses,
+}
+
+impl SeriesKey {
+    /// Extract this metric from one counter sample.
+    fn extract(self, s: &TickSample) -> f64 {
+        match self {
+            SeriesKey::CpuLoad => {
+                if s.clusters.is_empty() {
+                    0.0
+                } else {
+                    s.clusters.iter().map(|c| c.load).sum::<f64>() / s.clusters.len() as f64
+                }
+            }
+            SeriesKey::ClusterLoad(kind) => s
+                .clusters
+                .iter()
+                .find(|c| c.kind == kind)
+                .map(|c| c.load)
+                .unwrap_or(0.0),
+            SeriesKey::ClusterUtilization(kind) => s
+                .clusters
+                .iter()
+                .find(|c| c.kind == kind)
+                .map(|c| c.utilization)
+                .unwrap_or(0.0),
+            SeriesKey::GpuLoad => s.gpu_load,
+            SeriesKey::GpuShadersBusy => s.gpu_shaders_busy,
+            SeriesKey::GpuBusBusy => s.gpu_bus_busy,
+            SeriesKey::AieLoad => s.aie_load,
+            SeriesKey::MemoryUsedFraction => s.memory_used_fraction,
+            SeriesKey::MemoryUsedMib => s.memory_used_mib,
+            SeriesKey::MemoryBandwidth => s.memory_bandwidth_utilization,
+            SeriesKey::StorageBusy => s.storage_busy,
+            SeriesKey::Ipc => {
+                if s.cycles > 0.0 {
+                    s.instructions / s.cycles
+                } else {
+                    0.0
+                }
+            }
+            SeriesKey::CacheMpki => {
+                if s.instructions > 0.0 {
+                    s.cache_misses / s.instructions * 1000.0
+                } else {
+                    0.0
+                }
+            }
+            SeriesKey::BranchMpki => {
+                if s.instructions > 0.0 {
+                    s.branch_misses / s.instructions * 1000.0
+                } else {
+                    0.0
+                }
+            }
+            SeriesKey::Instructions => s.instructions,
+            SeriesKey::GpuL1TextureMisses => s.gpu_l1_texture_misses_m,
+        }
+    }
+
+    /// Stable display name for tables and CSV headers.
+    pub fn name(self) -> String {
+        match self {
+            SeriesKey::CpuLoad => "cpu.load".to_owned(),
+            SeriesKey::ClusterLoad(k) => format!("cpu.{}.load", kind_slug(k)),
+            SeriesKey::ClusterUtilization(k) => format!("cpu.{}.utilization", kind_slug(k)),
+            SeriesKey::GpuLoad => "gpu.load".to_owned(),
+            SeriesKey::GpuShadersBusy => "gpu.shaders_busy".to_owned(),
+            SeriesKey::GpuBusBusy => "gpu.bus_busy".to_owned(),
+            SeriesKey::AieLoad => "aie.load".to_owned(),
+            SeriesKey::MemoryUsedFraction => "mem.used_fraction".to_owned(),
+            SeriesKey::MemoryUsedMib => "mem.used".to_owned(),
+            SeriesKey::MemoryBandwidth => "mem.bandwidth_utilization".to_owned(),
+            SeriesKey::StorageBusy => "storage.busy".to_owned(),
+            SeriesKey::Ipc => "cpu.ipc".to_owned(),
+            SeriesKey::CacheMpki => "cpu.cache_mpki".to_owned(),
+            SeriesKey::BranchMpki => "branch.mpki".to_owned(),
+            SeriesKey::Instructions => "cpu.instructions".to_owned(),
+            SeriesKey::GpuL1TextureMisses => "gpu.l1_texture_misses".to_owned(),
+        }
+    }
+}
+
+fn kind_slug(kind: ClusterKind) -> &'static str {
+    match kind {
+        ClusterKind::Little => "little",
+        ClusterKind::Mid => "mid",
+        ClusterKind::Big => "big",
+    }
+}
+
+/// One captured run of one workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Capture {
+    trace: Trace,
+}
+
+impl Capture {
+    /// Wrap a raw counter trace.
+    pub fn from_trace(trace: Trace) -> Self {
+        Capture { trace }
+    }
+
+    /// The underlying counter trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Name of the captured workload.
+    pub fn workload(&self) -> &str {
+        &self.trace.workload
+    }
+
+    /// Runtime of the capture in seconds.
+    pub fn runtime_seconds(&self) -> f64 {
+        self.trace.duration_seconds()
+    }
+
+    /// Extract one named time series.
+    pub fn series(&self, key: SeriesKey) -> TimeSeries {
+        let values = self.trace.samples.iter().map(|s| key.extract(s)).collect();
+        TimeSeries::new(self.trace.tick_seconds, values)
+    }
+}
+
+/// A profiler bound to an engine: runs workloads repeatedly and captures
+/// counter traces, mirroring the paper's "ran all benchmarks thrice and
+/// averaged their metrics across runs" protocol.
+#[derive(Debug)]
+pub struct Profiler {
+    engine: Engine,
+    base_seed: u64,
+}
+
+/// Number of runs the paper averages per benchmark.
+pub const PAPER_RUNS: usize = 3;
+
+impl Profiler {
+    /// Attach a profiler to an engine. `base_seed` determines the noise
+    /// seeds of the individual runs (`base_seed`, `base_seed + 1`, ...).
+    pub fn new(engine: Engine, base_seed: u64) -> Self {
+        Profiler { engine, base_seed }
+    }
+
+    /// The wrapped engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Capture `runs` independent runs of a workload. The engine is reset
+    /// before each run (DVFS back to floor, caches drained), with a
+    /// distinct deterministic seed per run.
+    pub fn capture_runs(&mut self, workload: &dyn Workload, runs: usize) -> Vec<Capture> {
+        (0..runs)
+            .map(|r| {
+                self.engine.reset(self.base_seed.wrapping_add(r as u64));
+                Capture::from_trace(self.engine.run(workload))
+            })
+            .collect()
+    }
+
+    /// Capture the paper's standard three runs.
+    pub fn capture(&mut self, workload: &dyn Workload) -> Vec<Capture> {
+        self.capture_runs(workload, PAPER_RUNS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwc_soc::config::SocConfig;
+    use mwc_soc::cpu::CpuDemand;
+    use mwc_soc::workload::{ConstantWorkload, Demand};
+
+    fn profiler() -> Profiler {
+        Profiler::new(Engine::new(SocConfig::snapdragon_888(), 0).unwrap(), 100)
+    }
+
+    fn workload() -> ConstantWorkload {
+        let mut d = Demand::idle();
+        d.cpu = CpuDemand::single_thread(0.9);
+        ConstantWorkload::new("test", 5.0, d)
+    }
+
+    #[test]
+    fn capture_three_runs_by_default() {
+        let mut p = profiler();
+        let caps = p.capture(&workload());
+        assert_eq!(caps.len(), PAPER_RUNS);
+        assert!(caps.iter().all(|c| c.workload() == "test"));
+    }
+
+    #[test]
+    fn runs_differ_but_only_slightly() {
+        let mut p = profiler();
+        let caps = p.capture(&workload());
+        let i0 = caps[0].trace().total_instructions();
+        let i1 = caps[1].trace().total_instructions();
+        assert_ne!(i0, i1);
+        assert!((i0 - i1).abs() / i0 < 0.05);
+    }
+
+    #[test]
+    fn capture_is_reproducible() {
+        let mut p1 = profiler();
+        let mut p2 = profiler();
+        assert_eq!(p1.capture(&workload()), p2.capture(&workload()));
+    }
+
+    #[test]
+    fn series_extraction() {
+        let mut p = profiler();
+        let cap = &p.capture_runs(&workload(), 1)[0];
+        let load = cap.series(SeriesKey::ClusterLoad(ClusterKind::Big));
+        assert_eq!(load.len(), 50);
+        assert!(load.max() > 0.5, "heavy thread loads the big core");
+        let mid = cap.series(SeriesKey::ClusterLoad(ClusterKind::Mid));
+        assert!(mid.max() < 0.1);
+        let ipc = cap.series(SeriesKey::Ipc);
+        assert!(ipc.mean() > 0.3);
+    }
+
+    #[test]
+    fn runtime_matches_workload() {
+        let mut p = profiler();
+        let cap = &p.capture_runs(&workload(), 1)[0];
+        assert!((cap.runtime_seconds() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn series_names_are_stable() {
+        assert_eq!(SeriesKey::CpuLoad.name(), "cpu.load");
+        assert_eq!(SeriesKey::ClusterLoad(ClusterKind::Big).name(), "cpu.big.load");
+        assert_eq!(SeriesKey::GpuShadersBusy.name(), "gpu.shaders_busy");
+    }
+
+    #[test]
+    fn idle_series_zero() {
+        let mut p = profiler();
+        let idle = ConstantWorkload::new("idle", 2.0, Demand::idle());
+        let cap = &p.capture_runs(&idle, 1)[0];
+        assert_eq!(cap.series(SeriesKey::Ipc).mean(), 0.0);
+        assert_eq!(cap.series(SeriesKey::GpuLoad).max(), 0.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Derived benchmark-level metrics (the rows of Figure 1 and the feature
+//! vectors of the clustering analysis), averaged across runs.
+
+use mwc_soc::config::ClusterKind;
+
+use crate::capture::{Capture, SeriesKey};
+
+/// Names of the feature-vector components, aligned with
+/// [`BenchmarkMetrics::feature_vector`].
+pub const FEATURE_NAMES: [&str; 13] = [
+    "instruction_count",
+    "ipc",
+    "cache_mpki",
+    "branch_mpki",
+    "runtime_seconds",
+    "cpu_little_load",
+    "cpu_mid_load",
+    "cpu_big_load",
+    "gpu_load",
+    "gpu_shaders_busy",
+    "gpu_bus_busy",
+    "aie_load",
+    "memory_used_fraction",
+];
+
+/// Benchmark-level aggregate metrics, averaged over the capture runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkMetrics {
+    /// Workload name.
+    pub name: String,
+    /// Dynamic instruction count (mean across runs).
+    pub instruction_count: f64,
+    /// Run-level IPC.
+    pub ipc: f64,
+    /// All-level cache misses per kilo-instruction.
+    pub cache_mpki: f64,
+    /// Branch misses per kilo-instruction.
+    pub branch_mpki: f64,
+    /// Runtime in seconds.
+    pub runtime_seconds: f64,
+    /// Mean CPU load across clusters.
+    pub cpu_load: f64,
+    /// Mean load of the little cluster.
+    pub cpu_little_load: f64,
+    /// Mean load of the mid cluster.
+    pub cpu_mid_load: f64,
+    /// Mean load of the big cluster.
+    pub cpu_big_load: f64,
+    /// Mean utilization of the little cluster.
+    pub cpu_little_util: f64,
+    /// Mean utilization of the mid cluster.
+    pub cpu_mid_util: f64,
+    /// Mean utilization of the big cluster.
+    pub cpu_big_util: f64,
+    /// Mean GPU load.
+    pub gpu_load: f64,
+    /// Mean fraction of time all shaders were busy.
+    pub gpu_shaders_busy: f64,
+    /// Mean fraction of time the GPU bus was busy.
+    pub gpu_bus_busy: f64,
+    /// Mean AIE load.
+    pub aie_load: f64,
+    /// Mean fraction of system memory used.
+    pub memory_used_fraction: f64,
+    /// Peak memory usage in MiB observed in any run.
+    pub memory_peak_mib: f64,
+    /// Mean storage busy fraction.
+    pub storage_busy: f64,
+}
+
+impl BenchmarkMetrics {
+    /// Derive metrics from one or more captured runs of the same workload
+    /// (the paper averages three). Panics on an empty slice.
+    pub fn from_captures(captures: &[Capture]) -> Self {
+        assert!(!captures.is_empty(), "need at least one capture");
+        let n = captures.len() as f64;
+        let mean =
+            |f: &dyn Fn(&Capture) -> f64| captures.iter().map(|c| f(c)).sum::<f64>() / n;
+
+        BenchmarkMetrics {
+            name: captures[0].workload().to_owned(),
+            instruction_count: mean(&|c| c.trace().total_instructions()),
+            ipc: mean(&|c| c.trace().ipc()),
+            cache_mpki: mean(&|c| c.trace().cache_mpki()),
+            branch_mpki: mean(&|c| c.trace().branch_mpki()),
+            runtime_seconds: mean(&|c| c.runtime_seconds()),
+            cpu_load: mean(&|c| c.series(SeriesKey::CpuLoad).mean()),
+            cpu_little_load: mean(&|c| {
+                c.series(SeriesKey::ClusterLoad(ClusterKind::Little)).mean()
+            }),
+            cpu_mid_load: mean(&|c| c.series(SeriesKey::ClusterLoad(ClusterKind::Mid)).mean()),
+            cpu_big_load: mean(&|c| c.series(SeriesKey::ClusterLoad(ClusterKind::Big)).mean()),
+            cpu_little_util: mean(&|c| {
+                c.series(SeriesKey::ClusterUtilization(ClusterKind::Little)).mean()
+            }),
+            cpu_mid_util: mean(&|c| {
+                c.series(SeriesKey::ClusterUtilization(ClusterKind::Mid)).mean()
+            }),
+            cpu_big_util: mean(&|c| {
+                c.series(SeriesKey::ClusterUtilization(ClusterKind::Big)).mean()
+            }),
+            gpu_load: mean(&|c| c.series(SeriesKey::GpuLoad).mean()),
+            gpu_shaders_busy: mean(&|c| c.series(SeriesKey::GpuShadersBusy).mean()),
+            gpu_bus_busy: mean(&|c| c.series(SeriesKey::GpuBusBusy).mean()),
+            aie_load: mean(&|c| c.series(SeriesKey::AieLoad).mean()),
+            memory_used_fraction: mean(&|c| c.series(SeriesKey::MemoryUsedFraction).mean()),
+            memory_peak_mib: captures
+                .iter()
+                .map(|c| c.series(SeriesKey::MemoryUsedMib).max())
+                .fold(0.0, f64::max),
+            storage_busy: mean(&|c| c.series(SeriesKey::StorageBusy).mean()),
+        }
+    }
+
+    /// The 13-component feature vector used for clustering and
+    /// representativeness analysis; component order matches
+    /// [`FEATURE_NAMES`].
+    pub fn feature_vector(&self) -> Vec<f64> {
+        vec![
+            self.instruction_count,
+            self.ipc,
+            self.cache_mpki,
+            self.branch_mpki,
+            self.runtime_seconds,
+            self.cpu_little_load,
+            self.cpu_mid_load,
+            self.cpu_big_load,
+            self.gpu_load,
+            self.gpu_shaders_busy,
+            self.gpu_bus_busy,
+            self.aie_load,
+            self.memory_used_fraction,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capture::Profiler;
+    use mwc_soc::config::SocConfig;
+    use mwc_soc::cpu::CpuDemand;
+    use mwc_soc::engine::Engine;
+    use mwc_soc::workload::{ConstantWorkload, Demand};
+
+    fn metrics_for(intensity: f64) -> BenchmarkMetrics {
+        let engine = Engine::new(SocConfig::snapdragon_888(), 0).unwrap();
+        let mut p = Profiler::new(engine, 10);
+        let mut d = Demand::idle();
+        d.cpu = CpuDemand::single_thread(intensity);
+        let w = ConstantWorkload::new("m", 5.0, d);
+        BenchmarkMetrics::from_captures(&p.capture(&w))
+    }
+
+    #[test]
+    fn busy_workload_has_positive_metrics() {
+        let m = metrics_for(0.9);
+        assert!(m.instruction_count > 1e9);
+        assert!(m.ipc > 0.3);
+        assert!(m.cache_mpki >= 0.0);
+        assert!((m.runtime_seconds - 5.0).abs() < 1e-9);
+        assert!(m.cpu_big_load > 0.2);
+        assert_eq!(m.gpu_load, 0.0);
+    }
+
+    #[test]
+    fn feature_vector_matches_names() {
+        let m = metrics_for(0.5);
+        let v = m.feature_vector();
+        assert_eq!(v.len(), FEATURE_NAMES.len());
+        assert_eq!(v[0], m.instruction_count);
+        assert_eq!(v[4], m.runtime_seconds);
+        assert_eq!(v[12], m.memory_used_fraction);
+    }
+
+    #[test]
+    fn averaging_across_runs_smooths_noise() {
+        let engine = Engine::new(SocConfig::snapdragon_888(), 0).unwrap();
+        let mut p = Profiler::new(engine, 10);
+        let mut d = Demand::idle();
+        d.cpu = CpuDemand::single_thread(0.8);
+        let w = ConstantWorkload::new("avg", 5.0, d);
+        let caps = p.capture(&w);
+        let avg = BenchmarkMetrics::from_captures(&caps);
+        let singles: Vec<f64> = caps
+            .iter()
+            .map(|c| BenchmarkMetrics::from_captures(std::slice::from_ref(c)).instruction_count)
+            .collect();
+        let manual = singles.iter().sum::<f64>() / singles.len() as f64;
+        assert!((avg.instruction_count - manual).abs() / manual < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one capture")]
+    fn empty_captures_panic() {
+        BenchmarkMetrics::from_captures(&[]);
+    }
+}

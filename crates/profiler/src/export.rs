@@ -1,0 +1,111 @@
+//! CSV export of time series and metric tables.
+
+use crate::capture::{Capture, SeriesKey};
+use crate::derive::{BenchmarkMetrics, FEATURE_NAMES};
+
+/// Render several named series from one capture as CSV: a `time_s` column
+/// followed by one column per series key.
+pub fn series_csv(capture: &Capture, keys: &[SeriesKey]) -> String {
+    let mut out = String::from("time_s");
+    for key in keys {
+        out.push(',');
+        out.push_str(&key.name());
+    }
+    out.push('\n');
+    let series: Vec<_> = keys.iter().map(|&k| capture.series(k)).collect();
+    let n = series.first().map(|s| s.len()).unwrap_or(0);
+    for i in 0..n {
+        let t = i as f64 * capture.trace().tick_seconds;
+        out.push_str(&format!("{t:.3}"));
+        for s in &series {
+            out.push_str(&format!(",{:.6}", s.values[i]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a table of benchmark metrics as CSV: one row per benchmark with
+/// the 13 feature columns (plus name, peak memory and storage busy).
+pub fn metrics_csv(metrics: &[BenchmarkMetrics]) -> String {
+    let mut out = String::from("name");
+    for f in FEATURE_NAMES {
+        out.push(',');
+        out.push_str(f);
+    }
+    out.push_str(",memory_peak_mib,storage_busy\n");
+    for m in metrics {
+        out.push_str(&escape(&m.name));
+        for v in m.feature_vector() {
+            out.push_str(&format!(",{v:.6}"));
+        }
+        out.push_str(&format!(",{:.3},{:.6}\n", m.memory_peak_mib, m.storage_busy));
+    }
+    out
+}
+
+/// Quote a CSV field if it contains separators or quotes.
+fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capture::Profiler;
+    use mwc_soc::config::SocConfig;
+    use mwc_soc::cpu::CpuDemand;
+    use mwc_soc::engine::Engine;
+    use mwc_soc::workload::{ConstantWorkload, Demand};
+
+    fn capture() -> Capture {
+        let engine = Engine::new(SocConfig::snapdragon_888(), 0).unwrap();
+        let mut p = Profiler::new(engine, 1);
+        let mut d = Demand::idle();
+        d.cpu = CpuDemand::single_thread(0.7);
+        p.capture_runs(&ConstantWorkload::new("csv-test", 1.0, d), 1)
+            .remove(0)
+    }
+
+    #[test]
+    fn series_csv_has_header_and_rows() {
+        let cap = capture();
+        let csv = series_csv(&cap, &[SeriesKey::CpuLoad, SeriesKey::Ipc]);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "time_s,cpu.load,cpu.ipc");
+        assert_eq!(csv.lines().count(), 11, "header + 10 ticks");
+        let first = lines.next().unwrap();
+        assert_eq!(first.split(',').count(), 3);
+    }
+
+    #[test]
+    fn metrics_csv_round_trip_columns() {
+        let cap = capture();
+        let m = BenchmarkMetrics::from_captures(std::slice::from_ref(&cap));
+        let csv = metrics_csv(std::slice::from_ref(&m));
+        let header = csv.lines().next().unwrap();
+        assert_eq!(header.split(',').count(), 1 + FEATURE_NAMES.len() + 2);
+        let row = csv.lines().nth(1).unwrap();
+        assert!(row.starts_with("csv-test,"));
+        assert_eq!(row.split(',').count(), header.split(',').count());
+    }
+
+    #[test]
+    fn escape_quotes_commas() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a,b"), "\"a,b\"");
+        assert_eq!(escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn empty_keys_produce_time_only() {
+        let cap = capture();
+        let csv = series_csv(&cap, &[]);
+        assert_eq!(csv.lines().next().unwrap(), "time_s");
+        assert_eq!(csv.lines().count(), 1, "no data columns, no rows");
+    }
+}

@@ -1,0 +1,32 @@
+//! # mwc-profiler — a sampling profiler for the simulated SoC
+//!
+//! The simulated stand-in for Qualcomm's Snapdragon Profiler as the paper
+//! uses it (§IV-A): it turns a running system into named per-metric time
+//! series and benchmark-level aggregate metrics.
+//!
+//! * [`metric`] — the capture-tool metric registry (190+ hardware
+//!   performance metrics across CPU, GPU, AIE, memory and system
+//!   categories, mirroring the real tool's real-time view);
+//! * [`timeseries`] — time series with normalization and resampling;
+//! * [`capture`] — capture sessions: run a workload `n` times (the paper
+//!   runs everything thrice) and collect per-run counter traces;
+//! * [`baseline`] — idle-baseline measurement and subtraction for memory
+//!   (the paper's Limitations §IV-A item 3);
+//! * [`derive`] — derived benchmark-level metrics (IC, IPC, cache MPKI,
+//!   branch MPKI, runtime, per-component loads) averaged across runs;
+//! * [`export`] — CSV export of series and metric tables.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod baseline;
+pub mod capture;
+pub mod derive;
+pub mod export;
+pub mod metric;
+pub mod timeseries;
+
+pub use capture::{Capture, Profiler, SeriesKey};
+pub use derive::BenchmarkMetrics;
+pub use timeseries::TimeSeries;

@@ -1,0 +1,214 @@
+//! Uniformly sampled time series with the transformations the paper's
+//! temporal analysis needs (normalization to `[0, 1]`, resampling onto a
+//! normalized time axis, run averaging).
+
+/// A uniformly sampled time series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    /// Sampling period in seconds.
+    pub tick_seconds: f64,
+    /// Sample values, one per tick.
+    pub values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Build a series from values sampled every `tick_seconds`.
+    pub fn new(tick_seconds: f64, values: Vec<f64>) -> Self {
+        TimeSeries {
+            tick_seconds,
+            values,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the series has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Series duration in seconds.
+    pub fn duration_seconds(&self) -> f64 {
+        self.len() as f64 * self.tick_seconds
+    }
+
+    /// Arithmetic mean (0 for an empty series).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().sum::<f64>() / self.len() as f64
+    }
+
+    /// Maximum (0 for an empty series).
+    pub fn max(&self) -> f64 {
+        self.values.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Minimum (0 for an empty series).
+    pub fn min(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Normalize values into `[0, 1]` against external bounds — the paper
+    /// normalizes each metric against the highest/lowest value recorded
+    /// *across all benchmarks*, not per series (§V-B).
+    pub fn normalized_against(&self, lo: f64, hi: f64) -> TimeSeries {
+        let span = hi - lo;
+        let values = if span <= 0.0 {
+            vec![0.0; self.len()]
+        } else {
+            self.values.iter().map(|v| ((v - lo) / span).clamp(0.0, 1.0)).collect()
+        };
+        TimeSeries::new(self.tick_seconds, values)
+    }
+
+    /// Resample onto `bins` equal slices of normalized execution time by
+    /// averaging the samples in each slice. Empty series resample to zeros.
+    pub fn resample(&self, bins: usize) -> TimeSeries {
+        assert!(bins > 0, "bins must be positive");
+        if self.values.is_empty() {
+            return TimeSeries::new(self.tick_seconds, vec![0.0; bins]);
+        }
+        let n = self.len();
+        let mut out = Vec::with_capacity(bins);
+        for b in 0..bins {
+            let start = b * n / bins;
+            let end = (((b + 1) * n).div_ceil(bins)).min(n).max(start + 1);
+            let slice = &self.values[start..end.min(n)];
+            out.push(slice.iter().sum::<f64>() / slice.len() as f64);
+        }
+        TimeSeries::new(self.duration_seconds() / bins as f64, out)
+    }
+
+    /// Fraction of samples strictly above `threshold`.
+    pub fn fraction_above(&self, threshold: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().filter(|&&v| v > threshold).count() as f64 / self.len() as f64
+    }
+
+    /// Element-wise mean of several same-length series (the paper averages
+    /// three runs of every benchmark). Panics on ragged or empty input.
+    pub fn average(series: &[TimeSeries]) -> TimeSeries {
+        assert!(!series.is_empty(), "need at least one series");
+        let n = series[0].len();
+        assert!(
+            series.iter().all(|s| s.len() == n),
+            "series must have equal length"
+        );
+        let values = (0..n)
+            .map(|i| series.iter().map(|s| s.values[i]).sum::<f64>() / series.len() as f64)
+            .collect();
+        TimeSeries::new(series[0].tick_seconds, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(values: Vec<f64>) -> TimeSeries {
+        TimeSeries::new(0.1, values)
+    }
+
+    #[test]
+    fn basic_stats() {
+        let s = ts(vec![1.0, 2.0, 3.0]);
+        assert!((s.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(s.max(), 3.0);
+        assert_eq!(s.min(), 1.0);
+        assert!((s.duration_seconds() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_series_stats() {
+        let s = ts(vec![]);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn normalize_against_global_bounds() {
+        let s = ts(vec![5.0, 10.0, 15.0]);
+        let n = s.normalized_against(0.0, 20.0);
+        assert_eq!(n.values, vec![0.25, 0.5, 0.75]);
+    }
+
+    #[test]
+    fn normalize_clamps_out_of_bounds() {
+        let s = ts(vec![-5.0, 25.0]);
+        let n = s.normalized_against(0.0, 20.0);
+        assert_eq!(n.values, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn normalize_zero_span_yields_zeros() {
+        let s = ts(vec![3.0, 3.0]);
+        assert_eq!(s.normalized_against(3.0, 3.0).values, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn resample_downsamples_by_averaging() {
+        let s = ts(vec![1.0, 1.0, 3.0, 3.0]);
+        let r = s.resample(2);
+        assert_eq!(r.values, vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn resample_preserves_mean_for_divisible_bins() {
+        let s = ts((0..100).map(|i| i as f64).collect());
+        let r = s.resample(10);
+        assert!((r.mean() - s.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resample_upsampling_repeats() {
+        let s = ts(vec![1.0, 2.0]);
+        let r = s.resample(4);
+        assert_eq!(r.len(), 4);
+        assert!((r.mean() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resample_empty_is_zeros() {
+        let r = ts(vec![]).resample(3);
+        assert_eq!(r.values, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn fraction_above_threshold() {
+        let s = ts(vec![0.2, 0.6, 0.8, 0.4]);
+        assert!((s.fraction_above(0.5) - 0.5).abs() < 1e-12);
+        assert_eq!(ts(vec![]).fraction_above(0.5), 0.0);
+    }
+
+    #[test]
+    fn average_of_runs() {
+        let a = ts(vec![1.0, 2.0]);
+        let b = ts(vec![3.0, 4.0]);
+        let avg = TimeSeries::average(&[a, b]);
+        assert_eq!(avg.values, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn average_ragged_panics() {
+        TimeSeries::average(&[ts(vec![1.0]), ts(vec![1.0, 2.0])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn average_empty_panics() {
+        TimeSeries::average(&[]);
+    }
+}

@@ -1,0 +1,100 @@
+//! Text dendrograms (the Figure 5 rendering).
+//!
+//! Renders an agglomerative merge history as an indented tree: leaves are
+//! labelled, internal nodes show the merge distance.
+
+/// One merge of a dendrogram: node ids `a` and `b` (leaves are `0..n`,
+/// internal nodes `n..`) fused at `distance`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MergeRow {
+    /// First fused node id.
+    pub a: usize,
+    /// Second fused node id.
+    pub b: usize,
+    /// Fusion distance.
+    pub distance: f64,
+}
+
+/// Render a dendrogram as an indented text tree. `labels` names the `n`
+/// leaves; `merges` holds `n − 1` rows in fusion order.
+pub fn render(labels: &[String], merges: &[MergeRow]) -> String {
+    let n = labels.len();
+    assert!(
+        merges.len() + 1 == n || (n == 0 && merges.is_empty()),
+        "need n-1 merges for n leaves"
+    );
+    if n == 0 {
+        return String::new();
+    }
+    let root = n + merges.len() - 1;
+    let mut out = String::new();
+    render_node(root.max(n.saturating_sub(1)), labels, merges, 0, &mut out);
+    out
+}
+
+fn render_node(node: usize, labels: &[String], merges: &[MergeRow], depth: usize, out: &mut String) {
+    let indent = "  ".repeat(depth);
+    let n = labels.len();
+    if node < n {
+        out.push_str(&format!("{indent}- {}\n", labels[node]));
+    } else {
+        let merge = merges[node - n];
+        out.push_str(&format!("{indent}+ (d={:.3})\n", merge.distance));
+        render_node(merge.a, labels, merges, depth + 1, out);
+        render_node(merge.b, labels, merges, depth + 1, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_leaf() {
+        let s = render(&["only".into()], &[]);
+        assert_eq!(s, "- only\n");
+    }
+
+    #[test]
+    fn two_leaves_one_merge() {
+        let s = render(
+            &["a".into(), "b".into()],
+            &[MergeRow {
+                a: 0,
+                b: 1,
+                distance: 1.5,
+            }],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "+ (d=1.500)");
+        assert_eq!(lines[1], "  - a");
+        assert_eq!(lines[2], "  - b");
+    }
+
+    #[test]
+    fn nested_merges_indent() {
+        // ((a, b), c)
+        let s = render(
+            &["a".into(), "b".into(), "c".into()],
+            &[
+                MergeRow { a: 0, b: 1, distance: 1.0 },
+                MergeRow { a: 3, b: 2, distance: 2.0 },
+            ],
+        );
+        assert!(s.contains("+ (d=2.000)"));
+        assert!(s.contains("  + (d=1.000)"));
+        assert!(s.contains("    - a"));
+        assert!(s.contains("  - c"));
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        assert_eq!(render(&[], &[]), "");
+    }
+
+    #[test]
+    #[should_panic(expected = "n-1 merges")]
+    fn wrong_merge_count_panics() {
+        render(&["a".into(), "b".into()], &[]);
+    }
+}

@@ -1,0 +1,21 @@
+//! # mwc-report — plain-text rendering for tables and figures
+//!
+//! The paper's tables and figures are regenerated as terminal output:
+//! aligned ASCII tables ([`table`]), Unicode sparklines for time series
+//! ([`sparkline`]), quantized heat rows for the load-level maps of
+//! Figure 3 ([`heat`]), text dendrograms for Figure 5 ([`dendro`]) and
+//! multi-series ASCII line charts for Figures 4 and 7 ([`chart`]).
+//! No plotting dependencies; everything renders to `String`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod chart;
+pub mod dendro;
+pub mod heat;
+pub mod sparkline;
+pub mod table;
+
+pub use sparkline::sparkline;
+pub use table::Table;

@@ -1,0 +1,64 @@
+//! Unicode sparklines for time series (the text rendering of Figure 2).
+
+/// The eight block glyphs a sparkline quantizes into.
+const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Render values (assumed in `[0, 1]`; clamped otherwise) as a sparkline.
+pub fn sparkline(values: &[f64]) -> String {
+    values
+        .iter()
+        .map(|&v| {
+            let v = v.clamp(0.0, 1.0);
+            let idx = ((v * 8.0) as usize).min(7);
+            BLOCKS[idx]
+        })
+        .collect()
+}
+
+/// Render a labelled sparkline row with its mean, as the Figure 2 panels
+/// do ("dash lines show the average values"): `label  ▁▃█▆  avg=0.42`.
+pub fn labelled_sparkline(label: &str, values: &[f64], label_width: usize) -> String {
+    let mean = if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    };
+    format!("{label:<label_width$}  {}  avg={mean:.2}", sparkline(values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extremes_map_to_extreme_blocks() {
+        let s = sparkline(&[0.0, 1.0]);
+        assert_eq!(s, "▁█");
+    }
+
+    #[test]
+    fn monotone_input_monotone_glyphs() {
+        let values: Vec<f64> = (0..8).map(|i| i as f64 / 7.0).collect();
+        let s: Vec<char> = sparkline(&values).chars().collect();
+        for w in s.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn out_of_range_clamped() {
+        assert_eq!(sparkline(&[-5.0, 5.0]), "▁█");
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn labelled_row_contains_mean() {
+        let row = labelled_sparkline("gpu", &[0.5, 0.5], 10);
+        assert!(row.starts_with("gpu"));
+        assert!(row.ends_with("avg=0.50"));
+    }
+}

@@ -1,0 +1,207 @@
+//! Composition of cache levels into the SoC hierarchy.
+
+use super::level::{CacheConfig, CacheLevel};
+
+/// Memory behaviour of an instruction stream, as seen by the cache model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryProfile {
+    /// Size of the stream's working set in KiB.
+    pub working_set_kib: f64,
+    /// Access locality in `[0, 1]`; see [`CacheLevel::miss_ratio`].
+    pub locality: f64,
+    /// Data-memory accesses per thousand instructions (loads + stores).
+    pub accesses_per_kilo_instr: f64,
+}
+
+impl MemoryProfile {
+    /// A profile that never touches memory (pure register compute).
+    pub fn compute_only() -> Self {
+        MemoryProfile {
+            working_set_kib: 0.0,
+            locality: 1.0,
+            accesses_per_kilo_instr: 0.0,
+        }
+    }
+}
+
+/// Misses per kilo-instruction observed at each level for one stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MissBreakdown {
+    /// Misses per kilo-instruction in the private L1 data cache.
+    pub l1_mpki: f64,
+    /// Misses per kilo-instruction in the private L2.
+    pub l2_mpki: f64,
+    /// Misses per kilo-instruction in the shared L3.
+    pub l3_mpki: f64,
+    /// Misses per kilo-instruction in the system-level cache.
+    pub slc_mpki: f64,
+}
+
+impl MissBreakdown {
+    /// Aggregate misses across every level, per kilo-instruction.
+    ///
+    /// This is the paper's "Cache MPKI" definition: *"We capture the misses
+    /// across all levels of the cache hierarchy"* (§V-A).
+    pub fn total_mpki(&self) -> f64 {
+        self.l1_mpki + self.l2_mpki + self.l3_mpki + self.slc_mpki
+    }
+
+    /// Accesses that fall through to DRAM, per kilo-instruction.
+    pub fn dram_apki(&self) -> f64 {
+        self.slc_mpki
+    }
+}
+
+/// The full cache hierarchy seen by one CPU core: private L1D and L2 plus
+/// the shared L3 and system-level cache.
+///
+/// The shared levels are subject to contention from other SoC agents
+/// (GPU textures, AIE buffers); call [`set_shared_contention`] each
+/// simulation tick before querying [`misses`].
+///
+/// [`set_shared_contention`]: CacheHierarchy::set_shared_contention
+/// [`misses`]: CacheHierarchy::misses
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    l1d: CacheLevel,
+    l2: CacheLevel,
+    l3: CacheLevel,
+    slc: CacheLevel,
+}
+
+impl CacheHierarchy {
+    /// Assemble the hierarchy for a core with the given private caches and
+    /// the platform's shared caches.
+    pub fn new(l1d_kib: u32, l2_kib: u32, l3: CacheConfig, slc: CacheConfig) -> Self {
+        CacheHierarchy {
+            l1d: CacheLevel::new(CacheConfig::new("L1D", l1d_kib)),
+            l2: CacheLevel::new(CacheConfig::new("L2", l2_kib)),
+            l3: CacheLevel::new(l3),
+            slc: CacheLevel::new(slc),
+        }
+    }
+
+    /// Declare the capacity (KiB) of the shared levels occupied by other
+    /// SoC agents for the current interval. `l3_kib` applies to the L3,
+    /// `slc_kib` to the system-level cache.
+    pub fn set_shared_contention(&mut self, l3_kib: f64, slc_kib: f64) {
+        self.l3.set_contention(l3_kib);
+        self.slc.set_contention(slc_kib);
+    }
+
+    /// Per-level misses for a stream with the given memory profile.
+    ///
+    /// Each level's *global* miss ratio is evaluated against the stream's
+    /// working set; the level's observed misses are exactly the accesses
+    /// that overflow its (effective) capacity, so deeper levels see
+    /// monotonically fewer misses.
+    pub fn misses(&self, profile: &MemoryProfile) -> MissBreakdown {
+        let apki = profile.accesses_per_kilo_instr.max(0.0);
+        if apki == 0.0 {
+            return MissBreakdown::default();
+        }
+        let ws = profile.working_set_kib;
+        let loc = profile.locality;
+        let g_l1 = self.l1d.miss_ratio(ws, loc);
+        // A stream cannot miss more in a larger, deeper cache than in a
+        // smaller one; clamp to preserve inclusion monotonicity even under
+        // heavy shared-cache contention.
+        let g_l2 = self.l2.miss_ratio(ws, loc).min(g_l1);
+        let g_l3 = self.l3.miss_ratio(ws, loc).min(g_l2);
+        let g_slc = self.slc.miss_ratio(ws, loc).min(g_l3);
+        MissBreakdown {
+            l1_mpki: apki * g_l1,
+            l2_mpki: apki * g_l2,
+            l3_mpki: apki * g_l3,
+            slc_mpki: apki * g_slc,
+        }
+    }
+
+    /// The shared L3 level (for inspection in tests and reports).
+    pub fn l3(&self) -> &CacheLevel {
+        &self.l3
+    }
+
+    /// The system-level cache (for inspection in tests and reports).
+    pub fn slc(&self) -> &CacheLevel {
+        &self.slc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big_core_hierarchy() -> CacheHierarchy {
+        CacheHierarchy::new(64, 1024, CacheConfig::new("L3", 4096), CacheConfig::new("SLC", 3072))
+    }
+
+    fn profile(ws: f64, apki: f64) -> MemoryProfile {
+        MemoryProfile {
+            working_set_kib: ws,
+            locality: 0.6,
+            accesses_per_kilo_instr: apki,
+        }
+    }
+
+    #[test]
+    fn compute_only_has_no_misses() {
+        let h = big_core_hierarchy();
+        let b = h.misses(&MemoryProfile::compute_only());
+        assert_eq!(b.total_mpki(), 0.0);
+        assert_eq!(b.dram_apki(), 0.0);
+    }
+
+    #[test]
+    fn deeper_levels_never_miss_more() {
+        let h = big_core_hierarchy();
+        for ws in [16.0, 128.0, 2048.0, 8192.0, 100_000.0] {
+            let b = h.misses(&profile(ws, 300.0));
+            assert!(b.l1_mpki >= b.l2_mpki, "ws={ws}");
+            assert!(b.l2_mpki >= b.l3_mpki, "ws={ws}");
+            assert!(b.l3_mpki >= b.slc_mpki, "ws={ws}");
+        }
+    }
+
+    #[test]
+    fn l1_resident_stream_mostly_hits() {
+        let h = big_core_hierarchy();
+        let b = h.misses(&profile(32.0, 300.0));
+        assert!(b.total_mpki() < 5.0, "got {}", b.total_mpki());
+    }
+
+    #[test]
+    fn dram_bound_stream_misses_everywhere() {
+        let h = big_core_hierarchy();
+        let b = h.misses(&MemoryProfile {
+            working_set_kib: 1_000_000.0,
+            locality: 0.05,
+            accesses_per_kilo_instr: 400.0,
+        });
+        assert!(b.slc_mpki > 50.0, "expected heavy DRAM traffic, got {b:?}");
+    }
+
+    #[test]
+    fn gpu_contention_raises_cpu_misses() {
+        let mut h = big_core_hierarchy();
+        let ws = 5000.0; // fits in L3+margin but not under contention
+        let before = h.misses(&profile(ws, 300.0));
+        h.set_shared_contention(3500.0, 2500.0);
+        let after = h.misses(&profile(ws, 300.0));
+        assert!(
+            after.total_mpki() > before.total_mpki(),
+            "contention must raise total MPKI ({} vs {})",
+            after.total_mpki(),
+            before.total_mpki()
+        );
+        assert!(after.l3_mpki > before.l3_mpki);
+    }
+
+    #[test]
+    fn misses_scale_with_access_rate() {
+        let h = big_core_hierarchy();
+        let low = h.misses(&profile(8192.0, 100.0));
+        let high = h.misses(&profile(8192.0, 400.0));
+        assert!((high.total_mpki() / low.total_mpki() - 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,194 @@
+//! A single cache level and its analytic miss-ratio curve.
+
+/// Static description of one cache level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheConfig {
+    /// Display name ("L1D", "L2", "L3", "SLC", ...).
+    pub name: String,
+    /// Capacity in KiB.
+    pub size_kib: u32,
+}
+
+impl CacheConfig {
+    /// Create a cache level description.
+    pub fn new(name: impl Into<String>, size_kib: u32) -> Self {
+        CacheConfig {
+            name: name.into(),
+            size_kib,
+        }
+    }
+
+    /// Validate the configuration, returning a human-readable description
+    /// of the problem on failure.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.size_kib == 0 {
+            return Err(format!("cache '{}' has zero size", self.name));
+        }
+        Ok(())
+    }
+}
+
+/// Runtime model of one cache level.
+///
+/// The model is an analytic miss-ratio curve: given the working-set size of
+/// the access stream that reaches this level and its locality, it returns
+/// the fraction of those accesses that miss.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheLevel {
+    config: CacheConfig,
+    /// Capacity currently stolen by other agents (e.g. GPU textures in a
+    /// shared cache), in KiB.
+    stolen_kib: f64,
+}
+
+/// Fraction of accesses that always miss (cold/compulsory misses and
+/// coherence traffic), even for cache-resident working sets.
+const COMPULSORY_MISS_RATIO: f64 = 0.002;
+
+/// Spatial-reuse factor: accesses are word-granular but caches fetch whole
+/// lines, so even a pure streaming pass hits on the remaining words of
+/// each fetched line. Scales the capacity-miss term of the curve.
+const SPATIAL_REUSE_FACTOR: f64 = 0.30;
+
+impl CacheLevel {
+    /// Build the runtime model for a cache level.
+    pub fn new(config: CacheConfig) -> Self {
+        CacheLevel {
+            config,
+            stolen_kib: 0.0,
+        }
+    }
+
+    /// The static configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Capacity in KiB effectively available after contention.
+    pub fn effective_kib(&self) -> f64 {
+        // A sliver of capacity always remains usable: replacement policies
+        // never let one agent monopolize the array entirely.
+        (f64::from(self.config.size_kib) - self.stolen_kib).max(f64::from(self.config.size_kib) * 0.1)
+    }
+
+    /// Declare that `kib` KiB of this cache are occupied by another agent
+    /// for the current interval (e.g. GPU texture residency in L3/SLC).
+    pub fn set_contention(&mut self, kib: f64) {
+        self.stolen_kib = kib.max(0.0);
+    }
+
+    /// Current contention in KiB.
+    pub fn contention_kib(&self) -> f64 {
+        self.stolen_kib
+    }
+
+    /// Miss ratio for an access stream with the given working set (KiB) and
+    /// locality in `[0, 1]` (1.0 = perfectly reusable accesses, 0.0 =
+    /// streaming with no reuse).
+    ///
+    /// The curve has the standard working-set shape:
+    /// * working set ≤ effective capacity ⇒ only the compulsory floor;
+    /// * beyond capacity the miss ratio rises towards `1 - locality·r`
+    ///   following the spilled fraction of the working set.
+    pub fn miss_ratio(&self, working_set_kib: f64, locality: f64) -> f64 {
+        let locality = locality.clamp(0.0, 1.0);
+        let capacity = self.effective_kib();
+        if working_set_kib <= 0.0 {
+            return 0.0;
+        }
+        if working_set_kib <= capacity {
+            return COMPULSORY_MISS_RATIO;
+        }
+        // Fraction of the working set that does not fit.
+        let spill = 1.0 - capacity / working_set_kib;
+        // High-locality streams keep their hot subset resident, so spilling
+        // hurts them less; streaming workloads miss on nearly every spilled
+        // access.
+        let ceiling = 1.0 - 0.85 * locality;
+        (COMPULSORY_MISS_RATIO
+            + spill.powf(1.0 + 2.0 * locality) * ceiling * SPATIAL_REUSE_FACTOR)
+            .min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l3() -> CacheLevel {
+        CacheLevel::new(CacheConfig::new("L3", 4096))
+    }
+
+    #[test]
+    fn fitting_working_set_only_compulsory() {
+        let c = l3();
+        assert_eq!(c.miss_ratio(1024.0, 0.8), COMPULSORY_MISS_RATIO);
+        assert_eq!(c.miss_ratio(4096.0, 0.8), COMPULSORY_MISS_RATIO);
+    }
+
+    #[test]
+    fn zero_working_set_never_misses() {
+        assert_eq!(l3().miss_ratio(0.0, 0.5), 0.0);
+    }
+
+    #[test]
+    fn miss_ratio_monotone_in_working_set() {
+        let c = l3();
+        let mut last = 0.0;
+        for ws in [4096.0, 8192.0, 16384.0, 65536.0, 262_144.0] {
+            let m = c.miss_ratio(ws, 0.6);
+            assert!(m >= last, "miss ratio must grow with working set");
+            last = m;
+        }
+    }
+
+    #[test]
+    fn locality_reduces_misses() {
+        let c = l3();
+        let streaming = c.miss_ratio(32768.0, 0.0);
+        let friendly = c.miss_ratio(32768.0, 0.9);
+        assert!(streaming > friendly);
+    }
+
+    #[test]
+    fn miss_ratio_bounded() {
+        let c = l3();
+        for ws in [1.0, 1e3, 1e6, 1e9] {
+            for loc in [0.0, 0.3, 0.7, 1.0] {
+                let m = c.miss_ratio(ws, loc);
+                assert!((0.0..=1.0).contains(&m), "miss ratio {m} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn contention_shrinks_effective_capacity_and_raises_misses() {
+        let mut c = l3();
+        let before = c.miss_ratio(6000.0, 0.5);
+        c.set_contention(3000.0);
+        assert!(c.effective_kib() < 4096.0);
+        let after = c.miss_ratio(6000.0, 0.5);
+        assert!(after > before);
+    }
+
+    #[test]
+    fn contention_floor_keeps_ten_percent() {
+        let mut c = l3();
+        c.set_contention(1e9);
+        assert!((c.effective_kib() - 409.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_contention_clamped() {
+        let mut c = l3();
+        c.set_contention(-5.0);
+        assert_eq!(c.contention_kib(), 0.0);
+        assert_eq!(c.effective_kib(), 4096.0);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(CacheConfig::new("ok", 1).validate().is_ok());
+        assert!(CacheConfig::new("bad", 0).validate().is_err());
+    }
+}

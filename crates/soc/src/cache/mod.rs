@@ -1,0 +1,24 @@
+//! Multi-level cache hierarchy with analytic working-set miss curves.
+//!
+//! The simulator does not model individual memory accesses; instead every
+//! cache level exposes an analytic miss-ratio curve derived from the classic
+//! working-set model: accesses that fit in the cache hit (beyond a small
+//! compulsory floor), and the miss ratio grows with the fraction of the
+//! working set that spills past the cache, shaped by the access locality of
+//! the workload.
+//!
+//! Two SoC-level effects central to the paper are captured here:
+//!
+//! * **Shared-cache contention** — GPU texture traffic occupies space in the
+//!   shared L3/system-level cache, shrinking the capacity effectively
+//!   available to the CPU. The paper attributes the low IPC of graphics
+//!   benchmarks to exactly this effect (§V-A).
+//! * **All-level miss aggregation** — the paper's "Cache MPKI" counts misses
+//!   across every level of the hierarchy; [`CacheHierarchy::misses`] returns
+//!   the same aggregate alongside per-level values.
+
+mod hierarchy;
+mod level;
+
+pub use hierarchy::{CacheHierarchy, MemoryProfile, MissBreakdown};
+pub use level::{CacheConfig, CacheLevel};

@@ -1,0 +1,223 @@
+//! Hardware-counter samples emitted by the engine.
+//!
+//! The engine produces one [`TickSample`] per tick — the simulated
+//! equivalent of one Snapdragon-Profiler real-time capture row. A whole run
+//! is a [`Trace`].
+
+use crate::config::ClusterKind;
+
+/// Per-cluster counters for one tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterSample {
+    /// Which cluster this row describes.
+    pub kind: ClusterKind,
+    /// Mean core utilization in `[0, 1]`.
+    pub utilization: f64,
+    /// Operating frequency in MHz.
+    pub frequency_mhz: f64,
+    /// The paper's CPU Load metric (frequency × utilization, normalized to
+    /// the cluster's maximum frequency), in `[0, 1]`.
+    pub load: f64,
+    /// Instructions retired by the cluster this tick.
+    pub instructions: f64,
+    /// Active cycles spent this tick.
+    pub cycles: f64,
+}
+
+/// All counters for one tick.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TickSample {
+    /// Wall-clock time of the sample, in seconds since run start.
+    pub time_s: f64,
+    /// Per-cluster rows, in `SocConfig::clusters` order.
+    pub clusters: Vec<ClusterSample>,
+    /// Total instructions retired across all clusters this tick.
+    pub instructions: f64,
+    /// Total active CPU cycles across all clusters this tick.
+    pub cycles: f64,
+    /// Cache misses across all hierarchy levels this tick.
+    pub cache_misses: f64,
+    /// Branches executed this tick.
+    pub branches: f64,
+    /// Branch mispredictions this tick.
+    pub branch_misses: f64,
+    /// Accesses that reached DRAM this tick.
+    pub dram_accesses: f64,
+    /// GPU utilization in `[0, 1]` (0 if the platform has no GPU).
+    pub gpu_utilization: f64,
+    /// GPU frequency in MHz.
+    pub gpu_frequency_mhz: f64,
+    /// The paper's GPU Load metric in `[0, 1]`.
+    pub gpu_load: f64,
+    /// Fraction of the tick all shader cores were busy.
+    pub gpu_shaders_busy: f64,
+    /// Fraction of the tick the GPU↔memory bus was busy.
+    pub gpu_bus_busy: f64,
+    /// L1 texture-cache misses this tick (millions).
+    pub gpu_l1_texture_misses_m: f64,
+    /// AIE utilization in `[0, 1]` (0 if the platform has no AIE).
+    pub aie_utilization: f64,
+    /// AIE frequency in MHz.
+    pub aie_frequency_mhz: f64,
+    /// The paper's AIE Load metric in `[0, 1]`.
+    pub aie_load: f64,
+    /// Total used system memory (OS baseline included), in MiB.
+    pub memory_used_mib: f64,
+    /// Fraction of system memory in use, in `[0, 1]`.
+    pub memory_used_fraction: f64,
+    /// Memory-bus bandwidth utilization in `[0, 1]`.
+    pub memory_bandwidth_utilization: f64,
+    /// Storage-device busy fraction in `[0, 1]`.
+    pub storage_busy: f64,
+    /// Storage read throughput delivered, in MB/s.
+    pub storage_read_mbps: f64,
+    /// Storage write throughput delivered, in MB/s.
+    pub storage_write_mbps: f64,
+}
+
+/// A complete counter trace for one benchmark run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// Name of the workload that produced the trace.
+    pub workload: String,
+    /// Tick period in seconds.
+    pub tick_seconds: f64,
+    /// One sample per tick, in time order.
+    pub samples: Vec<TickSample>,
+}
+
+impl Trace {
+    /// Run duration in seconds.
+    pub fn duration_seconds(&self) -> f64 {
+        self.samples.len() as f64 * self.tick_seconds
+    }
+
+    /// Total dynamic instruction count of the run.
+    pub fn total_instructions(&self) -> f64 {
+        self.samples.iter().map(|s| s.instructions).sum()
+    }
+
+    /// Total active CPU cycles of the run.
+    pub fn total_cycles(&self) -> f64 {
+        self.samples.iter().map(|s| s.cycles).sum()
+    }
+
+    /// Run-level IPC: instructions over active cycles (0 for an idle run).
+    pub fn ipc(&self) -> f64 {
+        let cycles = self.total_cycles();
+        if cycles > 0.0 {
+            self.total_instructions() / cycles
+        } else {
+            0.0
+        }
+    }
+
+    /// Run-level all-level cache MPKI (0 for an idle run).
+    pub fn cache_mpki(&self) -> f64 {
+        let instr = self.total_instructions();
+        if instr > 0.0 {
+            self.samples.iter().map(|s| s.cache_misses).sum::<f64>() / instr * 1000.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Run-level branch MPKI (0 for an idle run).
+    pub fn branch_mpki(&self) -> f64 {
+        let instr = self.total_instructions();
+        if instr > 0.0 {
+            self.samples.iter().map(|s| s.branch_misses).sum::<f64>() / instr * 1000.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean of an arbitrary per-sample metric (0 for an empty trace).
+    pub fn mean_of(&self, f: impl Fn(&TickSample) -> f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(&f).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Maximum of an arbitrary per-sample metric (0 for an empty trace).
+    pub fn max_of(&self, f: impl Fn(&TickSample) -> f64) -> f64 {
+        self.samples.iter().map(&f).fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(instr: f64, cycles: f64) -> TickSample {
+        TickSample {
+            time_s: 0.0,
+            clusters: Vec::new(),
+            instructions: instr,
+            cycles,
+            cache_misses: instr / 100.0,
+            branches: instr / 5.0,
+            branch_misses: instr / 500.0,
+            dram_accesses: 0.0,
+            gpu_utilization: 0.5,
+            gpu_frequency_mhz: 400.0,
+            gpu_load: 0.25,
+            gpu_shaders_busy: 0.4,
+            gpu_bus_busy: 0.3,
+            gpu_l1_texture_misses_m: 0.0,
+            aie_utilization: 0.0,
+            aie_frequency_mhz: 300.0,
+            aie_load: 0.0,
+            memory_used_mib: 2000.0,
+            memory_used_fraction: 0.17,
+            memory_bandwidth_utilization: 0.2,
+            storage_busy: 0.0,
+            storage_read_mbps: 0.0,
+            storage_write_mbps: 0.0,
+        }
+    }
+
+    fn trace(n: usize) -> Trace {
+        Trace {
+            workload: "t".into(),
+            tick_seconds: 0.1,
+            samples: (0..n).map(|_| sample(1000.0, 800.0)).collect(),
+        }
+    }
+
+    #[test]
+    fn duration_from_tick_count() {
+        assert!((trace(50).duration_seconds() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregates() {
+        let t = trace(10);
+        assert!((t.total_instructions() - 10_000.0).abs() < 1e-9);
+        assert!((t.ipc() - 1.25).abs() < 1e-12);
+        assert!((t.cache_mpki() - 10.0).abs() < 1e-9);
+        assert!((t.branch_mpki() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_rates_are_zero() {
+        let t = Trace {
+            workload: "e".into(),
+            tick_seconds: 0.1,
+            samples: Vec::new(),
+        };
+        assert_eq!(t.ipc(), 0.0);
+        assert_eq!(t.cache_mpki(), 0.0);
+        assert_eq!(t.mean_of(|s| s.gpu_load), 0.0);
+    }
+
+    #[test]
+    fn mean_and_max_of() {
+        let mut t = trace(2);
+        t.samples[0].gpu_load = 0.2;
+        t.samples[1].gpu_load = 0.6;
+        assert!((t.mean_of(|s| s.gpu_load) - 0.4).abs() < 1e-12);
+        assert!((t.max_of(|s| s.gpu_load) - 0.6).abs() < 1e-12);
+    }
+}

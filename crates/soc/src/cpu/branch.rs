@@ -1,0 +1,94 @@
+//! Analytic branch-predictor model.
+
+/// A branch predictor characterized by a single quality figure.
+///
+/// Modern predictors (TAGE-like) mispredict a small base fraction of
+/// branches even on predictable code; data-dependent, high-entropy branches
+/// add mispredictions on top. The model combines the hardware quality
+/// (per-cluster, from [`crate::config::ClusterConfig`]) with the workload's
+/// branch predictability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BranchPredictor {
+    quality: f64,
+}
+
+impl BranchPredictor {
+    /// Build a predictor with quality in `[0, 1]` (1.0 = perfect).
+    /// Out-of-range values are clamped.
+    pub fn new(quality: f64) -> Self {
+        BranchPredictor {
+            quality: quality.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Hardware quality figure.
+    pub fn quality(&self) -> f64 {
+        self.quality
+    }
+
+    /// Fraction of executed branches that mispredict, for a workload whose
+    /// branches have the given predictability in `[0, 1]`.
+    pub fn mispredict_ratio(&self, predictability: f64) -> f64 {
+        let predictability = predictability.clamp(0.0, 1.0);
+        // Base hardware floor plus a workload-entropy term the predictor
+        // can only partially absorb.
+        let floor = (1.0 - self.quality) * 0.25;
+        let entropy = (1.0 - predictability) * (1.0 - 0.6 * self.quality);
+        (floor + entropy * 0.35).min(1.0)
+    }
+
+    /// Branch misses per kilo-instruction for a stream with
+    /// `branches_per_kilo_instr` branches of the given predictability.
+    pub fn branch_mpki(&self, branches_per_kilo_instr: f64, predictability: f64) -> f64 {
+        branches_per_kilo_instr.max(0.0) * self.mispredict_ratio(predictability)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictor_on_predictable_code() {
+        let p = BranchPredictor::new(1.0);
+        assert_eq!(p.mispredict_ratio(1.0), 0.0);
+        assert_eq!(p.branch_mpki(180.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn lower_quality_mispredicts_more() {
+        let good = BranchPredictor::new(0.97);
+        let bad = BranchPredictor::new(0.80);
+        assert!(bad.mispredict_ratio(0.9) > good.mispredict_ratio(0.9));
+    }
+
+    #[test]
+    fn entropy_raises_mispredictions() {
+        let p = BranchPredictor::new(0.95);
+        assert!(p.mispredict_ratio(0.2) > p.mispredict_ratio(0.95));
+    }
+
+    #[test]
+    fn ratio_bounded() {
+        for q in [0.0, 0.5, 1.0] {
+            for pr in [0.0, 0.5, 1.0] {
+                let r = BranchPredictor::new(q).mispredict_ratio(pr);
+                assert!((0.0..=1.0).contains(&r));
+            }
+        }
+    }
+
+    #[test]
+    fn quality_clamped() {
+        assert_eq!(BranchPredictor::new(7.0).quality(), 1.0);
+        assert_eq!(BranchPredictor::new(-1.0).quality(), 0.0);
+    }
+
+    #[test]
+    fn mpki_scales_with_branch_rate() {
+        let p = BranchPredictor::new(0.9);
+        let low = p.branch_mpki(100.0, 0.5);
+        let high = p.branch_mpki(200.0, 0.5);
+        assert!((high / low - 2.0).abs() < 1e-9);
+    }
+}

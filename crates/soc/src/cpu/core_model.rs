@@ -1,0 +1,109 @@
+//! Per-tick execution accounting for CPU cores.
+
+/// Counters produced by (part of) a CPU cluster during one tick.
+///
+/// All values are absolute event counts for the tick, not rates; the
+/// profiler converts them into IPC/MPKI-style metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CoreTick {
+    /// Dynamic instructions retired.
+    pub instructions: f64,
+    /// Active (non-idle) CPU cycles spent.
+    pub cycles: f64,
+    /// Cache misses summed over all hierarchy levels (the paper's
+    /// all-level miss count).
+    pub cache_misses: f64,
+    /// Misses that reached DRAM.
+    pub dram_accesses: f64,
+    /// Branch instructions executed.
+    pub branches: f64,
+    /// Branch mispredictions.
+    pub branch_misses: f64,
+}
+
+impl CoreTick {
+    /// Accumulate another tick's counters into this one.
+    pub fn add(&mut self, other: &CoreTick) {
+        self.instructions += other.instructions;
+        self.cycles += other.cycles;
+        self.cache_misses += other.cache_misses;
+        self.dram_accesses += other.dram_accesses;
+        self.branches += other.branches;
+        self.branch_misses += other.branch_misses;
+    }
+
+    /// Instructions per active cycle (0 when no cycles were spent).
+    pub fn ipc(&self) -> f64 {
+        if self.cycles > 0.0 {
+            self.instructions / self.cycles
+        } else {
+            0.0
+        }
+    }
+
+    /// All-level cache misses per kilo-instruction (0 when idle).
+    pub fn cache_mpki(&self) -> f64 {
+        if self.instructions > 0.0 {
+            self.cache_misses / self.instructions * 1000.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Branch misses per kilo-instruction (0 when idle).
+    pub fn branch_mpki(&self) -> f64 {
+        if self.instructions > 0.0 {
+            self.branch_misses / self.instructions * 1000.0
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_rates_are_zero() {
+        let t = CoreTick::default();
+        assert_eq!(t.ipc(), 0.0);
+        assert_eq!(t.cache_mpki(), 0.0);
+        assert_eq!(t.branch_mpki(), 0.0);
+    }
+
+    #[test]
+    fn add_accumulates_all_fields() {
+        let mut a = CoreTick {
+            instructions: 1000.0,
+            cycles: 2000.0,
+            cache_misses: 10.0,
+            dram_accesses: 2.0,
+            branches: 180.0,
+            branch_misses: 4.0,
+        };
+        let b = a;
+        a.add(&b);
+        assert_eq!(a.instructions, 2000.0);
+        assert_eq!(a.cycles, 4000.0);
+        assert_eq!(a.cache_misses, 20.0);
+        assert_eq!(a.dram_accesses, 4.0);
+        assert_eq!(a.branches, 360.0);
+        assert_eq!(a.branch_misses, 8.0);
+    }
+
+    #[test]
+    fn derived_rates() {
+        let t = CoreTick {
+            instructions: 10_000.0,
+            cycles: 8_000.0,
+            cache_misses: 50.0,
+            dram_accesses: 5.0,
+            branches: 1800.0,
+            branch_misses: 20.0,
+        };
+        assert!((t.ipc() - 1.25).abs() < 1e-12);
+        assert!((t.cache_mpki() - 5.0).abs() < 1e-12);
+        assert!((t.branch_mpki() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,211 @@
+//! Analytic pipeline model: cycles-per-instruction as a CPI stack.
+//!
+//! `CPI = CPI_base(mix, ILP, width) + CPI_memory(misses) + CPI_branch`
+//!
+//! The base term models issue-width utilization; the memory term charges
+//! each cache level's misses with that level's incremental latency,
+//! discounted by memory-level parallelism; the branch term charges
+//! mispredictions with the pipeline refill penalty.
+
+use crate::cache::MissBreakdown;
+use crate::config::ClusterKind;
+use crate::cpu::InstructionMix;
+
+/// Per-cluster pipeline timing parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineModel {
+    /// Sustainable micro-op issue width.
+    pub issue_width: f64,
+    /// Pipeline refill penalty on a branch mispredict, in cycles.
+    pub branch_penalty: f64,
+    /// L1-miss (L2 hit) latency in cycles.
+    pub l2_latency: f64,
+    /// L2-miss (L3 hit) latency in cycles.
+    pub l3_latency: f64,
+    /// L3-miss (SLC hit) latency in cycles.
+    pub slc_latency: f64,
+    /// SLC-miss (DRAM) latency in cycles.
+    pub dram_latency: f64,
+}
+
+impl PipelineModel {
+    /// Timing parameters typical for each cluster kind of a 2021-era
+    /// flagship SoC, with the given issue width from the configuration.
+    pub fn for_cluster(kind: ClusterKind, issue_width: f64) -> Self {
+        match kind {
+            ClusterKind::Big => PipelineModel {
+                issue_width,
+                branch_penalty: 14.0,
+                l2_latency: 13.0,
+                l3_latency: 38.0,
+                slc_latency: 52.0,
+                dram_latency: 170.0,
+            },
+            ClusterKind::Mid => PipelineModel {
+                issue_width,
+                branch_penalty: 12.0,
+                l2_latency: 11.0,
+                l3_latency: 34.0,
+                slc_latency: 48.0,
+                dram_latency: 150.0,
+            },
+            ClusterKind::Little => PipelineModel {
+                issue_width,
+                branch_penalty: 8.0,
+                l2_latency: 9.0,
+                l3_latency: 30.0,
+                slc_latency: 42.0,
+                dram_latency: 120.0,
+            },
+        }
+    }
+
+    /// Base CPI from issue-width utilization: a thread with ILP 1.0 fills
+    /// the whole width; with ILP 0.0 it issues one instruction per cycle.
+    /// FP and SIMD work has longer latencies and fills the width less
+    /// efficiently.
+    pub fn base_cpi(&self, mix: &InstructionMix, ilp: f64) -> f64 {
+        let ilp = ilp.clamp(0.0, 1.0);
+        let effective_width = 1.0 + (self.issue_width - 1.0) * ilp;
+        let class_cost = 1.0 + 0.35 * mix.fp_ops + 0.20 * mix.simd_ops;
+        class_cost / effective_width
+    }
+
+    /// Memory-stall CPI for the given per-level misses. Memory-level
+    /// parallelism (proportional to ILP on out-of-order cores) overlaps a
+    /// fraction of the latency.
+    pub fn memory_cpi(&self, misses: &MissBreakdown, ilp: f64) -> f64 {
+        let ilp = ilp.clamp(0.0, 1.0);
+        // Incremental latency charged at each level: an access that hits in
+        // L3 already paid the L2 probe, and so on.
+        let stall_per_kilo = misses.l1_mpki * self.l2_latency
+            + misses.l2_mpki * (self.l3_latency - self.l2_latency)
+            + misses.l3_mpki * (self.slc_latency - self.l3_latency)
+            + misses.slc_mpki * (self.dram_latency - self.slc_latency);
+        let mlp_discount = 1.0 - 0.70 * ilp;
+        stall_per_kilo / 1000.0 * mlp_discount
+    }
+
+    /// Branch-stall CPI for the given branch misses per kilo-instruction.
+    pub fn branch_cpi(&self, branch_mpki: f64) -> f64 {
+        branch_mpki.max(0.0) / 1000.0 * self.branch_penalty
+    }
+
+    /// Total CPI of a thread on this pipeline.
+    pub fn total_cpi(
+        &self,
+        mix: &InstructionMix,
+        ilp: f64,
+        misses: &MissBreakdown,
+        branch_mpki: f64,
+    ) -> f64 {
+        self.base_cpi(mix, ilp) + self.memory_cpi(misses, ilp) + self.branch_cpi(branch_mpki)
+    }
+
+    /// Convenience inverse of [`total_cpi`](Self::total_cpi).
+    pub fn ipc(
+        &self,
+        mix: &InstructionMix,
+        ilp: f64,
+        misses: &MissBreakdown,
+        branch_mpki: f64,
+    ) -> f64 {
+        1.0 / self.total_cpi(mix, ilp, misses, branch_mpki)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_misses() -> MissBreakdown {
+        MissBreakdown::default()
+    }
+
+    #[test]
+    fn big_core_peak_ipc_approaches_width() {
+        // The paper notes the Cortex-X1 tops out at a theoretical IPC of 8.
+        let p = PipelineModel::for_cluster(ClusterKind::Big, 8.0);
+        let mix = InstructionMix::integer();
+        let ipc = p.ipc(&mix, 1.0, &no_misses(), 0.0);
+        assert!(ipc > 7.0 && ipc <= 8.0, "peak IPC {ipc}");
+    }
+
+    #[test]
+    fn little_core_is_slower_than_big() {
+        let big = PipelineModel::for_cluster(ClusterKind::Big, 8.0);
+        let little = PipelineModel::for_cluster(ClusterKind::Little, 2.0);
+        let mix = InstructionMix::integer();
+        assert!(big.ipc(&mix, 0.6, &no_misses(), 1.0) > little.ipc(&mix, 0.6, &no_misses(), 1.0));
+    }
+
+    #[test]
+    fn misses_lower_ipc() {
+        let p = PipelineModel::for_cluster(ClusterKind::Big, 8.0);
+        let mix = InstructionMix::memory_bound();
+        let clean = p.ipc(&mix, 0.5, &no_misses(), 0.0);
+        let missy = MissBreakdown {
+            l1_mpki: 60.0,
+            l2_mpki: 40.0,
+            l3_mpki: 25.0,
+            slc_mpki: 20.0,
+        };
+        let dirty = p.ipc(&mix, 0.5, &missy, 0.0);
+        assert!(dirty < clean * 0.5, "heavy misses must at least halve IPC");
+    }
+
+    #[test]
+    fn branch_misses_lower_ipc() {
+        let p = PipelineModel::for_cluster(ClusterKind::Mid, 4.0);
+        let mix = InstructionMix::integer();
+        let clean = p.ipc(&mix, 0.5, &no_misses(), 0.0);
+        let dirty = p.ipc(&mix, 0.5, &no_misses(), 20.0);
+        assert!(dirty < clean);
+    }
+
+    #[test]
+    fn fp_mix_costs_more_than_integer() {
+        let p = PipelineModel::for_cluster(ClusterKind::Big, 8.0);
+        assert!(
+            p.base_cpi(&InstructionMix::floating_point(), 0.5)
+                > p.base_cpi(&InstructionMix::integer(), 0.5)
+        );
+    }
+
+    #[test]
+    fn mlp_discount_softens_memory_stalls() {
+        let p = PipelineModel::for_cluster(ClusterKind::Big, 8.0);
+        let misses = MissBreakdown {
+            l1_mpki: 30.0,
+            l2_mpki: 20.0,
+            l3_mpki: 10.0,
+            slc_mpki: 8.0,
+        };
+        assert!(p.memory_cpi(&misses, 0.9) < p.memory_cpi(&misses, 0.1));
+    }
+
+    #[test]
+    fn zero_ilp_single_issue() {
+        let p = PipelineModel::for_cluster(ClusterKind::Little, 2.0);
+        // A mix with no FP/SIMD class cost issues exactly one instruction
+        // per cycle when no ILP is exploitable.
+        let pure_int = InstructionMix::new(0.6, 0.0, 0.0, 0.3, 0.1);
+        let cpi = p.base_cpi(&pure_int, 0.0);
+        assert!((cpi - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cpi_stack_is_additive() {
+        let p = PipelineModel::for_cluster(ClusterKind::Mid, 4.0);
+        let mix = InstructionMix::simd();
+        let misses = MissBreakdown {
+            l1_mpki: 10.0,
+            l2_mpki: 5.0,
+            l3_mpki: 2.0,
+            slc_mpki: 1.0,
+        };
+        let total = p.total_cpi(&mix, 0.4, &misses, 5.0);
+        let parts = p.base_cpi(&mix, 0.4) + p.memory_cpi(&misses, 0.4) + p.branch_cpi(5.0);
+        assert!((total - parts).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,53 @@
+//! Error types for SoC configuration and simulation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while validating a SoC configuration or running a
+/// simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SocError {
+    /// A configuration field is invalid (empty cluster list, zero-sized
+    /// cache, inverted frequency range, ...). The payload describes the
+    /// offending field.
+    InvalidConfig(String),
+    /// A workload declared a non-positive duration.
+    InvalidDuration(String),
+    /// A demand referenced a component the configuration does not have
+    /// (e.g. AIE demand on a SoC built without an AIE).
+    MissingComponent(String),
+}
+
+impl fmt::Display for SocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SocError::InvalidConfig(what) => write!(f, "invalid SoC configuration: {what}"),
+            SocError::InvalidDuration(what) => write!(f, "invalid workload duration: {what}"),
+            SocError::MissingComponent(what) => write!(f, "missing SoC component: {what}"),
+        }
+    }
+}
+
+impl Error for SocError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_field() {
+        let err = SocError::InvalidConfig("cluster list is empty".to_owned());
+        assert!(err.to_string().contains("cluster list is empty"));
+        let err = SocError::InvalidDuration("-1".to_owned());
+        assert!(err.to_string().contains("duration"));
+        let err = SocError::MissingComponent("aie".to_owned());
+        assert!(err.to_string().contains("aie"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_error<E: Error>(_e: E) {}
+        takes_error(SocError::InvalidConfig(String::new()));
+    }
+}

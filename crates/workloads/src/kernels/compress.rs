@@ -1,0 +1,172 @@
+//! LZ-style compression kernel (the "Text Compression" class of workloads
+//! in Geekbench's developer/productivity sections).
+//!
+//! A miniature LZ77 with a fixed sliding window: greedy longest-match
+//! search, `(offset, length)` back-references and literal passthrough.
+//! Exact and lossless, with the classic engine character — branchy match
+//! loops over a window-sized hot set.
+
+use mwc_soc::cpu::{InstructionMix, ThreadDemand};
+
+/// Sliding-window size in bytes.
+pub const WINDOW: usize = 4096;
+
+/// Minimum match length worth encoding as a back-reference.
+const MIN_MATCH: usize = 3;
+
+/// Maximum encodable match length.
+const MAX_MATCH: usize = 255;
+
+/// One compressed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Token {
+    /// A raw byte.
+    Literal(u8),
+    /// Copy `length` bytes starting `offset` bytes back.
+    Reference {
+        /// Distance back into the already-decoded stream (≥ 1).
+        offset: u16,
+        /// Number of bytes to copy (≥ [`MIN_MATCH`]).
+        length: u8,
+    },
+}
+
+/// Compress a byte slice into a token stream.
+pub fn compress(data: &[u8]) -> Vec<Token> {
+    let mut out = Vec::new();
+    let mut pos = 0;
+    while pos < data.len() {
+        let window_start = pos.saturating_sub(WINDOW);
+        let mut best_len = 0usize;
+        let mut best_off = 0usize;
+        for start in window_start..pos {
+            let mut len = 0;
+            while len < MAX_MATCH
+                && pos + len < data.len()
+                && data[start + len] == data[pos + len]
+            {
+                len += 1;
+            }
+            if len > best_len {
+                best_len = len;
+                best_off = pos - start;
+            }
+        }
+        if best_len >= MIN_MATCH {
+            out.push(Token::Reference {
+                offset: best_off as u16,
+                length: best_len as u8,
+            });
+            pos += best_len;
+        } else {
+            out.push(Token::Literal(data[pos]));
+            pos += 1;
+        }
+    }
+    out
+}
+
+/// Decompress a token stream. Exact inverse of [`compress`].
+pub fn decompress(tokens: &[Token]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for &t in tokens {
+        match t {
+            Token::Literal(b) => out.push(b),
+            Token::Reference { offset, length } => {
+                let start = out.len() - offset as usize;
+                for i in 0..length as usize {
+                    out.push(out[start + i]);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Compressed size in bytes, counting literals as 1 and references as 3.
+pub fn compressed_size(tokens: &[Token]) -> usize {
+    tokens
+        .iter()
+        .map(|t| match t {
+            Token::Literal(_) => 1,
+            Token::Reference { .. } => 3,
+        })
+        .sum()
+}
+
+/// CPU demand of a compression worker thread.
+///
+/// Derivation: the match loop is integer comparison over a window-sized
+/// hot set (good locality within the window, a few MB of stream beyond),
+/// with data-dependent match/literal branches that predictors struggle on;
+/// the greedy scan serializes, limiting ILP. Parameters match the
+/// developer-workload profile used by the Geekbench 6 model.
+pub fn thread_demand(intensity: f64) -> ThreadDemand {
+    let mut t = ThreadDemand::new(intensity);
+    t.mix = InstructionMix::integer();
+    t.working_set_kib = 3072.0;
+    t.locality = 0.7;
+    t.ilp = 0.65;
+    t.branch_predictability = 0.8;
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_repetitive_text() {
+        let data = b"the quick brown fox. the quick brown fox! the quick brown fox?".to_vec();
+        let tokens = compress(&data);
+        assert_eq!(decompress(&tokens), data);
+        assert!(
+            compressed_size(&tokens) < data.len(),
+            "repetitive input must shrink: {} vs {}",
+            compressed_size(&tokens),
+            data.len()
+        );
+    }
+
+    #[test]
+    fn roundtrip_incompressible_bytes() {
+        // A linear-congruential byte stream with no 3-byte repeats nearby.
+        let data: Vec<u8> = (0u32..600).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        let tokens = compress(&data);
+        assert_eq!(decompress(&tokens), data);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(compress(b"").is_empty());
+        assert!(decompress(&[]).is_empty());
+    }
+
+    #[test]
+    fn long_runs_use_references() {
+        let data = vec![7u8; 500];
+        let tokens = compress(&data);
+        assert!(tokens.len() < 20, "a run compresses to a few tokens, got {}", tokens.len());
+        assert_eq!(decompress(&tokens), data);
+        assert!(matches!(tokens[1], Token::Reference { offset: 1, .. }),
+            "run encoding uses the overlapping-copy trick");
+    }
+
+    #[test]
+    fn references_never_exceed_the_window() {
+        let mut data = b"abcdefgh".repeat(1200); // ~9.6 KiB, > WINDOW
+        data.extend_from_slice(b"abcdefgh");
+        for t in compress(&data) {
+            if let Token::Reference { offset, .. } = t {
+                assert!((offset as usize) <= WINDOW);
+            }
+        }
+    }
+
+    #[test]
+    fn demand_matches_developer_profile() {
+        let d = thread_demand(0.9);
+        assert!(d.branch_predictability < 0.85, "match/literal branches are hard");
+        assert_eq!(d.working_set_kib, 3072.0);
+    }
+}

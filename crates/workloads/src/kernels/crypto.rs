@@ -1,0 +1,131 @@
+//! Cryptography kernels: XTEA block cipher and CRC-32.
+//!
+//! Geekbench 5 CPU dedicates one of its three sections to cryptography
+//! (§III); Antutu UX includes "data security" workloads. XTEA is a compact,
+//! fully specified block cipher with an exact inverse, and CRC-32 models
+//! the table-driven integrity checks common in these tests.
+
+use mwc_soc::cpu::{InstructionMix, ThreadDemand};
+
+/// Number of Feistel rounds in standard XTEA.
+pub const XTEA_ROUNDS: u32 = 32;
+
+const DELTA: u32 = 0x9E37_79B9;
+
+/// Encrypt one 64-bit block with a 128-bit key.
+pub fn xtea_encrypt(block: [u32; 2], key: &[u32; 4]) -> [u32; 2] {
+    let [mut v0, mut v1] = block;
+    let mut sum = 0u32;
+    for _ in 0..XTEA_ROUNDS {
+        v0 = v0.wrapping_add(
+            (((v1 << 4) ^ (v1 >> 5)).wrapping_add(v1))
+                ^ (sum.wrapping_add(key[(sum & 3) as usize])),
+        );
+        sum = sum.wrapping_add(DELTA);
+        v1 = v1.wrapping_add(
+            (((v0 << 4) ^ (v0 >> 5)).wrapping_add(v0))
+                ^ (sum.wrapping_add(key[((sum >> 11) & 3) as usize])),
+        );
+    }
+    [v0, v1]
+}
+
+/// Decrypt one 64-bit block with a 128-bit key. Exact inverse of
+/// [`xtea_encrypt`].
+pub fn xtea_decrypt(block: [u32; 2], key: &[u32; 4]) -> [u32; 2] {
+    let [mut v0, mut v1] = block;
+    let mut sum = DELTA.wrapping_mul(XTEA_ROUNDS);
+    for _ in 0..XTEA_ROUNDS {
+        v1 = v1.wrapping_sub(
+            (((v0 << 4) ^ (v0 >> 5)).wrapping_add(v0))
+                ^ (sum.wrapping_add(key[((sum >> 11) & 3) as usize])),
+        );
+        sum = sum.wrapping_sub(DELTA);
+        v0 = v0.wrapping_sub(
+            (((v1 << 4) ^ (v1 >> 5)).wrapping_add(v1))
+                ^ (sum.wrapping_add(key[(sum & 3) as usize])),
+        );
+    }
+    [v0, v1]
+}
+
+/// CRC-32 (IEEE 802.3, reflected) of a byte stream.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc ^= u32::from(byte);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// CPU demand of a crypto worker.
+///
+/// Derivation: XTEA/CRC rounds are pure integer shift/xor/add chains — a
+/// tiny register-resident working set, no FP, long dependency chains (each
+/// round feeds the next, low ILP) and perfectly predictable counted loops.
+pub fn thread_demand(intensity: f64) -> ThreadDemand {
+    ThreadDemand {
+        intensity: intensity.clamp(0.0, 1.0),
+        mix: InstructionMix::new(0.62, 0.00, 0.05, 0.25, 0.08),
+        working_set_kib: 32.0,
+        locality: 0.95,
+        ilp: 0.4,
+        branch_predictability: 0.99,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEY: [u32; 4] = [0x0123_4567, 0x89AB_CDEF, 0xFEDC_BA98, 0x7654_3210];
+
+    #[test]
+    fn xtea_roundtrip() {
+        for block in [[0u32, 0u32], [1, 2], [0xDEAD_BEEF, 0xCAFE_BABE], [u32::MAX, u32::MAX]] {
+            let enc = xtea_encrypt(block, &KEY);
+            assert_ne!(enc, block, "encryption must change the block");
+            assert_eq!(xtea_decrypt(enc, &KEY), block);
+        }
+    }
+
+    #[test]
+    fn xtea_key_sensitivity() {
+        let block = [42u32, 43u32];
+        let mut other_key = KEY;
+        other_key[0] ^= 1;
+        assert_ne!(xtea_encrypt(block, &KEY), xtea_encrypt(block, &other_key));
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The canonical check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn crc32_empty_is_zero() {
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flip() {
+        let a = b"the quick brown fox".to_vec();
+        let mut b = a.clone();
+        b[3] ^= 0x10;
+        assert_ne!(crc32(&a), crc32(&b));
+    }
+
+    #[test]
+    fn demand_is_integer_register_bound() {
+        let d = thread_demand(1.0);
+        assert!(d.mix.int_ops > 0.5);
+        assert_eq!(d.mix.fp_ops, 0.0);
+        assert!(d.working_set_kib <= 64.0, "crypto state fits in L1");
+        assert!(d.branch_predictability > 0.95);
+    }
+}

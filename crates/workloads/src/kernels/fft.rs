@@ -1,0 +1,143 @@
+//! Radix-2 Cooley–Tukey fast Fourier transform.
+//!
+//! FFTs appear twice in the paper: in Antutu CPU's mathematical-function
+//! section and in 3DMark Wild Life's post-processing, both of which also
+//! drive AIE load (Observation #5).
+
+use std::f64::consts::PI;
+
+use mwc_soc::cpu::{InstructionMix, ThreadDemand};
+
+/// In-place radix-2 decimation-in-time FFT over interleaved complex pairs
+/// `(re, im)`. `inverse` selects the inverse transform (including the
+/// `1/n` scaling).
+///
+/// # Panics
+/// Panics unless `data.len()` is a power of two (number of complex points).
+pub fn fft(data: &mut [(f64, f64)], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        for start in (0..n).step_by(len) {
+            let (mut cr, mut ci) = (1.0f64, 0.0f64);
+            for k in 0..len / 2 {
+                let (ar, ai) = data[start + k];
+                let (br, bi) = data[start + k + len / 2];
+                let (tr, ti) = (br * cr - bi * ci, br * ci + bi * cr);
+                data[start + k] = (ar + tr, ai + ti);
+                data[start + k + len / 2] = (ar - tr, ai - ti);
+                let next_cr = cr * wr - ci * wi;
+                ci = cr * wi + ci * wr;
+                cr = next_cr;
+            }
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let scale = 1.0 / n as f64;
+        for v in data.iter_mut() {
+            v.0 *= scale;
+            v.1 *= scale;
+        }
+    }
+}
+
+/// CPU demand of an FFT worker over `n` complex points.
+///
+/// Derivation: butterflies are FP multiply-adds with strided access; the
+/// bit-reversed permutation hurts locality relative to GEMM, and the
+/// data-dependent strides limit ILP somewhat.
+pub fn thread_demand(n: usize, intensity: f64) -> ThreadDemand {
+    ThreadDemand {
+        intensity: intensity.clamp(0.0, 1.0),
+        mix: InstructionMix::new(0.14, 0.40, 0.06, 0.34, 0.06),
+        working_set_kib: (n * 16) as f64 / 1024.0,
+        locality: 0.65,
+        ilp: 0.7,
+        branch_predictability: 0.97,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_recovers_signal() {
+        let n = 256;
+        let original: Vec<(f64, f64)> =
+            (0..n).map(|i| ((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos())).collect();
+        let mut data = original.clone();
+        fft(&mut data, false);
+        fft(&mut data, true);
+        for (a, b) in data.iter().zip(&original) {
+            assert!((a.0 - b.0).abs() < 1e-9);
+            assert!((a.1 - b.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat_spectrum() {
+        let mut data = vec![(0.0, 0.0); 8];
+        data[0] = (1.0, 0.0);
+        fft(&mut data, false);
+        for (re, im) in data {
+            assert!((re - 1.0).abs() < 1e-12);
+            assert!(im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_tone_peaks_at_its_bin() {
+        let n = 64;
+        let freq = 5;
+        let mut data: Vec<(f64, f64)> = (0..n)
+            .map(|i| {
+                let phase = 2.0 * PI * freq as f64 * i as f64 / n as f64;
+                (phase.cos(), 0.0)
+            })
+            .collect();
+        fft(&mut data, false);
+        let mags: Vec<f64> = data.iter().map(|(r, i)| (r * r + i * i).sqrt()).collect();
+        let peak = mags
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!(peak == freq || peak == n - freq, "peak at bin {peak}");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let mut data = vec![(0.0, 0.0); 12];
+        fft(&mut data, false);
+    }
+
+    #[test]
+    fn demand_reflects_fft_character() {
+        let d = thread_demand(4096, 0.8);
+        assert!(d.mix.fp_ops > 0.3);
+        assert!(d.locality < 0.75, "bit-reversal hurts locality");
+        assert!((d.working_set_kib - 64.0).abs() < 1e-9);
+    }
+}

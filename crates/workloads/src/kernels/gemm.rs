@@ -1,0 +1,86 @@
+//! General matrix multiplication (GEMM).
+//!
+//! The paper notes Antutu CPU opens with *"a general matrix multiplication
+//! (GEMM) routine, commonly used in benchmarks due to its intensity"* and
+//! that efficient GEMM routines are multi-threaded (§V-B, Observation #1).
+
+use mwc_soc::cpu::{InstructionMix, ThreadDemand};
+
+/// Row-major `C = A × B` for square `n × n` matrices.
+///
+/// Panics if any slice is shorter than `n²`.
+pub fn gemm(n: usize, a: &[f64], b: &[f64], c: &mut [f64]) {
+    assert!(a.len() >= n * n && b.len() >= n * n && c.len() >= n * n);
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for k in 0..n {
+                acc += a[i * n + k] * b[k * n + j];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+}
+
+/// The working-set size (KiB) of an `n × n` f64 GEMM: three matrices.
+pub fn working_set_kib(n: usize) -> f64 {
+    (3 * n * n * 8) as f64 / 1024.0
+}
+
+/// CPU demand of one GEMM worker thread on an `n × n` problem.
+///
+/// Derivation: the inner loop is one FMA plus two loads per iteration — an
+/// FP-dominated mix with high ILP (independent dot products), excellent
+/// branch predictability (counted loops) and blocked-access locality.
+pub fn thread_demand(n: usize, intensity: f64) -> ThreadDemand {
+    ThreadDemand {
+        intensity: intensity.clamp(0.0, 1.0),
+        mix: InstructionMix::new(0.10, 0.42, 0.08, 0.36, 0.04),
+        working_set_kib: working_set_kib(n),
+        locality: 0.85,
+        ilp: 0.85,
+        branch_predictability: 0.99,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiplies_identity() {
+        let n = 4;
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            a[i * n + i] = 1.0;
+        }
+        let b: Vec<f64> = (0..n * n).map(|i| i as f64).collect();
+        let mut c = vec![0.0; n * n];
+        gemm(n, &a, &b, &mut c);
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn known_2x2_product() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [5.0, 6.0, 7.0, 8.0];
+        let mut c = [0.0; 4];
+        gemm(2, &a, &b, &mut c);
+        assert_eq!(c, [19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn working_set_scales_quadratically() {
+        assert!((working_set_kib(64) - 96.0).abs() < 1e-9);
+        assert!((working_set_kib(128) / working_set_kib(64) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn demand_is_fp_heavy_with_high_ilp() {
+        let d = thread_demand(256, 1.0);
+        assert!(d.mix.fp_ops > d.mix.int_ops);
+        assert!(d.ilp > 0.8);
+        assert!(d.branch_predictability > 0.95);
+        assert!((d.working_set_kib - working_set_kib(256)).abs() < 1e-9);
+    }
+}

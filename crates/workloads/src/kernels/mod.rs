@@ -1,0 +1,28 @@
+//! Reference mini-kernels.
+//!
+//! The commercial benchmarks are closed source, but the algorithms they
+//! advertise are classics: Antutu CPU runs GEMM, FFT and PNG decoding;
+//! Geekbench runs compression, crypto and ML inference; 3DMark Slingshot
+//! runs a multi-threaded rigid-body physics test; GFXBench Special compares
+//! frames by PSNR; Antutu UX decodes H.264/H.265/VP9/AV1 video.
+//!
+//! This module implements *working* miniature versions of those kernels.
+//! They serve two purposes:
+//!
+//! 1. they are executable and unit-tested, grounding the demand parameters
+//!    in real algorithmic behaviour rather than guesses;
+//! 2. each exposes a `thread_demand()` (or equivalent) that converts the
+//!    kernel's measured character — instruction-class ratios, working-set
+//!    size, branchiness, exploitable ILP — into the
+//!    [`mwc_soc::cpu::ThreadDemand`] the suite models feed the simulator.
+
+pub mod compress;
+pub mod crypto;
+pub mod fft;
+pub mod gemm;
+pub mod nn;
+pub mod physics;
+pub mod png;
+pub mod raytrace;
+pub mod psnr;
+pub mod video;

@@ -1,0 +1,188 @@
+//! Neural-network inference kernel (a small dense MLP).
+//!
+//! Aitutu is built around AI workloads — image classification, object
+//! detection and super resolution (§III); Geekbench 6 adds machine-learning
+//! sections. The computational core of all of them is matrix-vector
+//! multiply-accumulate followed by a nonlinearity; this module implements
+//! exactly that as a miniature fixed-topology MLP.
+
+use mwc_soc::cpu::{InstructionMix, ThreadDemand};
+
+/// One fully connected layer: `y = relu(W·x + b)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseLayer {
+    /// Input width.
+    pub inputs: usize,
+    /// Output width.
+    pub outputs: usize,
+    /// Row-major weights, `outputs × inputs`.
+    pub weights: Vec<f64>,
+    /// Bias per output.
+    pub bias: Vec<f64>,
+}
+
+impl DenseLayer {
+    /// Build a layer with deterministic pseudo-random weights (useful for
+    /// repeatable tests and benchmarks).
+    pub fn seeded(inputs: usize, outputs: usize, seed: u64) -> Self {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        DenseLayer {
+            inputs,
+            outputs,
+            weights: (0..inputs * outputs).map(|_| next() * 0.5).collect(),
+            bias: (0..outputs).map(|_| next() * 0.1).collect(),
+        }
+    }
+
+    /// Forward pass with ReLU activation.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != inputs`.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.inputs, "input width mismatch");
+        (0..self.outputs)
+            .map(|o| {
+                let dot: f64 = self.weights[o * self.inputs..(o + 1) * self.inputs]
+                    .iter()
+                    .zip(x)
+                    .map(|(w, v)| w * v)
+                    .sum();
+                (dot + self.bias[o]).max(0.0)
+            })
+            .collect()
+    }
+}
+
+/// A stack of dense layers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    /// The layers, in forward order.
+    pub layers: Vec<DenseLayer>,
+}
+
+impl Mlp {
+    /// A deterministic classifier-shaped MLP: `widths[0]` inputs through
+    /// hidden layers to `widths.last()` outputs.
+    ///
+    /// # Panics
+    /// Panics if fewer than two widths are given.
+    pub fn seeded(widths: &[usize], seed: u64) -> Self {
+        assert!(widths.len() >= 2, "need input and output widths");
+        let layers = widths
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| DenseLayer::seeded(w[0], w[1], seed.wrapping_add(i as u64)))
+            .collect();
+        Mlp { layers }
+    }
+
+    /// Forward pass through every layer.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        self.layers.iter().fold(x.to_vec(), |acc, l| l.forward(&acc))
+    }
+
+    /// Index of the largest output (the predicted class).
+    pub fn classify(&self, x: &[f64]) -> usize {
+        self.forward(x)
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite activations"))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Total parameter count.
+    pub fn parameters(&self) -> usize {
+        self.layers.iter().map(|l| l.weights.len() + l.bias.len()).sum()
+    }
+}
+
+/// CPU demand of an NN-inference worker running a model with
+/// `params` parameters (when it executes on the CPU rather than the AIE).
+///
+/// Derivation: inference is dense FP multiply-accumulate streaming through
+/// the weight matrix once per input — SIMD-friendly, high ILP, working set
+/// equal to the weights, trivially predictable loops.
+pub fn thread_demand(params: usize, intensity: f64) -> ThreadDemand {
+    ThreadDemand {
+        intensity: intensity.clamp(0.0, 1.0),
+        mix: InstructionMix::new(0.08, 0.34, 0.30, 0.22, 0.06),
+        working_set_kib: (params * 8) as f64 / 1024.0,
+        locality: 0.5,
+        ilp: 0.85,
+        branch_predictability: 0.92,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_forward_known_values() {
+        let layer = DenseLayer {
+            inputs: 2,
+            outputs: 2,
+            weights: vec![1.0, 0.0, 0.0, -1.0],
+            bias: vec![0.5, 0.0],
+        };
+        let y = layer.forward(&[2.0, 3.0]);
+        assert_eq!(y, vec![2.5, 0.0], "ReLU clamps the negative output");
+    }
+
+    #[test]
+    fn mlp_is_deterministic() {
+        let a = Mlp::seeded(&[16, 32, 10], 7);
+        let b = Mlp::seeded(&[16, 32, 10], 7);
+        let x: Vec<f64> = (0..16).map(|i| i as f64 / 16.0).collect();
+        assert_eq!(a.forward(&x), b.forward(&x));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Mlp::seeded(&[8, 8], 1);
+        let b = Mlp::seeded(&[8, 8], 2);
+        assert_ne!(a.layers[0].weights, b.layers[0].weights);
+    }
+
+    #[test]
+    fn classify_returns_valid_class() {
+        let mlp = Mlp::seeded(&[12, 24, 5], 3);
+        let x = vec![0.3; 12];
+        assert!(mlp.classify(&x) < 5);
+    }
+
+    #[test]
+    fn parameter_count() {
+        let mlp = Mlp::seeded(&[4, 3, 2], 0);
+        // (4×3 + 3) + (3×2 + 2) = 15 + 8 = 23.
+        assert_eq!(mlp.parameters(), 23);
+    }
+
+    #[test]
+    fn outputs_nonnegative_after_relu() {
+        let mlp = Mlp::seeded(&[6, 6, 6], 5);
+        let y = mlp.forward(&[-1.0, 2.0, -3.0, 4.0, -5.0, 6.0]);
+        assert!(y.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn wrong_input_width_panics() {
+        DenseLayer::seeded(4, 2, 0).forward(&[1.0]);
+    }
+
+    #[test]
+    fn demand_scales_with_model_size() {
+        let small = thread_demand(10_000, 1.0);
+        let large = thread_demand(1_000_000, 1.0);
+        assert!(large.working_set_kib > small.working_set_kib);
+        assert!(small.mix.simd_ops > 0.2, "inference is SIMD-heavy");
+    }
+}

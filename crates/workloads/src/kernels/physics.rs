@@ -1,0 +1,147 @@
+//! Rigid-body physics kernel (velocity-Verlet particle integration).
+//!
+//! 3DMark Slingshot's physics test *"measures CPU performance while
+//! minimizing the GPU workload"*, runs three successively more intensive
+//! levels, and is highly multi-threaded (§V-B, Observation #1). The kernel
+//! here is the standard game-physics inner loop: pairwise spring-repulsion
+//! forces integrated with velocity Verlet.
+
+use mwc_soc::cpu::{InstructionMix, ThreadDemand};
+
+/// A 2-D particle with position and velocity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Particle {
+    /// Position (x, y).
+    pub pos: (f64, f64),
+    /// Velocity (x, y).
+    pub vel: (f64, f64),
+}
+
+/// Advance a particle system one step of size `dt` under short-range
+/// repulsion (radius `r`, stiffness `k`). O(n²) pairwise interactions, as
+/// in an un-binned reference implementation.
+pub fn step(particles: &mut [Particle], dt: f64, r: f64, k: f64) {
+    let n = particles.len();
+    let mut forces = vec![(0.0f64, 0.0f64); n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = particles[j].pos.0 - particles[i].pos.0;
+            let dy = particles[j].pos.1 - particles[i].pos.1;
+            let dist2 = dx * dx + dy * dy;
+            if dist2 < r * r && dist2 > 1e-12 {
+                let dist = dist2.sqrt();
+                let overlap = r - dist;
+                let fx = -k * overlap * dx / dist;
+                let fy = -k * overlap * dy / dist;
+                forces[i].0 += fx;
+                forces[i].1 += fy;
+                forces[j].0 -= fx;
+                forces[j].1 -= fy;
+            }
+        }
+    }
+    for (p, f) in particles.iter_mut().zip(&forces) {
+        p.vel.0 += f.0 * dt;
+        p.vel.1 += f.1 * dt;
+        p.pos.0 += p.vel.0 * dt;
+        p.pos.1 += p.vel.1 * dt;
+    }
+}
+
+/// Total momentum of the system (conserved by the pairwise forces).
+pub fn momentum(particles: &[Particle]) -> (f64, f64) {
+    particles
+        .iter()
+        .fold((0.0, 0.0), |acc, p| (acc.0 + p.vel.0, acc.1 + p.vel.1))
+}
+
+/// CPU demand of one physics worker thread at the given simulation level
+/// (Slingshot's physics test has three successively more intensive levels,
+/// 0–2).
+///
+/// Derivation: pairwise force loops are FP-heavy with a distance-check
+/// branch per pair (moderately predictable — most pairs are far apart);
+/// particle arrays stream through cache with good locality; independent
+/// pair computations give decent ILP. Higher levels use more particles,
+/// growing the working set quadratically in interaction count.
+pub fn thread_demand(level: usize, intensity: f64) -> ThreadDemand {
+    let level = level.min(2);
+    ThreadDemand {
+        intensity: intensity.clamp(0.0, 1.0),
+        mix: InstructionMix::new(0.18, 0.38, 0.08, 0.26, 0.10),
+        working_set_kib: 512.0 * (level + 1) as f64,
+        locality: 0.75,
+        ilp: 0.7,
+        branch_predictability: 0.88,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n: usize, spacing: f64) -> Vec<Particle> {
+        (0..n)
+            .map(|i| Particle {
+                pos: ((i % 8) as f64 * spacing, (i / 8) as f64 * spacing),
+                vel: (0.0, 0.0),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn distant_particles_do_not_interact() {
+        let mut ps = grid(16, 100.0);
+        let before = ps.clone();
+        step(&mut ps, 0.01, 1.0, 10.0);
+        for (a, b) in ps.iter().zip(&before) {
+            assert_eq!(a.vel, b.vel, "no forces at long range");
+        }
+    }
+
+    #[test]
+    fn overlapping_particles_repel() {
+        let mut ps = vec![
+            Particle { pos: (0.0, 0.0), vel: (0.0, 0.0) },
+            Particle { pos: (0.5, 0.0), vel: (0.0, 0.0) },
+        ];
+        step(&mut ps, 0.01, 1.0, 100.0);
+        assert!(ps[0].vel.0 < 0.0, "left particle pushed left");
+        assert!(ps[1].vel.0 > 0.0, "right particle pushed right");
+    }
+
+    #[test]
+    fn momentum_is_conserved() {
+        let mut ps: Vec<Particle> = (0..30)
+            .map(|i| Particle {
+                pos: ((i as f64 * 0.37) % 3.0, (i as f64 * 0.73) % 3.0),
+                vel: ((i % 5) as f64 - 2.0, (i % 3) as f64 - 1.0),
+            })
+            .collect();
+        let before = momentum(&ps);
+        for _ in 0..50 {
+            step(&mut ps, 0.005, 1.0, 50.0);
+        }
+        let after = momentum(&ps);
+        assert!((before.0 - after.0).abs() < 1e-9);
+        assert!((before.1 - after.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn free_particle_moves_linearly() {
+        let mut ps = vec![Particle { pos: (0.0, 0.0), vel: (1.0, 2.0) }];
+        step(&mut ps, 0.5, 1.0, 10.0);
+        assert!((ps[0].pos.0 - 0.5).abs() < 1e-12);
+        assert!((ps[0].pos.1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn levels_grow_working_set() {
+        assert!(thread_demand(2, 1.0).working_set_kib > thread_demand(0, 1.0).working_set_kib);
+        // Level index clamps.
+        assert_eq!(
+            thread_demand(9, 1.0).working_set_kib,
+            thread_demand(2, 1.0).working_set_kib
+        );
+    }
+}

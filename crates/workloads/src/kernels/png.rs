@@ -1,0 +1,161 @@
+//! PNG scanline filtering (the compute core of PNG decoding).
+//!
+//! Antutu CPU includes a PNG-decoding test (§III); the paper also lists PNG
+//! decoding among the DSP-class tasks that raise AIE load (Observation #5).
+//! PNG's computational heart is the per-scanline predictive filter; this
+//! module implements filter types 0–4 of the PNG specification, including
+//! the Paeth predictor, for 1-byte-per-pixel scanlines.
+
+use mwc_soc::cpu::{InstructionMix, ThreadDemand};
+
+/// PNG scanline filter types (RFC 2083 §6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Filter {
+    /// No filtering.
+    None,
+    /// Difference to the previous byte.
+    Sub,
+    /// Difference to the byte above.
+    Up,
+    /// Difference to the average of left and above.
+    Average,
+    /// Difference to the Paeth predictor.
+    Paeth,
+}
+
+/// The Paeth predictor: whichever of left/above/upper-left is closest to
+/// `left + above − upper_left`.
+pub fn paeth_predictor(left: u8, above: u8, upper_left: u8) -> u8 {
+    let p = i32::from(left) + i32::from(above) - i32::from(upper_left);
+    let pa = (p - i32::from(left)).abs();
+    let pb = (p - i32::from(above)).abs();
+    let pc = (p - i32::from(upper_left)).abs();
+    if pa <= pb && pa <= pc {
+        left
+    } else if pb <= pc {
+        above
+    } else {
+        upper_left
+    }
+}
+
+/// Filter a scanline against the previous one (encode direction).
+pub fn filter_scanline(filter: Filter, current: &[u8], previous: &[u8]) -> Vec<u8> {
+    assert_eq!(current.len(), previous.len(), "scanlines must match");
+    (0..current.len())
+        .map(|i| {
+            let raw = current[i];
+            let left = if i > 0 { current[i - 1] } else { 0 };
+            let above = previous[i];
+            let upper_left = if i > 0 { previous[i - 1] } else { 0 };
+            let predicted = match filter {
+                Filter::None => 0,
+                Filter::Sub => left,
+                Filter::Up => above,
+                Filter::Average => ((u16::from(left) + u16::from(above)) / 2) as u8,
+                Filter::Paeth => paeth_predictor(left, above, upper_left),
+            };
+            raw.wrapping_sub(predicted)
+        })
+        .collect()
+}
+
+/// Reconstruct a filtered scanline (decode direction). The inverse of
+/// [`filter_scanline`].
+pub fn unfilter_scanline(filter: Filter, filtered: &[u8], previous: &[u8]) -> Vec<u8> {
+    assert_eq!(filtered.len(), previous.len(), "scanlines must match");
+    let mut out = Vec::with_capacity(filtered.len());
+    for i in 0..filtered.len() {
+        let left = if i > 0 { out[i - 1] } else { 0 };
+        let above = previous[i];
+        let upper_left = if i > 0 { previous[i - 1] } else { 0 };
+        let predicted = match filter {
+            Filter::None => 0,
+            Filter::Sub => left,
+            Filter::Up => above,
+            Filter::Average => ((u16::from(left) + u16::from(above)) / 2) as u8,
+            Filter::Paeth => paeth_predictor(left, above, upper_left),
+        };
+        out.push(filtered[i].wrapping_add(predicted));
+    }
+    out
+}
+
+/// CPU demand of a PNG-decode worker for a `width × height` 8-bit image.
+///
+/// Derivation: byte-wise integer arithmetic with data-dependent branches in
+/// the Paeth selector (poorly predictable on noisy images), strictly
+/// sequential scanline dependencies (low ILP) and streaming access over two
+/// scanlines plus the output (modest hot working set, good locality).
+pub fn thread_demand(width: usize, height: usize, intensity: f64) -> ThreadDemand {
+    ThreadDemand {
+        intensity: intensity.clamp(0.0, 1.0),
+        mix: InstructionMix::new(0.44, 0.00, 0.06, 0.32, 0.18),
+        working_set_kib: ((width * height) as f64 / 1024.0).min(8192.0),
+        locality: 0.8,
+        ilp: 0.35,
+        branch_predictability: 0.75,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FILTERS: [Filter; 5] =
+        [Filter::None, Filter::Sub, Filter::Up, Filter::Average, Filter::Paeth];
+
+    fn noisy_line(seed: u8, n: usize) -> Vec<u8> {
+        (0..n).map(|i| seed.wrapping_mul(31).wrapping_add((i * 97 % 251) as u8)).collect()
+    }
+
+    #[test]
+    fn filter_roundtrip_all_types() {
+        let prev = noisy_line(3, 64);
+        let cur = noisy_line(7, 64);
+        for f in FILTERS {
+            let filtered = filter_scanline(f, &cur, &prev);
+            let recovered = unfilter_scanline(f, &filtered, &prev);
+            assert_eq!(recovered, cur, "{f:?} roundtrip failed");
+        }
+    }
+
+    #[test]
+    fn paeth_predictor_spec_cases() {
+        // Exact ties prefer left, then above (per the PNG spec).
+        assert_eq!(paeth_predictor(10, 10, 10), 10);
+        assert_eq!(paeth_predictor(0, 255, 128), 128);
+        assert_eq!(paeth_predictor(100, 50, 50), 100);
+    }
+
+    #[test]
+    fn sub_filter_of_constant_line_is_mostly_zero() {
+        let prev = vec![0u8; 8];
+        let cur = vec![42u8; 8];
+        let filtered = filter_scanline(Filter::Sub, &cur, &prev);
+        assert_eq!(filtered[0], 42);
+        assert!(filtered[1..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn up_filter_of_repeated_line_is_zero() {
+        let prev = noisy_line(5, 16);
+        let filtered = filter_scanline(Filter::Up, &prev, &prev);
+        assert!(filtered.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn demand_reflects_integer_branchy_character() {
+        let d = thread_demand(1920, 1080, 1.0);
+        assert!(d.mix.int_ops > 0.4);
+        assert_eq!(d.mix.fp_ops, 0.0);
+        assert!(d.branch_predictability < 0.8, "Paeth branches are data-dependent");
+        assert!(d.ilp < 0.5, "scanline dependencies serialize decode");
+    }
+
+    #[test]
+    #[should_panic(expected = "scanlines must match")]
+    fn mismatched_scanlines_panic() {
+        filter_scanline(Filter::Up, &[1, 2], &[1]);
+    }
+}

@@ -1,0 +1,98 @@
+//! PSNR / MSE frame comparison.
+//!
+//! GFXBench's Special (render-quality) tests compare a rendered frame
+//! against a reference using the Peak-Signal-to-Noise-Ratio metric based on
+//! mean square error, in two precision tiers (§V-B, Observation #5); the
+//! paper attributes the tests' AIE-load spikes to this computation.
+
+use mwc_soc::cpu::{InstructionMix, ThreadDemand};
+
+/// Mean square error between two equal-length 8-bit frames.
+pub fn mse(a: &[u8], b: &[u8]) -> f64 {
+    assert_eq!(a.len(), b.len(), "frames must have equal size");
+    assert!(!a.is_empty(), "frames must be non-empty");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = f64::from(x) - f64::from(y);
+            d * d
+        })
+        .sum::<f64>()
+        / a.len() as f64
+}
+
+/// PSNR in dB for 8-bit frames; `f64::INFINITY` for identical frames.
+pub fn psnr(a: &[u8], b: &[u8]) -> f64 {
+    let e = mse(a, b);
+    if e == 0.0 {
+        return f64::INFINITY;
+    }
+    10.0 * (255.0f64 * 255.0 / e).log10()
+}
+
+/// CPU demand of a PSNR pass over a `width × height` frame pair.
+///
+/// Derivation: a pure streaming reduction — two sequential input streams,
+/// no reuse (locality near zero), wide independent accumulation (high ILP),
+/// FP-dominated in the high-precision tier.
+pub fn thread_demand(width: usize, height: usize, high_precision: bool, intensity: f64) -> ThreadDemand {
+    let fp_weight = if high_precision { 0.5 } else { 0.3 };
+    ThreadDemand {
+        intensity: intensity.clamp(0.0, 1.0),
+        mix: InstructionMix::new(0.15, fp_weight, 0.1, 0.35, 0.03),
+        working_set_kib: (2 * width * height) as f64 / 1024.0,
+        locality: 0.1,
+        ilp: 0.8,
+        branch_predictability: 0.99,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_frames_infinite_psnr() {
+        let frame = vec![128u8; 256];
+        assert_eq!(mse(&frame, &frame), 0.0);
+        assert_eq!(psnr(&frame, &frame), f64::INFINITY);
+    }
+
+    #[test]
+    fn known_mse() {
+        let a = [0u8, 0, 0, 0];
+        let b = [10u8, 10, 10, 10];
+        assert!((mse(&a, &b) - 100.0).abs() < 1e-12);
+        // PSNR = 10·log10(255² / 100) ≈ 28.13 dB.
+        assert!((psnr(&a, &b) - 28.1308).abs() < 1e-3);
+    }
+
+    #[test]
+    fn closer_frames_score_higher() {
+        let reference = vec![100u8; 1024];
+        let near: Vec<u8> = reference.iter().map(|&v| v + 1).collect();
+        let far: Vec<u8> = reference.iter().map(|&v| v + 40).collect();
+        assert!(psnr(&reference, &near) > psnr(&reference, &far));
+    }
+
+    #[test]
+    fn psnr_symmetric() {
+        let a: Vec<u8> = (0..64).map(|i| (i * 3) as u8).collect();
+        let b: Vec<u8> = (0..64).map(|i| (i * 5) as u8).collect();
+        assert!((psnr(&a, &b) - psnr(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal size")]
+    fn mismatched_frames_panic() {
+        mse(&[1, 2], &[1]);
+    }
+
+    #[test]
+    fn high_precision_tier_is_more_fp_heavy() {
+        let lo = thread_demand(1920, 1080, false, 1.0);
+        let hi = thread_demand(1920, 1080, true, 1.0);
+        assert!(hi.mix.fp_ops > lo.mix.fp_ops);
+        assert!(lo.locality < 0.2, "streaming comparison has no reuse");
+    }
+}

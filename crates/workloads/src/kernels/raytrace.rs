@@ -1,0 +1,221 @@
+//! Ray-tracing kernel (Geekbench's image-synthesis section).
+//!
+//! A miniature path-free ray tracer: rays against a set of spheres with
+//! Lambertian shading from a single directional light. Enough to ground
+//! the FP-heavy, high-ILP character of image-synthesis workloads in real
+//! arithmetic, with exact closed-form intersections to test against.
+
+use mwc_soc::cpu::{InstructionMix, ThreadDemand};
+
+/// A 3-vector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Vec3 {
+    /// x component.
+    pub x: f64,
+    /// y component.
+    pub y: f64,
+    /// z component.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// Construct a vector.
+    pub fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Dot product.
+    pub fn dot(self, o: Vec3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    /// Difference.
+    pub fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+
+    /// Scaled copy.
+    pub fn scale(self, k: f64) -> Vec3 {
+        Vec3::new(self.x * k, self.y * k, self.z * k)
+    }
+
+    /// Euclidean length.
+    pub fn length(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Unit-length copy (returns self for near-zero vectors).
+    pub fn normalized(self) -> Vec3 {
+        let l = self.length();
+        if l < 1e-12 {
+            self
+        } else {
+            self.scale(1.0 / l)
+        }
+    }
+}
+
+/// A sphere.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sphere {
+    /// Center.
+    pub center: Vec3,
+    /// Radius (> 0).
+    pub radius: f64,
+}
+
+/// Distance along the ray (origin + t·dir, `dir` unit length) of the first
+/// intersection with the sphere, if any.
+pub fn intersect(origin: Vec3, dir: Vec3, s: &Sphere) -> Option<f64> {
+    let oc = origin.sub(s.center);
+    let b = oc.dot(dir);
+    let c = oc.dot(oc) - s.radius * s.radius;
+    let disc = b * b - c;
+    if disc < 0.0 {
+        return None;
+    }
+    let sqrt_disc = disc.sqrt();
+    let t0 = -b - sqrt_disc;
+    let t1 = -b + sqrt_disc;
+    if t0 > 1e-9 {
+        Some(t0)
+    } else if t1 > 1e-9 {
+        Some(t1)
+    } else {
+        None
+    }
+}
+
+/// Trace one ray against the scene: Lambertian intensity in `[0, 1]` of
+/// the nearest hit, or 0 for a miss.
+pub fn shade(origin: Vec3, dir: Vec3, scene: &[Sphere], light_dir: Vec3) -> f64 {
+    let mut best: Option<(f64, &Sphere)> = None;
+    for s in scene {
+        if let Some(t) = intersect(origin, dir, s) {
+            if best.map(|(bt, _)| t < bt).unwrap_or(true) {
+                best = Some((t, s));
+            }
+        }
+    }
+    match best {
+        None => 0.0,
+        Some((t, s)) => {
+            let hit = origin.sub(dir.scale(-t));
+            let normal = hit.sub(s.center).normalized();
+            normal.dot(light_dir.normalized().scale(-1.0)).max(0.0)
+        }
+    }
+}
+
+/// Render a `width × height` grey-scale image of the scene with a simple
+/// orthographic camera looking down −z from z = +10.
+pub fn render(width: usize, height: usize, scene: &[Sphere]) -> Vec<f64> {
+    let light = Vec3::new(-1.0, -1.0, -1.0);
+    let mut img = Vec::with_capacity(width * height);
+    for y in 0..height {
+        for x in 0..width {
+            let origin = Vec3::new(
+                (x as f64 / width as f64) * 4.0 - 2.0,
+                (y as f64 / height as f64) * 4.0 - 2.0,
+                10.0,
+            );
+            img.push(shade(origin, Vec3::new(0.0, 0.0, -1.0), scene, light));
+        }
+    }
+    img
+}
+
+/// CPU demand of a ray-tracing worker thread.
+///
+/// Derivation: intersection tests are independent FP multiply-adds with a
+/// square root — wide ILP and predictable loops; the scene and framebuffer
+/// form a multi-MB working set with good tile locality. Parameters match
+/// the image-synthesis profile used by the Geekbench 6 model.
+pub fn thread_demand(intensity: f64) -> ThreadDemand {
+    let mut t = ThreadDemand::new(intensity);
+    t.mix = InstructionMix::floating_point();
+    t.working_set_kib = 3072.0;
+    t.locality = 0.72;
+    t.ilp = 0.8;
+    t.branch_predictability = 0.96;
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_sphere() -> Sphere {
+        Sphere {
+            center: Vec3::new(0.0, 0.0, 0.0),
+            radius: 1.0,
+        }
+    }
+
+    #[test]
+    fn head_on_ray_hits_at_known_distance() {
+        let t = intersect(Vec3::new(0.0, 0.0, 10.0), Vec3::new(0.0, 0.0, -1.0), &unit_sphere());
+        assert!((t.expect("hit") - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn offset_ray_misses() {
+        let t = intersect(Vec3::new(5.0, 0.0, 10.0), Vec3::new(0.0, 0.0, -1.0), &unit_sphere());
+        assert!(t.is_none());
+    }
+
+    #[test]
+    fn tangent_ray_grazes() {
+        let t = intersect(Vec3::new(1.0, 0.0, 10.0), Vec3::new(0.0, 0.0, -1.0), &unit_sphere());
+        assert!(t.is_some(), "|offset| == radius grazes the sphere");
+    }
+
+    #[test]
+    fn ray_from_inside_hits_far_wall() {
+        let t = intersect(Vec3::new(0.0, 0.0, 0.0), Vec3::new(0.0, 0.0, -1.0), &unit_sphere());
+        assert!((t.expect("hit") - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shading_is_bounded_and_lit_side_is_brighter() {
+        let scene = [unit_sphere()];
+        let light = Vec3::new(-1.0, -1.0, -1.0);
+        // Light travels along (-1,-1,-1): the lit hemisphere faces
+        // (+1,+1,+1), so sample the (+x,+y) region of the camera-side
+        // surface.
+        let lit = shade(Vec3::new(0.6, 0.6, 10.0), Vec3::new(0.0, 0.0, -1.0), &scene, light);
+        let center = shade(Vec3::new(0.0, 0.0, 10.0), Vec3::new(0.0, 0.0, -1.0), &scene, light);
+        assert!((0.0..=1.0).contains(&lit));
+        assert!((0.0..=1.0).contains(&center));
+        assert!(lit > 0.0);
+    }
+
+    #[test]
+    fn render_produces_a_disc() {
+        let img = render(32, 32, &[unit_sphere()]);
+        assert_eq!(img.len(), 32 * 32);
+        let hit_pixels = img.iter().filter(|&&v| v > 0.0).count();
+        // The unit sphere covers π r² / 16 of the 4×4 viewport ≈ 20%, but
+        // only the lit part shades > 0; expect a meaningful fraction.
+        assert!(hit_pixels > 50, "got {hit_pixels}");
+        assert!(hit_pixels < 512);
+        // Corners miss.
+        assert_eq!(img[0], 0.0);
+    }
+
+    #[test]
+    fn nearest_sphere_wins() {
+        let near = Sphere { center: Vec3::new(0.0, 0.0, 5.0), radius: 1.0 };
+        let far = Sphere { center: Vec3::new(0.0, 0.0, -5.0), radius: 1.0 };
+        let t_near = intersect(Vec3::new(0.0, 0.0, 10.0), Vec3::new(0.0, 0.0, -1.0), &near);
+        let t_far = intersect(Vec3::new(0.0, 0.0, 10.0), Vec3::new(0.0, 0.0, -1.0), &far);
+        assert!(t_near.unwrap() < t_far.unwrap());
+    }
+
+    #[test]
+    fn demand_matches_synthesis_profile() {
+        let d = thread_demand(0.92);
+        assert!(d.mix.fp_ops > 0.3);
+        assert!(d.ilp >= 0.8);
+    }
+}

@@ -1,0 +1,159 @@
+//! Video-coding kernel: 8×8 DCT-II / DCT-III with quantization.
+//!
+//! Antutu UX's video tests use H.264, H.265, VP9 and AV1 (§V-B). All
+//! block-based codecs share the same computational heart — a 2-D transform
+//! on 8×8 blocks followed by quantization — so this module implements that
+//! core exactly and scales the per-codec software cost through
+//! [`mwc_soc::aie::Codec::sw_decode_cost`].
+
+use std::f64::consts::PI;
+
+use mwc_soc::aie::Codec;
+use mwc_soc::cpu::{InstructionMix, ThreadDemand};
+
+/// Forward 2-D DCT-II of an 8×8 block.
+pub fn dct8x8(block: &[f64; 64]) -> [f64; 64] {
+    let mut out = [0.0f64; 64];
+    for u in 0..8 {
+        for v in 0..8 {
+            let mut sum = 0.0;
+            for x in 0..8 {
+                for y in 0..8 {
+                    sum += block[x * 8 + y]
+                        * ((2 * x + 1) as f64 * u as f64 * PI / 16.0).cos()
+                        * ((2 * y + 1) as f64 * v as f64 * PI / 16.0).cos();
+                }
+            }
+            let cu = if u == 0 { 1.0 / 2f64.sqrt() } else { 1.0 };
+            let cv = if v == 0 { 1.0 / 2f64.sqrt() } else { 1.0 };
+            out[u * 8 + v] = 0.25 * cu * cv * sum;
+        }
+    }
+    out
+}
+
+/// Inverse 2-D DCT (DCT-III) of an 8×8 coefficient block.
+pub fn idct8x8(coeffs: &[f64; 64]) -> [f64; 64] {
+    let mut out = [0.0f64; 64];
+    for x in 0..8 {
+        for y in 0..8 {
+            let mut sum = 0.0;
+            for u in 0..8 {
+                for v in 0..8 {
+                    let cu = if u == 0 { 1.0 / 2f64.sqrt() } else { 1.0 };
+                    let cv = if v == 0 { 1.0 / 2f64.sqrt() } else { 1.0 };
+                    sum += cu
+                        * cv
+                        * coeffs[u * 8 + v]
+                        * ((2 * x + 1) as f64 * u as f64 * PI / 16.0).cos()
+                        * ((2 * y + 1) as f64 * v as f64 * PI / 16.0).cos();
+                }
+            }
+            out[x * 8 + y] = 0.25 * sum;
+        }
+    }
+    out
+}
+
+/// Uniform quantization with step `q` (encode direction).
+pub fn quantize(coeffs: &[f64; 64], q: f64) -> [i32; 64] {
+    let mut out = [0i32; 64];
+    for (o, &c) in out.iter_mut().zip(coeffs.iter()) {
+        *o = (c / q).round() as i32;
+    }
+    out
+}
+
+/// Dequantization with step `q` (decode direction).
+pub fn dequantize(levels: &[i32; 64], q: f64) -> [f64; 64] {
+    let mut out = [0.0f64; 64];
+    for (o, &l) in out.iter_mut().zip(levels.iter()) {
+        *o = f64::from(l) * q;
+    }
+    out
+}
+
+/// CPU demand of a *software* video decoder for the given codec.
+///
+/// Derivation: transform/quantization inner loops are SIMD-friendly with
+/// streaming access over reference frames (large working set, moderate
+/// locality); entropy decoding adds hard-to-predict branches. The overall
+/// intensity scales with the codec's software cost — AV1 lacks hardware
+/// support on this SoC generation and is ~2.6× H.264 (§V-B).
+pub fn sw_decode_demand(codec: Codec, base_intensity: f64) -> ThreadDemand {
+    ThreadDemand {
+        intensity: (base_intensity * codec.sw_decode_cost() / Codec::Av1.sw_decode_cost())
+            .clamp(0.0, 1.0),
+        mix: InstructionMix::simd(),
+        working_set_kib: 6144.0,
+        locality: 0.6,
+        ilp: 0.6,
+        branch_predictability: 0.8,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_block() -> [f64; 64] {
+        let mut b = [0.0f64; 64];
+        for (i, v) in b.iter_mut().enumerate() {
+            *v = ((i * 37) % 255) as f64 - 128.0;
+        }
+        b
+    }
+
+    #[test]
+    fn dct_roundtrip_lossless_without_quantization() {
+        let block = test_block();
+        let recovered = idct8x8(&dct8x8(&block));
+        for (a, b) in recovered.iter().zip(block.iter()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dct_of_constant_block_is_dc_only() {
+        let block = [50.0f64; 64];
+        let coeffs = dct8x8(&block);
+        assert!((coeffs[0] - 400.0).abs() < 1e-9, "DC = 8 × 50");
+        for &c in &coeffs[1..] {
+            assert!(c.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn quantization_roundtrip_bounded_error() {
+        let block = test_block();
+        let q = 4.0;
+        let coeffs = dct8x8(&block);
+        let levels = quantize(&coeffs, q);
+        let recovered = idct8x8(&dequantize(&levels, q));
+        for (a, b) in recovered.iter().zip(block.iter()) {
+            assert!((a - b).abs() <= q * 8.0, "quantization error exceeds bound");
+        }
+    }
+
+    #[test]
+    fn coarser_quantization_loses_more() {
+        let block = test_block();
+        let err = |q: f64| {
+            let recovered = idct8x8(&dequantize(&quantize(&dct8x8(&block), q), q));
+            recovered
+                .iter()
+                .zip(block.iter())
+                .map(|(a, b)| (a - b).powi(2))
+                .sum::<f64>()
+        };
+        assert!(err(16.0) > err(2.0));
+    }
+
+    #[test]
+    fn av1_software_decode_is_heaviest() {
+        let h264 = sw_decode_demand(Codec::H264, 0.9);
+        let av1 = sw_decode_demand(Codec::Av1, 0.9);
+        assert!(av1.intensity > 2.0 * h264.intensity);
+        assert!((av1.intensity - 0.9).abs() < 1e-12, "AV1 is the reference cost");
+    }
+}

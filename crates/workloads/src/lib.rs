@@ -1,0 +1,34 @@
+//! # mwc-workloads — models of commercial mobile benchmark suites
+//!
+//! The commercial benchmarks the paper characterizes are closed source and
+//! run only on real Android devices. This crate provides *phase-accurate
+//! synthetic models* of every suite in the paper's Table I — 3DMark v2,
+//! Antutu v9, Aitutu v2, Geekbench 5 and 6, GFXBench v5 and PCMark — as
+//! [`mwc_soc::Workload`] implementations the simulator can execute.
+//!
+//! Each model is assembled from everything the paper (and the benchmark
+//! vendors' public documentation) disclose about the benchmark's internal
+//! structure: which micro-benchmarks run, in what order, for which share of
+//! the runtime, with what threading, which graphics API, which video
+//! codecs, and which DSP kernels. The CPU-side demand parameters
+//! (instruction mix, ILP, working set) are derived from the real
+//! mini-kernels in [`kernels`], which implement the actual algorithms the
+//! benchmarks are built on (GEMM, FFT, PNG filtering, XTEA/CRC crypto, DCT
+//! video coding, PSNR, rigid-body physics, CNN inference).
+//!
+//! The 41 individually executable sub-benchmarks and the paper's 18
+//! characterization units (Antutu's four segments cannot be launched
+//! separately; GFXBench's 29 micro-benchmarks are grouped into three
+//! categories) are enumerated by [`registry`].
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod kernels;
+pub mod phase;
+pub mod registry;
+pub mod suites;
+
+pub use phase::{Phase, PhasedWorkload, PhasedWorkloadBuilder};
+pub use registry::{all_units, suite_inventory, BenchmarkUnit, ClusterLabel, Suite};

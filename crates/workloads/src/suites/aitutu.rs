@@ -1,0 +1,123 @@
+//! Aitutu v2 (from the Antutu authors): a standalone AI benchmark with
+//! three image-oriented tasks — image classification, object detection and
+//! super resolution (§III, §V-B Observation #5).
+//!
+//! Aitutu is the heterogeneity outlier of the study: it is the only
+//! benchmark where the CPU Mid cluster sustains high load longer than CPU
+//! Big (Observation #7), and one of only four that load all three clusters
+//! concurrently (Observation #9). The model reflects this with wide pools
+//! of medium-intensity pre/post-processing threads that overflow the little
+//! cluster onto the mids, while the NN inference itself runs on the AIE.
+
+use mwc_soc::aie::DspKernel;
+
+use crate::kernels::nn;
+use crate::phase::PhasedWorkload;
+use crate::suites::common::DemandBuilder;
+
+/// Runtime of the Aitutu benchmark in seconds.
+pub const SECONDS: f64 = 314.44;
+
+/// The Aitutu benchmark.
+pub fn aitutu() -> PhasedWorkload {
+    // Pre/post-processing pools: medium-intensity threads (image decode,
+    // resize, tensor marshalling). Seven threads at medium intensity fill
+    // the four little cores and spill three threads onto the mid cluster —
+    // the paper's signature Aitutu placement — while one lighter
+    // coordinator thread overflows onto the big core at moderate load.
+    let preprocess = nn::thread_demand(300_000, 0.67);
+    let postprocess = nn::thread_demand(300_000, 0.67);
+    let coordinator = nn::thread_demand(400_000, 0.63);
+
+    PhasedWorkload::builder("Aitutu", SECONDS)
+        .phase(
+            "model-load",
+            0.05,
+            DemandBuilder::new()
+                .threads(2, nn::thread_demand(2_000_000, 0.4))
+                .io(mwc_soc::storage::IoDemand::sequential(1200.0, 0.0))
+                .memory(1200.0, 1.5)
+                .build(),
+        )
+        .phase(
+            "image-classification",
+            0.33,
+            DemandBuilder::new()
+                .threads(7, preprocess.clone())
+                .thread(coordinator.clone())
+                .aie(DspKernel::ImageClassification, 0.35)
+                .memory(1400.0, 3.0)
+                .build(),
+        )
+        .phase(
+            "object-detection",
+            0.34,
+            DemandBuilder::new()
+                .threads(7, preprocess)
+                .thread(coordinator.clone())
+                .aie(DspKernel::ObjectDetection, 0.38)
+                .memory(1500.0, 3.5)
+                .build(),
+        )
+        .phase(
+            "super-resolution",
+            0.28,
+            DemandBuilder::new()
+                .threads(7, postprocess)
+                .thread(coordinator)
+                .aie(DspKernel::SuperResolution, 0.4)
+                .memory(1600.0, 4.0)
+                .build(),
+        )
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwc_soc::workload::Workload;
+
+    #[test]
+    fn duration_matches_calibration() {
+        assert!((aitutu().duration_seconds() - SECONDS).abs() < 1e-9);
+    }
+
+    #[test]
+    fn covers_the_three_ai_tasks() {
+        let w = aitutu();
+        let names: Vec<&str> = w.phases().iter().map(|p| p.name.as_str()).collect();
+        assert!(names.contains(&"image-classification"));
+        assert!(names.contains(&"object-detection"));
+        assert!(names.contains(&"super-resolution"));
+    }
+
+    #[test]
+    fn every_ai_phase_loads_the_aie_heavily() {
+        let w = aitutu();
+        for p in w.phases().iter().filter(|p| p.name != "model-load") {
+            let aie = p.demand.aie.as_ref().expect("AIE inference");
+            assert!(aie.intensity >= 0.3, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn thread_pools_overflow_onto_the_mid_cluster() {
+        // Seven medium threads: 4 fill the little cluster, 3 land on mid —
+        // with no heavy thread claiming the big core.
+        let w = aitutu();
+        let classify = w
+            .phases()
+            .iter()
+            .find(|p| p.name == "image-classification")
+            .unwrap();
+        assert_eq!(classify.demand.cpu.threads.len(), 8, "7 workers + 1 coordinator");
+        assert!(classify
+            .demand
+            .cpu
+            .threads
+            .iter()
+            .all(|t| t.intensity > 0.3 && t.intensity < 0.7));
+        // Medium intensity: below the big-core promotion threshold.
+        assert!(classify.demand.cpu.threads[0].intensity < 0.70);
+    }
+}

@@ -1,0 +1,473 @@
+//! Antutu v9 (Cheetah Mobile): an all-around suite whose four parts — GPU,
+//! CPU, Mem, UX — cannot be executed individually (§IV-A).
+//!
+//! The paper segments the collected statistics into the four parts; this
+//! module exposes each segment as its own characterization unit *and* the
+//! full concatenated suite as the only individually executable benchmark.
+//!
+//! Encoded structure (§III, §V-B):
+//!
+//! * **CPU** — GEMM at the start (the early CPU-load uptick of
+//!   Observation #1), mathematical functions (FFT) that also raise AIE
+//!   load, PNG decoding, and a multi-core/multi-tasking micro-benchmark
+//!   near the end.
+//! * **GPU** — Swordsman (new in v9, executed first, ~15% of the segment),
+//!   then Refinery (~30%) and Terracotta Warriors (~49%), then the simpler
+//!   Fisheye and Blur image-processing tests; CPU loads of 28% / 31% / 35%
+//!   for the three scenes (Observation #4: the newest scene is *not* the
+//!   most CPU-intensive).
+//! * **Mem** — RAM streaming plus storage stress; the suite's IPC outlier
+//!   (0.45) through a cache-hostile working set.
+//! * **UX** — data processing/security, image processing, scroll-delay and
+//!   webview tests (AIE peaks near 50%), and video decode across
+//!   H.264/H.265/VP9/AV1 at the end, where AV1's missing hardware support
+//!   shifts the work onto the CPU.
+
+use mwc_soc::aie::{Codec, DspKernel};
+use mwc_soc::cpu::{InstructionMix, ThreadDemand};
+use mwc_soc::gpu::{GpuDemand, GraphicsApi, RenderTarget, Resolution};
+use mwc_soc::storage::IoDemand;
+
+use crate::kernels::{crypto, fft, gemm, png};
+use crate::phase::{Phase, PhasedWorkload};
+use crate::suites::common::{data_thread, scene_worker, ui_thread, DemandBuilder};
+
+/// Runtime of the CPU segment in seconds.
+pub const CPU_SECONDS: f64 = 150.0;
+/// Runtime of the GPU segment in seconds.
+pub const GPU_SECONDS: f64 = 210.0;
+/// Runtime of the Mem segment in seconds.
+pub const MEM_SECONDS: f64 = 160.0;
+/// Runtime of the UX segment in seconds.
+pub const UX_SECONDS: f64 = 180.2;
+
+fn game_scene(api: GraphicsApi, intensity: f64, texture_mib: f64) -> GpuDemand {
+    GpuDemand {
+        api,
+        resolution: Resolution::FullHd,
+        target: RenderTarget::OnScreen,
+        intensity,
+        shader_fraction: 0.8,
+        bus_fraction: 0.55,
+        texture_mib,
+    }
+}
+
+/// The Antutu CPU segment.
+pub fn antutu_cpu() -> PhasedWorkload {
+    let mut streaming_thread = ThreadDemand::new(0.55);
+    streaming_thread.mix = InstructionMix::memory_bound();
+    streaming_thread.working_set_kib = 2048.0;
+    streaming_thread.locality = 0.5;
+
+    PhasedWorkload::builder("Antutu CPU", CPU_SECONDS)
+        .phase(
+            "gemm",
+            0.11,
+            DemandBuilder::new()
+                .threads(3, gemm::thread_demand(384, 0.78))
+                .memory(700.0, 2.0)
+                .build(),
+        )
+        .phase(
+            "math-fft",
+            0.22,
+            DemandBuilder::new()
+                .threads(3, fft::thread_demand(1 << 16, 0.6))
+                .aie(DspKernel::Fft, 0.45)
+                .memory(650.0, 1.5)
+                .build(),
+        )
+        .phase(
+            "algorithms-png",
+            0.27,
+            DemandBuilder::new()
+                .threads(3, png::thread_demand(1920, 1080, 0.6))
+                .aie(DspKernel::PngDecode, 0.4)
+                .memory(680.0, 1.0)
+                .build(),
+        )
+        .phase(
+            "single-core-misc",
+            0.2,
+            DemandBuilder::new()
+                .thread(crypto::thread_demand(0.55))
+                .thread(streaming_thread)
+                .memory(640.0, 1.0)
+                .build(),
+        )
+        .phase(
+            "multi-core",
+            0.19,
+            DemandBuilder::new()
+                .threads(8, {
+                    let mut t = ThreadDemand::new(0.72);
+                    t.working_set_kib = 1024.0;
+                    t.ilp = 0.3;
+                    t.locality = 0.6;
+                    t
+                })
+                .memory(750.0, 2.5)
+                .build(),
+        )
+        .build()
+}
+
+/// The Antutu GPU segment.
+pub fn antutu_gpu() -> PhasedWorkload {
+    PhasedWorkload::builder("Antutu GPU", GPU_SECONDS)
+        // Swordsman (new in v9): 15% of the segment, 28% CPU load.
+        .phase(
+            "swordsman",
+            0.15,
+            DemandBuilder::new()
+                .threads(4, scene_worker(0.5))
+                .gpu(game_scene(GraphicsApi::Vulkan, 0.9, 2700.0))
+                .memory(750.0, 2.5)
+                .build(),
+        )
+        // Scene-load spike at ~16% (Observation #4's first CPU spike).
+        .phase(
+            "scene-load-1",
+            0.02,
+            DemandBuilder::new()
+                .threads(5, ui_thread(0.8))
+                .io(IoDemand::sequential(1500.0, 0.0))
+                .memory(800.0, 1.5)
+                .build(),
+        )
+        // Refinery: ~30%, 31% CPU load.
+        .phase(
+            "refinery",
+            0.28,
+            DemandBuilder::new()
+                .threads(4, scene_worker(0.55))
+                .gpu(game_scene(GraphicsApi::OpenGlEs, 0.82, 2100.0))
+                .memory(700.0, 2.2)
+                .build(),
+        )
+        // Scene-load spike at ~49% (the second CPU spike).
+        .phase(
+            "scene-load-2",
+            0.02,
+            DemandBuilder::new()
+                .threads(5, ui_thread(0.85))
+                .io(IoDemand::sequential(1500.0, 0.0))
+                .memory(820.0, 1.5)
+                .build(),
+        )
+        // Terracotta Warriors: ~49%, 35% CPU load.
+        .phase(
+            "terracotta",
+            0.47,
+            DemandBuilder::new()
+                .threads(4, scene_worker(0.62))
+                .gpu(game_scene(GraphicsApi::OpenGlEs, 0.84, 2200.0))
+                .memory(700.0, 2.3)
+                .build(),
+        )
+        // Fisheye + Blur: short, simpler image-processing tests.
+        .phase(
+            "fisheye-blur",
+            0.06,
+            DemandBuilder::new()
+                .threads(2, {
+                    let mut t = ThreadDemand::new(0.5);
+                    t.mix = InstructionMix::simd();
+                    t.working_set_kib = 4096.0;
+                    t
+                })
+                .gpu(GpuDemand {
+                    api: GraphicsApi::OpenGlEs,
+                    resolution: Resolution::FullHd,
+                    target: RenderTarget::OffScreen,
+                    intensity: 0.5,
+                    shader_fraction: 0.9,
+                    bus_fraction: 0.4,
+                    texture_mib: 900.0,
+                })
+                .memory(700.0, 1.5)
+                .build(),
+        )
+        .build()
+}
+
+/// The Antutu Mem segment (RAM + storage).
+pub fn antutu_mem() -> PhasedWorkload {
+    let mut stream = ThreadDemand::new(0.65);
+    stream.mix = InstructionMix::memory_bound();
+    stream.working_set_kib = 6144.0; // spills every cache level
+    stream.locality = 0.55;
+    stream.ilp = 0.65;
+    stream.branch_predictability = 0.62;
+
+    PhasedWorkload::builder("Antutu Mem", MEM_SECONDS)
+        .phase(
+            "ram-bandwidth",
+            0.2,
+            DemandBuilder::new()
+                .threads(4, stream.clone())
+                .memory(1400.0, 18.0)
+                .build(),
+        )
+        .phase(
+            "ram-latency",
+            0.15,
+            DemandBuilder::new()
+                .threads(2, {
+                    let mut t = stream.clone();
+                    t.intensity = 0.6;
+                    t.working_set_kib = 8192.0;
+                    t.locality = 0.3;
+                    t.ilp = 0.3; // dependent pointer chases
+                    t
+                })
+                .memory(1300.0, 6.0)
+                .build(),
+        )
+        .phase(
+            "storage-seq",
+            0.3,
+            DemandBuilder::new()
+                .threads(3, data_thread(0.55, 4096.0))
+                .io(IoDemand::sequential(1900.0, 1000.0))
+                .memory(900.0, 2.0)
+                .build(),
+        )
+        .phase(
+            "storage-random",
+            0.35,
+            DemandBuilder::new()
+                .threads(3, data_thread(0.55, 4096.0))
+                .io(IoDemand::random(290.0, 250.0))
+                .memory(900.0, 1.5)
+                .build(),
+        )
+        .build()
+}
+
+/// The Antutu UX segment.
+pub fn antutu_ux() -> PhasedWorkload {
+    PhasedWorkload::builder("Antutu UX", UX_SECONDS)
+        .phase(
+            "data-processing",
+            0.18,
+            DemandBuilder::new()
+                .threads(6, data_thread(0.5, 3072.0))
+                .memory(800.0, 1.5)
+                .build(),
+        )
+        .phase(
+            "data-security",
+            0.12,
+            DemandBuilder::new()
+                .threads(2, crypto::thread_demand(0.65))
+                .memory(750.0, 0.8)
+                .build(),
+        )
+        .phase(
+            "image-processing",
+            0.14,
+            DemandBuilder::new()
+                .threads(3, {
+                    let mut t = ThreadDemand::new(0.55);
+                    t.mix = InstructionMix::simd();
+                    t.working_set_kib = 6144.0;
+                    t
+                })
+                .aie(DspKernel::DisplayAssist, 0.45)
+                .memory(900.0, 2.0)
+                .build(),
+        )
+        // Scroll-delay test: AIE peaks close to 50% (Observation #5).
+        .phase(
+            "scroll-delay",
+            0.12,
+            DemandBuilder::new()
+                .threads(2, ui_thread(0.45))
+                .gpu(game_scene(GraphicsApi::OpenGlEs, 0.35, 700.0))
+                .aie(DspKernel::DisplayAssist, 0.95)
+                .memory(850.0, 1.2)
+                .build(),
+        )
+        .phase(
+            "webview-render",
+            0.12,
+            DemandBuilder::new()
+                .threads(2, data_thread(0.5, 2048.0))
+                .gpu(game_scene(GraphicsApi::OpenGlEs, 0.25, 500.0))
+                .aie(DspKernel::DisplayAssist, 0.9)
+                .memory(900.0, 1.2)
+                .build(),
+        )
+        // Video decode tests at the end: H.264, H.265, VP9 run on the AIE;
+        // AV1 has no hardware support and lands on the CPU (§V-B).
+        .phase(
+            "video-h264",
+            0.08,
+            DemandBuilder::new()
+                .threads(2, ui_thread(0.4))
+                .aie(DspKernel::VideoDecode(Codec::H264), 0.85)
+                .memory(1000.0, 2.5)
+                .build(),
+        )
+        .phase(
+            "video-h265",
+            0.08,
+            DemandBuilder::new()
+                .threads(2, ui_thread(0.4))
+                .aie(DspKernel::VideoDecode(Codec::H265), 0.85)
+                .memory(1000.0, 2.5)
+                .build(),
+        )
+        .phase(
+            "video-vp9",
+            0.08,
+            DemandBuilder::new()
+                .threads(2, ui_thread(0.4))
+                .aie(DspKernel::VideoDecode(Codec::Vp9), 0.85)
+                .memory(1000.0, 2.5)
+                .build(),
+        )
+        .phase(
+            "video-av1",
+            0.08,
+            DemandBuilder::new()
+                .threads(2, ui_thread(0.4))
+                .aie(DspKernel::VideoDecode(Codec::Av1), 0.85)
+                .memory(1050.0, 2.5)
+                .build(),
+        )
+        .build()
+}
+
+/// The full Antutu run — the only form a user can actually launch: all
+/// four segments back to back, runtime-weighted.
+pub fn antutu_full() -> PhasedWorkload {
+    let segments: [(PhasedWorkload, f64); 4] = [
+        (antutu_cpu(), CPU_SECONDS),
+        (antutu_gpu(), GPU_SECONDS),
+        (antutu_mem(), MEM_SECONDS),
+        (antutu_ux(), UX_SECONDS),
+    ];
+    let total: f64 = segments.iter().map(|(_, d)| d).sum();
+    let mut builder = PhasedWorkload::builder("Antutu", total);
+    for (segment, seconds) in segments {
+        let weight_scale = seconds / total;
+        let phase_total: f64 = segment.phases().iter().map(|p| p.weight).sum();
+        let prefix = mwc_soc::workload::Workload::name(&segment).to_owned();
+        for Phase { name, weight, demand } in segment.phases().iter().cloned() {
+            builder = builder.phase(
+                format!("{prefix}/{name}"),
+                weight / phase_total * weight_scale,
+                demand,
+            );
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwc_soc::workload::Workload;
+
+    #[test]
+    fn segment_durations() {
+        assert_eq!(antutu_cpu().duration_seconds(), 150.0);
+        assert_eq!(antutu_gpu().duration_seconds(), 210.0);
+        assert_eq!(antutu_mem().duration_seconds(), 160.0);
+        assert!((antutu_ux().duration_seconds() - 180.2).abs() < 1e-9);
+        assert!((antutu_full().duration_seconds() - 700.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cpu_segment_opens_with_gemm_and_ends_multicore() {
+        let w = antutu_cpu();
+        assert_eq!(w.phases().first().unwrap().name, "gemm");
+        assert_eq!(w.phases().last().unwrap().name, "multi-core");
+        assert_eq!(w.phases().last().unwrap().demand.cpu.threads.len(), 8);
+    }
+
+    #[test]
+    fn gpu_segment_scene_shares_match_paper() {
+        // §V-B Observation #4: Swordsman 15%, Refinery ~30%, Terracotta ~49%.
+        let w = antutu_gpu();
+        let share = |name: &str| {
+            let idx = w.phases().iter().position(|p| p.name == name).unwrap();
+            let (s, e) = w.phase_interval(idx);
+            e - s
+        };
+        assert!((share("swordsman") - 0.15).abs() < 0.01);
+        assert!((share("refinery") - 0.30).abs() < 0.03);
+        assert!((share("terracotta") - 0.49).abs() < 0.03);
+    }
+
+    #[test]
+    fn swordsman_is_not_the_most_cpu_intensive_scene() {
+        // Observation #4: newer benchmarks are not always more intensive.
+        let w = antutu_gpu();
+        let cpu_sum = |name: &str| {
+            w.phases()
+                .iter()
+                .find(|p| p.name == name)
+                .unwrap()
+                .demand
+                .cpu
+                .threads
+                .iter()
+                .map(|t| t.intensity)
+                .sum::<f64>()
+        };
+        assert!(cpu_sum("swordsman") < cpu_sum("terracotta"));
+    }
+
+    #[test]
+    fn mem_segment_is_cache_hostile() {
+        let w = antutu_mem();
+        let ram = &w.phases()[0];
+        let t = &ram.demand.cpu.threads[0];
+        assert!(t.working_set_kib > 4096.0, "working set spills the shared caches");
+        assert!(t.branch_predictability < 0.7, "pointer chases mispredict");
+    }
+
+    #[test]
+    fn ux_video_tests_cover_all_codecs_at_the_end() {
+        let w = antutu_ux();
+        let names: Vec<&str> = w.phases().iter().map(|p| p.name.as_str()).collect();
+        let video_start = names.iter().position(|n| n.starts_with("video-")).unwrap();
+        assert_eq!(
+            &names[video_start..],
+            &["video-h264", "video-h265", "video-vp9", "video-av1"],
+            "video tests run at the end, AV1 last"
+        );
+    }
+
+    #[test]
+    fn ux_scroll_and_webview_stress_the_aie() {
+        let w = antutu_ux();
+        for name in ["scroll-delay", "webview-render"] {
+            let p = w.phases().iter().find(|p| p.name == name).unwrap();
+            let aie = p.demand.aie.as_ref().expect("AIE demand present");
+            assert!(aie.intensity > 0.8, "{name} AIE peaks near 50% load");
+        }
+    }
+
+    #[test]
+    fn full_run_concatenates_all_segments() {
+        let w = antutu_full();
+        assert_eq!(
+            w.phases().len(),
+            antutu_cpu().phases().len()
+                + antutu_gpu().phases().len()
+                + antutu_mem().phases().len()
+                + antutu_ux().phases().len()
+        );
+        // Segment shares of total runtime are preserved.
+        let gemm_idx = 0;
+        let (s, e) = w.phase_interval(gemm_idx);
+        let cpu_share = CPU_SECONDS / 700.2;
+        let gemm_share_within_cpu = antutu_cpu().phase_interval(0).1;
+        assert!((e - s - cpu_share * gemm_share_within_cpu).abs() < 1e-9);
+    }
+}

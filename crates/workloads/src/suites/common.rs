@@ -1,0 +1,179 @@
+//! Shared helpers for assembling benchmark demands.
+
+use mwc_soc::aie::{AieDemand, DspKernel};
+use mwc_soc::cpu::{CpuDemand, ThreadDemand};
+use mwc_soc::gpu::GpuDemand;
+use mwc_soc::memory::MemoryDemand;
+use mwc_soc::storage::IoDemand;
+use mwc_soc::workload::Demand;
+
+/// Fluent builder for a phase [`Demand`].
+#[derive(Debug, Default)]
+pub struct DemandBuilder {
+    demand: Demand,
+}
+
+impl DemandBuilder {
+    /// Start from an idle demand.
+    pub fn new() -> Self {
+        DemandBuilder {
+            demand: Demand::idle(),
+        }
+    }
+
+    /// Add one CPU thread.
+    pub fn thread(mut self, t: ThreadDemand) -> Self {
+        self.demand.cpu.threads.push(t);
+        self
+    }
+
+    /// Add `n` identical CPU threads.
+    pub fn threads(mut self, n: usize, t: ThreadDemand) -> Self {
+        for _ in 0..n {
+            self.demand.cpu.threads.push(t.clone());
+        }
+        self
+    }
+
+    /// Add `n` generic background/UI threads at the given intensity (the
+    /// app logic, compositor and bookkeeping every mobile benchmark drags
+    /// along).
+    pub fn ui_threads(mut self, n: usize, intensity: f64) -> Self {
+        self.demand.cpu = merge_cpu(self.demand.cpu, CpuDemand::multi_thread(n, intensity));
+        self
+    }
+
+    /// Set the GPU demand.
+    pub fn gpu(mut self, g: GpuDemand) -> Self {
+        self.demand.gpu = Some(g);
+        self
+    }
+
+    /// Set the AIE demand.
+    pub fn aie(mut self, kernel: DspKernel, intensity: f64) -> Self {
+        self.demand.aie = Some(AieDemand::new(kernel, intensity));
+        self
+    }
+
+    /// Set the memory footprint (MiB) and streaming bandwidth (GB/s).
+    pub fn memory(mut self, footprint_mib: f64, bandwidth_gbps: f64) -> Self {
+        self.demand.memory = MemoryDemand {
+            footprint_mib,
+            bandwidth_gbps,
+        };
+        self
+    }
+
+    /// Set the storage IO demand.
+    pub fn io(mut self, io: IoDemand) -> Self {
+        self.demand.io = Some(io);
+        self
+    }
+
+    /// Finish the demand.
+    pub fn build(self) -> Demand {
+        self.demand
+    }
+}
+
+fn merge_cpu(mut a: CpuDemand, b: CpuDemand) -> CpuDemand {
+    a.threads.extend(b.threads);
+    a
+}
+
+/// A light UI/driver thread (graphics command submission, benchmark app
+/// logic) with an integer mix and a small working set.
+pub fn ui_thread(intensity: f64) -> ThreadDemand {
+    let mut t = ThreadDemand::new(intensity);
+    t.working_set_kib = 192.0;
+    t.locality = 0.8;
+    t.ilp = 0.45;
+    t.branch_predictability = 0.96;
+    t
+}
+
+/// A data-manipulation thread (JSON/XML churn, list handling) — the
+/// pointer-chasing profile of everyday-use tests.
+pub fn data_thread(intensity: f64, working_set_kib: f64) -> ThreadDemand {
+    let mut t = ThreadDemand::new(intensity);
+    t.mix = mwc_soc::cpu::InstructionMix::memory_bound();
+    t.working_set_kib = working_set_kib;
+    t.locality = 0.72;
+    t.ilp = 0.55;
+    t.branch_predictability = 0.8;
+    t
+}
+
+/// A GPGPU dispatch/driver thread (Geekbench-Compute-style): tiny hot
+/// working set, predictable loops, mostly integer bookkeeping.
+pub fn dispatch_thread(intensity: f64) -> ThreadDemand {
+    let mut t = ThreadDemand::new(intensity);
+    t.working_set_kib = 128.0;
+    t.locality = 0.9;
+    t.ilp = 0.55;
+    t.branch_predictability = 0.98;
+    t
+}
+
+/// A game-engine scene worker (culling, animation, command building):
+/// SIMD-flavoured with a mid-sized working set that contends with GPU
+/// textures in the shared caches and data-dependent scene-graph branches.
+pub fn scene_worker(intensity: f64) -> ThreadDemand {
+    let mut t = ThreadDemand::new(intensity);
+    t.mix = mwc_soc::cpu::InstructionMix::simd();
+    t.working_set_kib = 3584.0;
+    t.locality = 0.6;
+    t.ilp = 0.6;
+    t.branch_predictability = 0.8;
+    t
+}
+
+/// A storage-test driver thread: sequential buffer handling with highly
+/// predictable IO loops and a small hot set.
+pub fn io_thread(intensity: f64) -> ThreadDemand {
+    let mut t = ThreadDemand::new(intensity);
+    t.mix = mwc_soc::cpu::InstructionMix::memory_bound();
+    t.working_set_kib = 768.0;
+    t.locality = 0.75;
+    t.ilp = 0.5;
+    t.branch_predictability = 0.95;
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwc_soc::aie::Codec;
+    use mwc_soc::gpu::GpuDemand;
+
+    #[test]
+    fn builder_assembles_all_components() {
+        let d = DemandBuilder::new()
+            .thread(ui_thread(0.5))
+            .threads(2, data_thread(0.3, 1024.0))
+            .gpu(GpuDemand::scene(0.7))
+            .aie(DspKernel::VideoDecode(Codec::H264), 0.6)
+            .memory(512.0, 1.0)
+            .io(IoDemand::sequential(100.0, 50.0))
+            .build();
+        assert_eq!(d.cpu.threads.len(), 3);
+        assert!(d.gpu.is_some());
+        assert!(d.aie.is_some());
+        assert!(d.io.is_some());
+        assert_eq!(d.memory.footprint_mib, 512.0);
+    }
+
+    #[test]
+    fn ui_threads_merge_with_existing() {
+        let d = DemandBuilder::new().thread(ui_thread(0.9)).ui_threads(3, 0.2).build();
+        assert_eq!(d.cpu.threads.len(), 4);
+    }
+
+    #[test]
+    fn helper_threads_have_expected_profiles() {
+        assert!(ui_thread(0.4).working_set_kib < 256.0);
+        let d = data_thread(0.4, 2048.0);
+        assert!(d.mix.load_store > 0.4, "data threads are memory-bound");
+        assert_eq!(d.working_set_kib, 2048.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Geekbench 5 (Primate Labs): a CPU benchmark (integer, floating-point
+//! and cryptography sections, each in single- and multi-core form) and a
+//! GPU Compute benchmark with 11 workloads (§III).
+//!
+//! The paper's temporal analysis shows the single-core half running at
+//! ~30% CPU load with a pronounced spike when the multi-core half starts
+//! (Observation #1), and Geekbench 5 CPU is the only benchmark that keeps
+//! the mid cluster at sustained high load for more than half its runtime
+//! (Observation #9).
+
+use mwc_soc::cpu::{InstructionMix, ThreadDemand};
+use mwc_soc::gpu::GpuDemand;
+
+use crate::kernels::crypto;
+use crate::phase::PhasedWorkload;
+use crate::suites::common::DemandBuilder;
+
+/// Runtime of Geekbench 5 CPU in seconds.
+pub const CPU_SECONDS: f64 = 105.0;
+/// Runtime of Geekbench 5 Compute in seconds.
+pub const COMPUTE_SECONDS: f64 = 86.7;
+
+fn int_thread(intensity: f64) -> ThreadDemand {
+    let mut t = ThreadDemand::new(intensity);
+    t.mix = InstructionMix::integer();
+    t.working_set_kib = 3072.0;
+    t.locality = 0.65;
+    t.ilp = 0.6;
+    t.branch_predictability = 0.88;
+    t
+}
+
+fn fp_thread(intensity: f64) -> ThreadDemand {
+    let mut t = ThreadDemand::new(intensity);
+    t.mix = InstructionMix::floating_point();
+    t.working_set_kib = 4096.0;
+    t.locality = 0.7;
+    t.ilp = 0.75;
+    t.branch_predictability = 0.95;
+    t
+}
+
+/// Geekbench 5 CPU: crypto / integer / floating-point, single-core then
+/// multi-core.
+pub fn gb5_cpu() -> PhasedWorkload {
+    PhasedWorkload::builder("Geekbench 5 CPU", CPU_SECONDS)
+        // Single-core half: one hot thread on the big core (≈30% mean CPU
+        // load across the three clusters).
+        .phase(
+            "single-crypto",
+            0.08,
+            DemandBuilder::new()
+                .thread(crypto::thread_demand(0.95))
+                .memory(600.0, 0.8)
+                .build(),
+        )
+        .phase(
+            "single-int",
+            0.21,
+            DemandBuilder::new().thread(int_thread(0.95)).memory(650.0, 1.0).build(),
+        )
+        .phase(
+            "single-fp",
+            0.21,
+            DemandBuilder::new().thread(fp_thread(0.95)).memory(650.0, 1.0).build(),
+        )
+        // Multi-core half: one worker per core — the CPU-load spike, and
+        // the sustained mid-cluster load of Observation #9.
+        .phase(
+            "multi-crypto",
+            0.08,
+            DemandBuilder::new()
+                .threads(8, crypto::thread_demand(0.92))
+                .memory(800.0, 2.0)
+                .build(),
+        )
+        .phase(
+            "multi-int",
+            0.21,
+            DemandBuilder::new().threads(8, int_thread(0.92)).memory(850.0, 2.5).build(),
+        )
+        .phase(
+            "multi-fp",
+            0.21,
+            DemandBuilder::new().threads(8, fp_thread(0.92)).memory(850.0, 2.5).build(),
+        )
+        .build()
+}
+
+/// Geekbench 5 Compute: 11 GPGPU workloads.
+pub fn gb5_compute() -> PhasedWorkload {
+    // The 11 Compute workloads with relative intensities: image/vision
+    // kernels are heavier than histogram-style reductions.
+    let workloads: [(&str, f64); 11] = [
+        ("sobel", 0.8),
+        ("canny", 0.84),
+        ("stereo-matching", 0.88),
+        ("histogram-equalization", 0.72),
+        ("gaussian-blur", 0.82),
+        ("depth-of-field", 0.9),
+        ("face-detection", 0.85),
+        ("horizon-detection", 0.8),
+        ("feature-matching", 0.83),
+        ("particle-physics", 0.86),
+        ("sfft", 0.78),
+    ];
+    let mut b = PhasedWorkload::builder("Geekbench 5 Compute", COMPUTE_SECONDS);
+    for (name, intensity) in workloads {
+        let mut gpu = GpuDemand::compute(intensity);
+        gpu.shader_fraction = 0.96;
+        gpu.texture_mib = 250.0;
+        gpu.bus_fraction = 0.28;
+        b = b.phase(
+            name,
+            1.0,
+            DemandBuilder::new()
+                .threads(4, crate::suites::common::dispatch_thread(0.52))
+                .gpu(gpu)
+                .memory(700.0, 2.0)
+                .build(),
+        );
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwc_soc::workload::Workload;
+
+    #[test]
+    fn durations() {
+        assert_eq!(gb5_cpu().duration_seconds(), CPU_SECONDS);
+        assert!((gb5_compute().duration_seconds() - COMPUTE_SECONDS).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_core_first_multicore_second() {
+        let w = gb5_cpu();
+        let names: Vec<&str> = w.phases().iter().map(|p| p.name.as_str()).collect();
+        let first_multi = names.iter().position(|n| n.starts_with("multi")).unwrap();
+        assert!(names[..first_multi].iter().all(|n| n.starts_with("single")));
+        // Single-core phases run one thread; multi-core phases run eight.
+        for p in w.phases() {
+            let expected = if p.name.starts_with("single") { 1 } else { 8 };
+            assert_eq!(p.demand.cpu.threads.len(), expected, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn cpu_sections_cover_crypto_int_fp() {
+        let w = gb5_cpu();
+        for section in ["crypto", "int", "fp"] {
+            assert!(
+                w.phases().iter().any(|p| p.name.contains(section)),
+                "missing {section} section"
+            );
+        }
+    }
+
+    #[test]
+    fn compute_has_eleven_workloads() {
+        // §III: "Geekbench 5 Compute contains 11 workloads".
+        assert_eq!(gb5_compute().phases().len(), 11);
+    }
+
+    #[test]
+    fn compute_is_gpu_offscreen_work() {
+        for p in gb5_compute().phases() {
+            let gpu = p.demand.gpu.as_ref().expect("compute dispatch");
+            assert_eq!(gpu.target, mwc_soc::gpu::RenderTarget::OffScreen);
+            assert!(gpu.shader_fraction > 0.9);
+        }
+    }
+}

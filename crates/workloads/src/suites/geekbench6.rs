@@ -1,0 +1,229 @@
+//! Geekbench 6 (Primate Labs): the CPU benchmark is split into
+//! productivity, developer, machine-learning, image-editing and
+//! image-synthesis sections; Compute has 8 workloads in four categories
+//! (Machine Learning, Image Editing, Image Synthesis, Simulation) (§III).
+//!
+//! Calibration hooks from the paper's Figure 1: Geekbench 6 CPU has the
+//! largest dynamic instruction count of all benchmarks (57 billion — the
+//! newer version clearly exceeding Geekbench 5), and Geekbench 6 Compute
+//! exhibits the highest average GPU load, which is why the paper's
+//! "Select + GPU" subset adds it (§VI-B).
+
+use mwc_soc::aie::DspKernel;
+use mwc_soc::cpu::{InstructionMix, ThreadDemand};
+use mwc_soc::gpu::GpuDemand;
+
+use crate::kernels::nn;
+use crate::phase::PhasedWorkload;
+use crate::suites::common::DemandBuilder;
+
+/// Runtime of Geekbench 6 CPU in seconds.
+pub const CPU_SECONDS: f64 = 540.0;
+/// Runtime of Geekbench 6 Compute in seconds.
+pub const COMPUTE_SECONDS: f64 = 243.16;
+
+/// Developer-section worker: the compression-engine profile derived from
+/// the [`crate::kernels::compress`] reference kernel.
+fn dev_thread(intensity: f64) -> ThreadDemand {
+    crate::kernels::compress::thread_demand(intensity)
+}
+
+fn productivity_thread(intensity: f64) -> ThreadDemand {
+    let mut t = ThreadDemand::new(intensity);
+    t.mix = InstructionMix::integer();
+    t.working_set_kib = 2048.0;
+    t.locality = 0.72;
+    t.ilp = 0.6;
+    t.branch_predictability = 0.84;
+    t
+}
+
+/// Image-synthesis worker: the ray-tracer profile derived from the
+/// [`crate::kernels::raytrace`] reference kernel.
+fn synth_thread(intensity: f64) -> ThreadDemand {
+    crate::kernels::raytrace::thread_demand(intensity)
+}
+
+fn media_thread(intensity: f64) -> ThreadDemand {
+    let mut t = ThreadDemand::new(intensity);
+    t.mix = InstructionMix::simd();
+    t.working_set_kib = 3072.0;
+    t.locality = 0.65;
+    t.ilp = 0.75;
+    t.branch_predictability = 0.93;
+    t
+}
+
+/// Geekbench 6 CPU: five sections, each with a single-core and a
+/// shared-task multi-core pass.
+pub fn gb6_cpu() -> PhasedWorkload {
+    // Geekbench runs a complete single-core pass over all five sections,
+    // then a complete multi-core pass (the spike of Observation #1).
+    PhasedWorkload::builder("Geekbench 6 CPU", CPU_SECONDS)
+        .phase(
+            "productivity-single",
+            0.1,
+            DemandBuilder::new().thread(productivity_thread(0.95)).memory(900.0, 1.5).build(),
+        )
+        .phase(
+            "developer-single",
+            0.1,
+            DemandBuilder::new().thread(dev_thread(0.95)).memory(950.0, 1.5).build(),
+        )
+        .phase(
+            "machine-learning-single",
+            0.08,
+            DemandBuilder::new()
+                .thread(nn::thread_demand(2_000_000, 0.95))
+                .aie(DspKernel::GemmLowPrecision, 0.35)
+                .memory(1200.0, 2.0)
+                .build(),
+        )
+        .phase(
+            "image-editing-single",
+            0.11,
+            DemandBuilder::new().thread(media_thread(0.95)).memory(1100.0, 2.0).build(),
+        )
+        .phase(
+            "image-synthesis-single",
+            0.11,
+            DemandBuilder::new().thread(synth_thread(0.95)).memory(1050.0, 2.0).build(),
+        )
+        .phase(
+            "productivity-multi",
+            0.1,
+            DemandBuilder::new().threads(8, productivity_thread(0.9)).memory(1100.0, 3.0).build(),
+        )
+        .phase(
+            "developer-multi",
+            0.1,
+            DemandBuilder::new().threads(8, dev_thread(0.9)).memory(1150.0, 3.5).build(),
+        )
+        .phase(
+            "machine-learning-multi",
+            0.08,
+            DemandBuilder::new()
+                .threads(8, nn::thread_demand(2_000_000, 0.88))
+                .aie(DspKernel::GemmLowPrecision, 0.4)
+                .memory(1350.0, 4.0)
+                .build(),
+        )
+        .phase(
+            "image-editing-multi",
+            0.11,
+            DemandBuilder::new().threads(8, media_thread(0.9)).memory(1300.0, 4.0).build(),
+        )
+        .phase(
+            "image-synthesis-multi",
+            0.11,
+            DemandBuilder::new().threads(8, synth_thread(0.92)).memory(1250.0, 4.0).build(),
+        )
+        .build()
+}
+
+/// Geekbench 6 Compute: 8 workloads in four categories; the highest
+/// average GPU load of any benchmark in the study.
+pub fn gb6_compute() -> PhasedWorkload {
+    let workloads: [(&str, f64); 8] = [
+        ("ml-style-transfer", 0.95),
+        ("ml-pose-estimation", 0.92),
+        ("image-edit-filters", 0.9),
+        ("image-edit-retouch", 0.88),
+        ("synthesis-ray-trace", 0.97),
+        ("synthesis-procedural", 0.93),
+        ("simulation-particles", 0.94),
+        ("simulation-fluid", 0.96),
+    ];
+    let mut b = PhasedWorkload::builder("Geekbench 6 Compute", COMPUTE_SECONDS);
+    for (name, intensity) in workloads {
+        let mut gpu = GpuDemand::compute(intensity);
+        gpu.shader_fraction = 0.96;
+        gpu.texture_mib = 280.0;
+        gpu.bus_fraction = 0.28;
+        b = b.phase(
+            name,
+            1.0,
+            DemandBuilder::new()
+                .threads(4, crate::suites::common::dispatch_thread(0.52))
+                .gpu(gpu)
+                .memory(1000.0, 3.0)
+                .build(),
+        );
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwc_soc::workload::Workload;
+
+    #[test]
+    fn durations() {
+        assert_eq!(gb6_cpu().duration_seconds(), CPU_SECONDS);
+        assert!((gb6_compute().duration_seconds() - COMPUTE_SECONDS).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cpu_covers_the_five_sections() {
+        let w = gb6_cpu();
+        for section in [
+            "productivity",
+            "developer",
+            "machine-learning",
+            "image-editing",
+            "image-synthesis",
+        ] {
+            assert!(
+                w.phases().iter().any(|p| p.name.starts_with(section)),
+                "missing {section}"
+            );
+        }
+    }
+
+    #[test]
+    fn compute_has_eight_workloads_in_four_categories() {
+        let w = gb6_compute();
+        assert_eq!(w.phases().len(), 8);
+        for cat in ["ml-", "image-edit-", "synthesis-", "simulation-"] {
+            assert_eq!(
+                w.phases().iter().filter(|p| p.name.starts_with(cat)).count(),
+                2,
+                "{cat} should have two workloads"
+            );
+        }
+    }
+
+    #[test]
+    fn gb6_is_heavier_than_gb5() {
+        // Newer versions run longer and at higher intensity (paper: GB6 CPU
+        // has the largest IC of all benchmarks).
+        assert!(CPU_SECONDS > crate::suites::geekbench5::CPU_SECONDS);
+        assert!(COMPUTE_SECONDS > crate::suites::geekbench5::COMPUTE_SECONDS);
+    }
+
+    #[test]
+    fn gb6_compute_demands_exceed_gb5_compute() {
+        let g6: f64 = gb6_compute()
+            .phases()
+            .iter()
+            .map(|p| p.demand.gpu.unwrap().intensity)
+            .sum::<f64>()
+            / 8.0;
+        let g5: f64 = crate::suites::geekbench5::gb5_compute()
+            .phases()
+            .iter()
+            .map(|p| p.demand.gpu.unwrap().intensity)
+            .sum::<f64>()
+            / 11.0;
+        assert!(g6 > g5, "GB6 Compute has the highest average GPU demand");
+    }
+
+    #[test]
+    fn ml_sections_offload_to_the_aie() {
+        let w = gb6_cpu();
+        for p in w.phases().iter().filter(|p| p.name.starts_with("machine-learning")) {
+            assert!(p.demand.aie.is_some(), "{}", p.name);
+        }
+    }
+}

@@ -1,0 +1,359 @@
+//! GFXBench v5 (Kishonti): 29 micro-benchmarks grouped into High-Level,
+//! Low-Level and Special (render-quality) categories (§III, §IV-A).
+//!
+//! * **High-Level** — four game-like scenes (Aztec Ruins, Car Chase,
+//!   Manhattan, T-Rex) executed with tweaked settings (API, resolution,
+//!   on-/off-screen) for 19 separate benchmarks.
+//! * **Low-Level** — 8 tests of specific aspects (ALU, driver overhead,
+//!   texturing, tessellation), each on- and off-screen.
+//! * **Special** — render-quality tests comparing a rendered frame to a
+//!   reference by PSNR/MSE in two precision tiers; the highest AIE load in
+//!   the study (Observation #5) and the smallest instruction count
+//!   (1 billion, Figure 1).
+//!
+//! Calibration hooks: OpenGL variants carry ~9.26% more GPU load than
+//! Vulkan (Observation #2); off-screen raises GPU load by ~14.5% for
+//! High-Level and ~62.85% for Low-Level tests (§V-B).
+
+use mwc_soc::aie::DspKernel;
+use mwc_soc::gpu::{GpuDemand, GraphicsApi, RenderTarget, Resolution};
+
+use crate::kernels::psnr;
+use crate::phase::PhasedWorkload;
+use crate::suites::common::{scene_worker, ui_thread, DemandBuilder};
+
+/// Runtime of the grouped High-Level unit in seconds.
+pub const HIGH_SECONDS: f64 = 650.0;
+/// Runtime of the grouped Low-Level unit in seconds.
+pub const LOW_SECONDS: f64 = 340.0;
+/// Runtime of the grouped Special unit in seconds.
+pub const SPECIAL_SECONDS: f64 = 60.0;
+
+/// GFXBench category, matching the benchmark designers' classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Game-like whole scenes.
+    HighLevel,
+    /// Targeted feature tests.
+    LowLevel,
+    /// Render-quality (visual fidelity) tests.
+    Special,
+}
+
+/// Static description of one GFXBench micro-benchmark.
+#[derive(Debug, Clone)]
+pub struct MicroBenchmark {
+    /// Test name (scene + settings).
+    pub name: &'static str,
+    /// Category per the designers' grouping.
+    pub category: Category,
+    /// Graphics API used.
+    pub api: GraphicsApi,
+    /// Render target.
+    pub target: RenderTarget,
+    /// Render resolution.
+    pub resolution: Resolution,
+    /// Scene complexity (see [`GpuDemand::intensity`]).
+    pub intensity: f64,
+    /// Resident texture footprint in MiB.
+    pub texture_mib: f64,
+}
+
+impl MicroBenchmark {
+    /// The GPU demand of this test.
+    pub fn gpu_demand(&self) -> GpuDemand {
+        GpuDemand {
+            api: self.api,
+            resolution: self.resolution,
+            target: self.target,
+            intensity: self.intensity,
+            shader_fraction: match self.category {
+                Category::HighLevel => 0.82,
+                Category::LowLevel => 0.6,
+                Category::Special => 0.5,
+            },
+            bus_fraction: match self.category {
+                Category::HighLevel => 0.55,
+                Category::LowLevel => 0.45,
+                Category::Special => 0.35,
+            },
+            texture_mib: self.texture_mib,
+        }
+    }
+
+    /// This micro-benchmark as an individually executable workload (a
+    /// GFXBench user can launch every test on its own).
+    pub fn workload(&self, duration_seconds: f64) -> PhasedWorkload {
+        let mut b = PhasedWorkload::builder(format!("GFXBench {}", self.name), duration_seconds);
+        b = b.phase(
+            self.name,
+            1.0,
+            cpu_side(self, DemandBuilder::new())
+                .gpu(self.gpu_demand())
+                .memory(texture_resident_mib(self.texture_mib), 2.0)
+                .build(),
+        );
+        b.build()
+    }
+}
+
+fn texture_resident_mib(texture_mib: f64) -> f64 {
+    400.0 + texture_mib * 0.3
+}
+
+const GL: GraphicsApi = GraphicsApi::OpenGlEs;
+const VK: GraphicsApi = GraphicsApi::Vulkan;
+const ON: RenderTarget = RenderTarget::OnScreen;
+const OFF: RenderTarget = RenderTarget::OffScreen;
+
+/// The 19 High-Level micro-benchmarks.
+pub fn high_level_tests() -> Vec<MicroBenchmark> {
+    use Resolution::*;
+    let m = |name, api, target, resolution, intensity, texture_mib| MicroBenchmark {
+        name,
+        category: Category::HighLevel,
+        api,
+        target,
+        resolution,
+        intensity,
+        texture_mib,
+    };
+    vec![
+        m("Aztec Ruins High (GL, on-screen)", GL, ON, FullHd, 0.85, 1900.0),
+        m("Aztec Ruins High (GL, 1440p off-screen)", GL, OFF, Qhd, 0.85, 2000.0),
+        m("Aztec Ruins High (Vulkan, on-screen)", VK, ON, FullHd, 0.85, 1900.0),
+        m("Aztec Ruins High (Vulkan, 1440p off-screen)", VK, OFF, Qhd, 0.85, 2000.0),
+        m("Aztec Ruins Normal (GL, on-screen)", GL, ON, FullHd, 0.8, 1500.0),
+        m("Aztec Ruins Normal (GL, 1080p off-screen)", GL, OFF, FullHd, 0.8, 1500.0),
+        m("Aztec Ruins Normal (Vulkan, on-screen)", VK, ON, FullHd, 0.8, 1500.0),
+        m("Aztec Ruins Normal (Vulkan, 1080p off-screen)", VK, OFF, FullHd, 0.8, 1500.0),
+        m("Aztec Ruins (GL, 4K off-screen)", GL, OFF, Uhd4K, 0.97, 1800.0),
+        m("Aztec Ruins (Vulkan, 4K off-screen)", VK, OFF, Uhd4K, 0.97, 1800.0),
+        m("Car Chase (GL, on-screen)", GL, ON, FullHd, 0.88, 1700.0),
+        m("Car Chase (GL, 1080p off-screen)", GL, OFF, FullHd, 0.88, 1700.0),
+        m("Manhattan 3.1 (GL, on-screen)", GL, ON, FullHd, 0.84, 1400.0),
+        m("Manhattan 3.1 (GL, 1080p off-screen)", GL, OFF, FullHd, 0.84, 1400.0),
+        m("Manhattan 3.1 (GL, 1440p off-screen)", GL, OFF, Qhd, 0.84, 1500.0),
+        m("Manhattan 3.0 (GL, on-screen)", GL, ON, FullHd, 0.76, 1200.0),
+        m("Manhattan 3.0 (GL, 1080p off-screen)", GL, OFF, FullHd, 0.76, 1200.0),
+        m("T-Rex (GL, on-screen)", GL, ON, FullHd, 0.62, 900.0),
+        m("T-Rex (GL, 1080p off-screen)", GL, OFF, FullHd, 0.62, 900.0),
+    ]
+}
+
+/// The 8 Low-Level micro-benchmarks.
+pub fn low_level_tests() -> Vec<MicroBenchmark> {
+    let m = |name, target, intensity| MicroBenchmark {
+        name,
+        category: Category::LowLevel,
+        api: GL,
+        target,
+        resolution: Resolution::FullHd,
+        intensity,
+        texture_mib: 600.0,
+    };
+    vec![
+        m("ALU 2 (on-screen)", ON, 0.6),
+        m("ALU 2 (off-screen)", OFF, 0.6),
+        m("Driver Overhead 2 (on-screen)", ON, 0.55),
+        m("Driver Overhead 2 (off-screen)", OFF, 0.55),
+        m("Texturing (on-screen)", ON, 0.58),
+        m("Texturing (off-screen)", OFF, 0.58),
+        m("Tessellation (on-screen)", ON, 0.56),
+        m("Tessellation (off-screen)", OFF, 0.56),
+    ]
+}
+
+/// The 2 Special (render-quality) micro-benchmarks.
+pub fn special_tests() -> Vec<MicroBenchmark> {
+    let m = |name, intensity| MicroBenchmark {
+        name,
+        category: Category::Special,
+        api: GL,
+        target: OFF,
+        resolution: Resolution::FullHd,
+        intensity,
+        texture_mib: 500.0,
+    };
+    vec![
+        m("Render Quality", 0.62),
+        m("Render Quality (high precision)", 0.65),
+    ]
+}
+
+/// All 29 micro-benchmarks, High then Low then Special.
+pub fn all_tests() -> Vec<MicroBenchmark> {
+    let mut all = high_level_tests();
+    all.extend(low_level_tests());
+    all.extend(special_tests());
+    all
+}
+
+fn cpu_side(t: &MicroBenchmark, b: DemandBuilder) -> DemandBuilder {
+    match t.category {
+        // Game-like scenes drag SIMD engine workers along; feature tests
+        // only need the driver/UI pool; the short render-quality tests are
+        // nearly CPU-idle (the paper's smallest instruction count).
+        Category::HighLevel => b.threads(4, scene_worker(0.55)),
+        Category::LowLevel => b.threads(4, ui_thread(0.55)),
+        Category::Special => b.threads(4, ui_thread(0.46)),
+    }
+}
+
+fn grouped(name: &str, duration: f64, tests: &[MicroBenchmark]) -> PhasedWorkload {
+    let mut b = PhasedWorkload::builder(name, duration);
+    for t in tests {
+        b = b.phase(
+            t.name,
+            1.0,
+            cpu_side(t, DemandBuilder::new())
+                .gpu(t.gpu_demand())
+                .memory(texture_resident_mib(t.texture_mib), 2.0)
+                .build(),
+        );
+    }
+    b.build()
+}
+
+/// The grouped High-Level unit (19 tests back to back).
+pub fn gfx_high() -> PhasedWorkload {
+    grouped("GFXBench High", HIGH_SECONDS, &high_level_tests())
+}
+
+/// The grouped Low-Level unit (8 tests back to back).
+pub fn gfx_low() -> PhasedWorkload {
+    grouped("GFXBench Low", LOW_SECONDS, &low_level_tests())
+}
+
+/// The grouped Special unit: each render-quality test renders a frame,
+/// then computes the PSNR comparison, which spikes the AIE and the CPU.
+pub fn gfx_special() -> PhasedWorkload {
+    let tests = special_tests();
+    let mut b = PhasedWorkload::builder("GFXBench Special", SPECIAL_SECONDS);
+    for (i, t) in tests.iter().enumerate() {
+        let high_precision = i == 1;
+        b = b
+            .phase(
+                format!("{} render", t.name),
+                0.3,
+                DemandBuilder::new()
+                    .threads(4, ui_thread(0.46))
+                    .gpu(t.gpu_demand())
+                    .memory(texture_resident_mib(t.texture_mib), 1.0)
+                    .build(),
+            )
+            .phase(
+                format!("{} psnr", t.name),
+                0.2,
+                DemandBuilder::new()
+                    .thread(psnr::thread_demand(1920, 1080, high_precision, 0.6))
+                    .threads(2, ui_thread(0.45))
+                    .gpu(GpuDemand {
+                        intensity: 0.35, // frame readback keeps the GPU warm
+                        ..t.gpu_demand()
+                    })
+                    .aie(DspKernel::Psnr, if high_precision { 1.0 } else { 0.95 })
+                    .memory(600.0, 2.0)
+                    .build(),
+            );
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwc_soc::workload::Workload;
+
+    #[test]
+    fn twenty_nine_micro_benchmarks() {
+        // §IV-A: "we have grouped its 29 micro-benchmarks into three
+        // categories".
+        assert_eq!(all_tests().len(), 29);
+        assert_eq!(high_level_tests().len(), 19);
+        assert_eq!(low_level_tests().len(), 8);
+        assert_eq!(special_tests().len(), 2);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let tests = all_tests();
+        let mut names: Vec<&str> = tests.iter().map(|t| t.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 29);
+    }
+
+    #[test]
+    fn high_level_has_the_four_scenes() {
+        let tests = high_level_tests();
+        for scene in ["Aztec Ruins", "Car Chase", "Manhattan", "T-Rex"] {
+            assert!(tests.iter().any(|t| t.name.starts_with(scene)), "{scene}");
+        }
+    }
+
+    #[test]
+    fn aztec_has_4k_manhattan_has_1440p() {
+        // §V-B: Manhattan can be executed at 2K QHD; Aztec Ruins adds 4K.
+        let tests = high_level_tests();
+        assert!(tests
+            .iter()
+            .any(|t| t.name.contains("Aztec") && t.resolution == Resolution::Uhd4K));
+        assert!(tests
+            .iter()
+            .any(|t| t.name.contains("Manhattan") && t.resolution == Resolution::Qhd));
+        assert!(!tests
+            .iter()
+            .any(|t| t.name.contains("Manhattan") && t.resolution == Resolution::Uhd4K));
+    }
+
+    #[test]
+    fn low_level_pairs_on_and_off_screen() {
+        let tests = low_level_tests();
+        let on = tests.iter().filter(|t| t.target == RenderTarget::OnScreen).count();
+        assert_eq!(on, 4);
+        assert_eq!(tests.len() - on, 4);
+    }
+
+    #[test]
+    fn grouped_unit_durations() {
+        assert_eq!(gfx_high().duration_seconds(), HIGH_SECONDS);
+        assert_eq!(gfx_low().duration_seconds(), LOW_SECONDS);
+        assert_eq!(gfx_special().duration_seconds(), SPECIAL_SECONDS);
+    }
+
+    #[test]
+    fn special_interleaves_render_and_psnr() {
+        let w = gfx_special();
+        assert_eq!(w.phases().len(), 4);
+        assert!(w.phases()[1].name.ends_with("psnr"));
+        let psnr_phase = &w.phases()[3];
+        let aie = psnr_phase.demand.aie.as_ref().unwrap();
+        assert!(matches!(aie.kernel, DspKernel::Psnr));
+        assert!(aie.intensity >= 1.0, "highest AIE load in the study");
+    }
+
+    #[test]
+    fn high_level_mixes_apis_for_the_same_scene() {
+        // Needed for the Observation-#2 OpenGL-vs-Vulkan comparison.
+        let tests = high_level_tests();
+        let gl = tests
+            .iter()
+            .filter(|t| t.name.contains("Aztec Ruins High") && t.api == GraphicsApi::OpenGlEs)
+            .count();
+        let vk = tests
+            .iter()
+            .filter(|t| t.name.contains("Aztec Ruins High") && t.api == GraphicsApi::Vulkan)
+            .count();
+        assert_eq!(gl, 2);
+        assert_eq!(vk, 2);
+    }
+
+    #[test]
+    fn individual_workload_constructor() {
+        let t = &high_level_tests()[0];
+        let w = t.workload(30.0);
+        assert_eq!(w.duration_seconds(), 30.0);
+        assert!(Workload::name(&w).contains("Aztec"));
+    }
+}

@@ -1,0 +1,10 @@
+//! The seven commercial benchmark suites of Table I.
+
+pub mod aitutu;
+pub mod antutu;
+pub mod common;
+pub mod geekbench5;
+pub mod geekbench6;
+pub mod gfxbench;
+pub mod pcmark;
+pub mod threedmark;

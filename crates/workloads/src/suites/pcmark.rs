@@ -1,0 +1,223 @@
+//! PCMark Android (UL): Work 3.0 (everyday activities) and Storage 2.0
+//! (IO performance) (§III).
+//!
+//! Encoded behaviour from the paper:
+//!
+//! * Work's video- and photo-editing sections keep the majority of GPU
+//!   shaders busy for sustained periods even though Work is not a graphics
+//!   benchmark (Observation #3), and its video editing raises AIE load
+//!   (Observation #5).
+//! * Storage measures internal/external IO and database performance; it is
+//!   the shortest benchmark of its cluster and anchors the paper's Naive
+//!   subset.
+
+use mwc_soc::aie::{Codec, DspKernel};
+use mwc_soc::cpu::{InstructionMix, ThreadDemand};
+use mwc_soc::gpu::{GpuDemand, GraphicsApi, RenderTarget, Resolution};
+use mwc_soc::storage::IoDemand;
+
+use crate::phase::PhasedWorkload;
+use crate::suites::common::{data_thread, io_thread, DemandBuilder};
+
+/// Runtime of PCMark Work 3.0 in seconds.
+pub const WORK_SECONDS: f64 = 520.0;
+/// Runtime of PCMark Storage 2.0 in seconds.
+pub const STORAGE_SECONDS: f64 = 85.0;
+
+fn media_thread(intensity: f64) -> ThreadDemand {
+    let mut t = ThreadDemand::new(intensity);
+    t.mix = InstructionMix::simd();
+    t.working_set_kib = 3072.0;
+    t.locality = 0.72;
+    t.ilp = 0.72;
+    t.branch_predictability = 0.9;
+    t
+}
+
+fn editing_gpu(intensity: f64) -> GpuDemand {
+    GpuDemand {
+        api: GraphicsApi::OpenGlEs,
+        resolution: Resolution::FullHd,
+        target: RenderTarget::OffScreen,
+        intensity,
+        // Editing filters run as fragment shaders: nearly all the GPU work
+        // is shader work (Observation #3's sustained shader occupancy).
+        shader_fraction: 0.95,
+        bus_fraction: 0.4,
+        texture_mib: 800.0,
+    }
+}
+
+/// PCMark Work 3.0.
+pub fn pcmark_work() -> PhasedWorkload {
+    PhasedWorkload::builder("PCMark Work", WORK_SECONDS)
+        .phase(
+            "web-browsing",
+            0.2,
+            DemandBuilder::new()
+                .threads(4, data_thread(0.55, 2048.0))
+                .gpu(GpuDemand {
+                    api: GraphicsApi::OpenGlEs,
+                    resolution: Resolution::FullHd,
+                    target: RenderTarget::OnScreen,
+                    intensity: 0.12,
+                    shader_fraction: 0.55,
+                    bus_fraction: 0.3,
+                    texture_mib: 450.0,
+                })
+                .memory(850.0, 1.0)
+                .build(),
+        )
+        .phase(
+            "video-editing",
+            0.16,
+            DemandBuilder::new()
+                .threads(2, media_thread(0.55))
+                .gpu(editing_gpu(0.6))
+                .aie(DspKernel::VideoEncode(Codec::H265), 0.75)
+                .memory(1100.0, 3.0)
+                .build(),
+        )
+        .phase(
+            "writing",
+            0.22,
+            DemandBuilder::new()
+                .threads(4, data_thread(0.55, 1536.0))
+                .memory(800.0, 0.8)
+                .build(),
+        )
+        .phase(
+            "photo-editing",
+            0.18,
+            DemandBuilder::new()
+                .threads(2, media_thread(0.6))
+                .gpu(editing_gpu(0.65))
+                .aie(DspKernel::DisplayAssist, 0.35)
+                .memory(1050.0, 2.5)
+                .build(),
+        )
+        .phase(
+            "data-manipulation",
+            0.24,
+            DemandBuilder::new()
+                .threads(4, data_thread(0.55, 3072.0))
+                .memory(900.0, 1.5)
+                .build(),
+        )
+        .build()
+}
+
+/// PCMark Storage 2.0.
+pub fn pcmark_storage() -> PhasedWorkload {
+    PhasedWorkload::builder("PCMark Storage", STORAGE_SECONDS)
+        .phase(
+            "sequential-read",
+            0.22,
+            DemandBuilder::new()
+                .threads(3, io_thread(0.68))
+                .io(IoDemand::sequential(2000.0, 0.0))
+                .memory(700.0, 2.0)
+                .build(),
+        )
+        .phase(
+            "sequential-write",
+            0.18,
+            DemandBuilder::new()
+                .threads(3, io_thread(0.68))
+                .io(IoDemand::sequential(0.0, 1150.0))
+                .memory(700.0, 1.5)
+                .build(),
+        )
+        .phase(
+            "random-read",
+            0.2,
+            DemandBuilder::new()
+                .threads(3, io_thread(0.68))
+                .io(IoDemand::random(300.0, 0.0))
+                .memory(650.0, 0.8)
+                .build(),
+        )
+        .phase(
+            "random-write",
+            0.17,
+            DemandBuilder::new()
+                .threads(3, io_thread(0.68))
+                .io(IoDemand::random(0.0, 260.0))
+                .memory(650.0, 0.8)
+                .build(),
+        )
+        .phase(
+            "database",
+            0.23,
+            DemandBuilder::new()
+                .threads(3, data_thread(0.5, 2048.0))
+                .io(IoDemand::random(160.0, 130.0))
+                .memory(750.0, 1.0)
+                .build(),
+        )
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwc_soc::workload::Workload;
+
+    #[test]
+    fn durations() {
+        assert_eq!(pcmark_work().duration_seconds(), WORK_SECONDS);
+        assert_eq!(pcmark_storage().duration_seconds(), STORAGE_SECONDS);
+    }
+
+    #[test]
+    fn work_editing_phases_keep_shaders_busy() {
+        // Observation #3: GPU shader use is not limited to graphics
+        // benchmarks — Work's video/photo editing sustains it.
+        let w = pcmark_work();
+        for name in ["video-editing", "photo-editing"] {
+            let p = w.phases().iter().find(|p| p.name == name).unwrap();
+            let gpu = p.demand.gpu.as_ref().unwrap();
+            assert!(gpu.shader_fraction > 0.9, "{name}");
+            assert!(gpu.intensity >= 0.6, "{name}");
+        }
+    }
+
+    #[test]
+    fn video_editing_uses_the_aie_encoder() {
+        let w = pcmark_work();
+        let p = w.phases().iter().find(|p| p.name == "video-editing").unwrap();
+        assert!(matches!(
+            p.demand.aie.as_ref().unwrap().kernel,
+            DspKernel::VideoEncode(Codec::H265)
+        ));
+    }
+
+    #[test]
+    fn storage_covers_seq_random_and_database() {
+        let w = pcmark_storage();
+        let names: Vec<&str> = w.phases().iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "sequential-read",
+                "sequential-write",
+                "random-read",
+                "random-write",
+                "database"
+            ]
+        );
+        assert!(w.phases().iter().all(|p| p.demand.io.is_some()));
+    }
+
+    #[test]
+    fn storage_is_not_cpu_heavy() {
+        // The driver threads never demand more than three little cores'
+        // worth of time, and no thread is heavy enough for the big core.
+        let w = pcmark_storage();
+        for p in w.phases() {
+            let total: f64 = p.demand.cpu.threads.iter().map(|t| t.intensity).sum();
+            assert!(total < 2.5, "{} should be IO-bound", p.name);
+            assert!(p.demand.cpu.threads.iter().all(|t| t.intensity < 0.7));
+        }
+    }
+}

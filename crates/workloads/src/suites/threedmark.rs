@@ -1,0 +1,276 @@
+//! 3DMark Android v2 (UL): Sling Shot and Wild Life, each with an Extreme
+//! variant.
+//!
+//! Structure encoded from §III and §V-B of the paper:
+//!
+//! * Sling Shot runs two graphics tests plus a *physics test* that
+//!   "measures CPU performance while minimizing the GPU workload", has
+//!   three successively more intensive levels and is highly multi-threaded
+//!   (the steep CPU-load increase of Observation #1).
+//! * Wild Life runs for about one minute and mirrors "mobile games that
+//!   have short bursts of intense activity"; with Wild Life Extreme it
+//!   applies FFT-based post-processing that exercises the AIE
+//!   (Observation #5). Wild Life Extreme renders at a higher resolution and
+//!   holds the largest average memory footprint the paper measures
+//!   (3.8 GiB, Observation #6).
+
+use mwc_soc::aie::DspKernel;
+use mwc_soc::gpu::{GpuDemand, GraphicsApi, RenderTarget, Resolution};
+use mwc_soc::storage::IoDemand;
+
+use crate::kernels::physics;
+use crate::phase::PhasedWorkload;
+use crate::suites::common::{scene_worker, ui_thread, DemandBuilder};
+
+fn scene(api: GraphicsApi, resolution: Resolution, intensity: f64, texture_mib: f64) -> GpuDemand {
+    GpuDemand {
+        api,
+        resolution,
+        target: RenderTarget::OnScreen,
+        intensity,
+        shader_fraction: 0.78,
+        bus_fraction: 0.5,
+        texture_mib,
+    }
+}
+
+fn slingshot_variant(
+    name: &str,
+    duration: f64,
+    resolution: Resolution,
+    gfx_intensity: f64,
+    texture_mib: f64,
+) -> PhasedWorkload {
+    let gl = GraphicsApi::OpenGlEs;
+    let mut b = PhasedWorkload::builder(name, duration)
+        .phase(
+            "loading",
+            0.05,
+            DemandBuilder::new()
+                .thread(ui_thread(0.3))
+                .io(IoDemand::sequential(700.0, 0.0))
+                .memory(500.0, 0.5)
+                .build(),
+        )
+        .phase(
+            "graphics-test-1",
+            0.385,
+            DemandBuilder::new()
+                .threads(4, scene_worker(0.55))
+                .gpu(scene(gl, resolution, gfx_intensity, texture_mib))
+                .memory(400.0, 1.0)
+                .build(),
+        )
+        .phase(
+            "inter-test-load",
+            0.03,
+            DemandBuilder::new()
+                .thread(ui_thread(0.25))
+                .io(IoDemand::sequential(500.0, 0.0))
+                .memory(450.0, 0.5)
+                .build(),
+        )
+        .phase(
+            "graphics-test-2",
+            0.385,
+            DemandBuilder::new()
+                .threads(4, scene_worker(0.55))
+                .gpu(scene(gl, resolution, gfx_intensity + 0.05, texture_mib + 150.0))
+                .memory(450.0, 1.2)
+                .build(),
+        );
+    // The physics test: three successively more intensive multi-threaded
+    // levels with the GPU nearly idle.
+    for (i, (threads, intensity)) in [(4usize, 0.6f64), (5, 0.75), (6, 0.88)].iter().enumerate() {
+        b = b.phase(
+            format!("physics-level-{}", i + 1),
+            0.05,
+            DemandBuilder::new()
+                .threads(*threads, physics::thread_demand(i, *intensity))
+                .gpu(scene(gl, Resolution::FullHd, 0.12, 250.0))
+                .memory(600.0, 0.8)
+                .build(),
+        );
+    }
+    b.build()
+}
+
+/// 3DMark Sling Shot (OpenGL ES, Full HD).
+pub fn slingshot() -> PhasedWorkload {
+    slingshot_variant("3DMark Slingshot", 310.0, Resolution::FullHd, 0.85, 1250.0)
+}
+
+/// 3DMark Sling Shot Extreme (OpenGL ES, 2560×1440).
+pub fn slingshot_extreme() -> PhasedWorkload {
+    slingshot_variant("3DMark Slingshot Extreme", 330.0, Resolution::Qhd, 0.88, 1450.0)
+}
+
+fn wild_life_variant(
+    name: &str,
+    duration: f64,
+    resolution: Resolution,
+    intensity: f64,
+    texture_mib: f64,
+    cpu_workers: usize,
+) -> PhasedWorkload {
+    let vk = GraphicsApi::Vulkan;
+    // Game-engine worker threads: SIMD-flavoured culling/animation work.
+    let mut worker = ui_thread(0.55);
+    worker.mix = mwc_soc::cpu::InstructionMix::simd();
+    worker.working_set_kib = 1024.0;
+    worker.locality = 0.65;
+    worker.ilp = 0.6;
+    PhasedWorkload::builder(name, duration)
+        .phase(
+            "burst-render",
+            0.62,
+            DemandBuilder::new()
+                .threads(cpu_workers, worker.clone())
+                .gpu(GpuDemand {
+                    api: vk,
+                    resolution,
+                    target: RenderTarget::OnScreen,
+                    intensity,
+                    shader_fraction: 0.85,
+                    bus_fraction: 0.55,
+                    texture_mib,
+                })
+                .memory(650.0, 2.0)
+                .build(),
+        )
+        .phase(
+            "post-processing-fft",
+            0.22,
+            DemandBuilder::new()
+                .threads(cpu_workers, worker)
+                .gpu(GpuDemand {
+                    api: vk,
+                    resolution,
+                    target: RenderTarget::OnScreen,
+                    intensity: intensity - 0.1,
+                    shader_fraction: 0.9,
+                    bus_fraction: 0.6,
+                    texture_mib,
+                })
+                .aie(DspKernel::Fft, 0.6)
+                .memory(700.0, 2.2)
+                .build(),
+        )
+        .phase(
+            "score-screen",
+            0.16,
+            DemandBuilder::new()
+                .thread(ui_thread(0.25))
+                .gpu(GpuDemand {
+                    api: vk,
+                    resolution: Resolution::FullHd,
+                    target: RenderTarget::OnScreen,
+                    intensity: 0.2,
+                    shader_fraction: 0.5,
+                    bus_fraction: 0.3,
+                    texture_mib: 400.0,
+                })
+                .memory(500.0, 0.5)
+                .build(),
+        )
+        .build()
+}
+
+/// 3DMark Wild Life (Vulkan, Full HD, ~1 minute burst).
+pub fn wild_life() -> PhasedWorkload {
+    wild_life_variant("3DMark Wild Life", 65.0, Resolution::FullHd, 0.9, 1900.0, 4)
+}
+
+/// 3DMark Wild Life Extreme (Vulkan, 4K-class rendering, the largest
+/// average memory footprint of all benchmarks).
+pub fn wild_life_extreme() -> PhasedWorkload {
+    wild_life_variant(
+        "3DMark Wild Life Extreme",
+        80.0,
+        Resolution::Uhd4K,
+        0.93,
+        2450.0,
+        5,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwc_soc::workload::Workload;
+
+    #[test]
+    fn durations_match_calibration() {
+        assert_eq!(slingshot().duration_seconds(), 310.0);
+        assert_eq!(slingshot_extreme().duration_seconds(), 330.0);
+        assert_eq!(wild_life().duration_seconds(), 65.0);
+        assert_eq!(wild_life_extreme().duration_seconds(), 80.0);
+    }
+
+    #[test]
+    fn wild_life_runs_about_a_minute() {
+        // §III: "Wild Life runs for approximately one minute".
+        let d = wild_life().duration_seconds();
+        assert!((55.0..=75.0).contains(&d));
+    }
+
+    #[test]
+    fn slingshot_physics_is_multithreaded_and_gpu_light() {
+        let w = slingshot();
+        let physics: Vec<_> = w
+            .phases()
+            .iter()
+            .filter(|p| p.name.starts_with("physics"))
+            .collect();
+        assert_eq!(physics.len(), 3, "three physics levels");
+        for p in &physics {
+            assert!(p.demand.cpu.threads.len() >= 4, "highly multi-threaded");
+            let gpu = p.demand.gpu.as_ref().unwrap();
+            assert!(gpu.intensity < 0.2, "physics minimizes GPU work");
+        }
+        // Successively more intensive levels.
+        let loads: Vec<f64> = physics
+            .iter()
+            .map(|p| p.demand.cpu.threads.iter().map(|t| t.intensity).sum())
+            .collect();
+        assert!(loads[0] < loads[1] && loads[1] < loads[2]);
+    }
+
+    #[test]
+    fn wild_life_uses_vulkan_slingshot_opengl() {
+        let wl = wild_life();
+        let burst = &wl.phases()[0];
+        assert_eq!(
+            burst.demand.gpu.as_ref().unwrap().api,
+            mwc_soc::gpu::GraphicsApi::Vulkan
+        );
+        let ss = slingshot();
+        let gfx = &ss.phases()[1];
+        assert_eq!(
+            gfx.demand.gpu.as_ref().unwrap().api,
+            mwc_soc::gpu::GraphicsApi::OpenGlEs
+        );
+    }
+
+    #[test]
+    fn wild_life_post_processing_uses_fft_on_aie() {
+        let wl = wild_life();
+        let pp = wl
+            .phases()
+            .iter()
+            .find(|p| p.name.contains("fft"))
+            .expect("post-processing phase");
+        assert!(matches!(
+            pp.demand.aie.as_ref().unwrap().kernel,
+            mwc_soc::aie::DspKernel::Fft
+        ));
+    }
+
+    #[test]
+    fn extreme_variants_are_heavier() {
+        let wl = wild_life().phases()[0].demand.gpu.unwrap();
+        let wle = wild_life_extreme().phases()[0].demand.gpu.unwrap();
+        assert!(wle.texture_mib > wl.texture_mib);
+        assert!(wle.resolution.work_scale() > wl.resolution.work_scale());
+    }
+}

@@ -1,0 +1,64 @@
+//! Benchmark subsetting end to end: run the study, cluster the benchmarks,
+//! validate the cluster count, build the paper's three reduced sets and
+//! evaluate their representativeness (§VI of the paper).
+//!
+//! ```sh
+//! cargo run --release --example benchmark_subsetting
+//! ```
+
+use mobile_workload_characterization::prelude::*;
+use mwc_analysis::validation::Algorithm;
+use mwc_core::features::clustering_matrix;
+use mwc_core::{figures, subsets};
+
+fn main() {
+    println!("running the 18-unit study (3 runs each)...");
+    let study = Characterization::run_default();
+
+    // 1. Validate the cluster count (Figure 4).
+    let sweep = figures::fig4(&study).expect("sweep succeeds");
+    println!("\ncluster-count validation:");
+    for alg in Algorithm::ALL {
+        println!(
+            "  {:<12} Dunn -> k={}, Silhouette -> k={}, APN -> k={}, AD -> k={}",
+            alg.name(),
+            sweep.best_k_by_dunn(alg).unwrap(),
+            sweep.best_k_by_silhouette(alg).unwrap(),
+            sweep.best_k_by_apn(alg).unwrap(),
+            sweep.best_k_by_ad(alg).unwrap(),
+        );
+    }
+
+    // 2. Cluster at k = 5 with all three algorithms; they agree.
+    let m = clustering_matrix(&study);
+    let km = kmeans(&m, 5, 42).expect("k valid");
+    let pm = pam(&m, 5, 42).expect("k valid");
+    let hc = hierarchical(&m, Linkage::Ward).expect("non-empty").cut(5).expect("k valid");
+    println!("\nk-means == PAM:          {}", km.same_partition(&pm));
+    println!("k-means == hierarchical: {}", km.same_partition(&hc));
+    println!("\nclusters:");
+    for (i, members) in km.members().iter().enumerate() {
+        let names: Vec<&str> = members.iter().map(|&j| study.names()[j]).collect();
+        println!("  {}: {}", i + 1, names.join(", "));
+    }
+
+    // 3. Build and evaluate the three reduced sets (Table VI, Figure 7).
+    let naive = subsets::naive_subset(&study, &km);
+    let select = subsets::select_subset(&study);
+    let plus = subsets::select_plus_gpu_subset(&study);
+    println!("\nreduced sets:");
+    for subset in [&naive, &select, &plus] {
+        println!(
+            "  {:<18} {:>7.1} s  (-{:.2}%)  representativeness {:.2}  members: {}",
+            subset.kind.name(),
+            subset.running_time(&study),
+            subset.reduction_percent(&study),
+            subset.representativeness(&study),
+            subset.names(&study).join(" | ")
+        );
+    }
+    println!(
+        "\nthe Select + GPU set cuts evaluation time by {:.1}% while covering every cluster",
+        plus.reduction_percent(&study)
+    );
+}

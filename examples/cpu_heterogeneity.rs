@@ -1,0 +1,50 @@
+//! CPU heterogeneity analysis (§V-C of the paper): per-cluster load-level
+//! maps for a few contrasting benchmarks and the Table-V residency
+//! summary, demonstrating Observations #7–#9.
+//!
+//! ```sh
+//! cargo run --release --example cpu_heterogeneity
+//! ```
+
+use mobile_workload_characterization::prelude::*;
+use mwc_core::tables::table5_text;
+use mwc_report::heat::{heat_row, level_histogram, LEVEL_GLYPHS};
+
+fn main() {
+    println!("running the 18-unit study (single run per unit)...");
+    let study = Characterization::run(SocConfig::snapdragon_888(), 2024, 1);
+
+    println!(
+        "\nload levels: {} 0-25%  {} 25-50%  {} 50-75%  {} 75-100%",
+        LEVEL_GLYPHS[0], LEVEL_GLYPHS[1], LEVEL_GLYPHS[2], LEVEL_GLYPHS[3]
+    );
+
+    // Contrast a GPU test (littles only), a single-core-then-multi-core CPU
+    // test (big saturated, spike at the end), and the mid-cluster outlier.
+    for name in ["3DMark Wild Life", "Geekbench 5 CPU", "Aitutu", "PCMark Storage"] {
+        let p = study.profile(name).expect("known unit");
+        println!("\n{name}");
+        for (label, series) in [
+            ("little", &p.series.little_load),
+            ("mid   ", &p.series.mid_load),
+            ("big   ", &p.series.big_load),
+        ] {
+            let resampled = series.resample(64);
+            let hist = level_histogram(&series.values);
+            println!(
+                "  {label}  {}  [{}]",
+                heat_row(&resampled.values),
+                hist.map(|v| format!("{:.0}%", v * 100.0)).join(" ")
+            );
+        }
+    }
+
+    println!("\nTable V (residency averaged over all 18 units):");
+    print!("{}", table5_text(&study));
+
+    // Observations #7–#9 as a summary.
+    println!("heterogeneity observations:");
+    for o in check_all(&study).into_iter().filter(|o| o.id >= 7) {
+        println!("  #{} [{}] {}", o.id, if o.holds { "HOLDS" } else { "FAILS" }, o.statement);
+    }
+}

@@ -1,0 +1,46 @@
+//! Quickstart: profile one commercial benchmark on the simulated platform.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds the paper's platform (Snapdragon 888 HDK, Table II), runs 3DMark
+//! Wild Life three times (the paper's protocol), and prints the averaged
+//! benchmark-level metrics plus a couple of time series.
+
+use mobile_workload_characterization::prelude::*;
+use mwc_report::sparkline::labelled_sparkline;
+use mwc_workloads::suites::threedmark;
+
+fn main() {
+    // 1. The platform of the paper's Table II.
+    let platform = SocConfig::snapdragon_888();
+    println!("platform: {}", platform.name);
+    println!("cores: {} across {} clusters\n", platform.total_cores(), platform.clusters.len());
+
+    // 2. Attach the profiler and capture three runs of Wild Life.
+    let engine = Engine::new(platform, 2024).expect("preset validates");
+    let mut profiler = Profiler::new(engine, 2024);
+    let workload = threedmark::wild_life();
+    let captures = profiler.capture(&workload);
+
+    // 3. Averaged benchmark-level metrics (a Figure-1 row).
+    let metrics = BenchmarkMetrics::from_captures(&captures);
+    println!("benchmark: {}", metrics.name);
+    println!("  runtime            {:.1} s", metrics.runtime_seconds);
+    println!("  instructions       {:.1} bn", metrics.instruction_count / 1e9);
+    println!("  IPC                {:.2}", metrics.ipc);
+    println!("  cache MPKI         {:.1}", metrics.cache_mpki);
+    println!("  branch MPKI        {:.2}", metrics.branch_mpki);
+    println!("  GPU load           {:.0}%", metrics.gpu_load * 100.0);
+    println!("  shaders busy       {:.0}%", metrics.gpu_shaders_busy * 100.0);
+    println!("  AIE load           {:.1}%", metrics.aie_load * 100.0);
+    println!("  memory used        {:.1}%", metrics.memory_used_fraction * 100.0);
+
+    // 4. Temporal view of the first run, resampled to 60 bins.
+    println!("\ntemporal behaviour (first run):");
+    for key in [SeriesKey::CpuLoad, SeriesKey::GpuLoad, SeriesKey::AieLoad] {
+        let series = captures[0].series(key).resample(60);
+        println!("  {}", labelled_sparkline(&key.name(), &series.values, 14));
+    }
+}

@@ -1,0 +1,60 @@
+//! Temporal behaviour deep dive (§V-B of the paper): watch Antutu UX's
+//! video-decode tail shift work from the AIE to the CPU when the codec
+//! (AV1) has no hardware support, and Geekbench's single-core → multi-core
+//! load spike.
+//!
+//! ```sh
+//! cargo run --release --example temporal_behaviour
+//! ```
+
+use mobile_workload_characterization::prelude::*;
+use mwc_report::sparkline::labelled_sparkline;
+use mwc_workloads::suites::{antutu, geekbench5};
+
+fn profile(workload: &dyn Workload, seed: u64) -> mwc_profiler::capture::Capture {
+    let engine = Engine::new(SocConfig::snapdragon_888(), seed).expect("preset validates");
+    let mut profiler = Profiler::new(engine, seed);
+    profiler.capture_runs(workload, 1).remove(0)
+}
+
+fn main() {
+    // --- Antutu UX: the AV1 fallback ------------------------------------
+    let ux = antutu::antutu_ux();
+    let capture = profile(&ux, 7);
+    println!("Antutu UX ({}s) — video tests run at the end:", ux.duration_seconds());
+    for key in [SeriesKey::CpuLoad, SeriesKey::AieLoad] {
+        let s = capture.series(key).resample(72);
+        println!("  {}", labelled_sparkline(&key.name(), &s.values, 10));
+    }
+    // Quantify: CPU load during the AV1 phase vs the hardware-decoded ones.
+    let cpu = capture.series(SeriesKey::CpuLoad);
+    let n = cpu.len();
+    let slice_mean = |a: f64, b: f64| -> f64 {
+        let (s, e) = ((a * n as f64) as usize, (b * n as f64) as usize);
+        cpu.values[s..e].iter().sum::<f64>() / (e - s) as f64
+    };
+    // Phase layout: H.264/H.265/VP9 occupy 68%..92%, AV1 the last 8%.
+    let hw_decode = slice_mean(0.70, 0.90);
+    let av1 = slice_mean(0.93, 1.0);
+    println!(
+        "  CPU load during hardware-decoded codecs: {:.2}; during AV1 software decode: {:.2} ({}x)",
+        hw_decode,
+        av1,
+        (av1 / hw_decode).round()
+    );
+
+    // --- Geekbench 5 CPU: the multi-core spike ---------------------------
+    let gb5 = geekbench5::gb5_cpu();
+    let capture = profile(&gb5, 11);
+    println!("\nGeekbench 5 CPU — single-core first half, multi-core second half:");
+    let s = capture.series(SeriesKey::CpuLoad).resample(72);
+    println!("  {}", labelled_sparkline("cpu.load", &s.values, 10));
+    let cpu = capture.series(SeriesKey::CpuLoad);
+    let half = cpu.len() / 2;
+    let single = cpu.values[..half].iter().sum::<f64>() / half as f64;
+    let multi = cpu.values[half..].iter().sum::<f64>() / (cpu.len() - half) as f64;
+    println!(
+        "  single-core mean load {:.2} (paper: ~30%), multi-core mean load {:.2}",
+        single, multi
+    );
+}

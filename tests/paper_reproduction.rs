@@ -1,0 +1,210 @@
+//! End-to-end reproduction checks: the headline results of the paper must
+//! emerge from the full pipeline (simulator → workloads → profiler →
+//! analysis).
+
+use std::sync::OnceLock;
+
+use mobile_workload_characterization::prelude::*;
+use mwc_analysis::validation::Algorithm;
+use mwc_core::features::clustering_matrix;
+use mwc_core::{figures, subsets, tables};
+use mwc_workloads::registry::ClusterLabel;
+
+/// One shared single-run study per test binary (the paper's three-run
+/// averaging only tightens the same numbers).
+fn study() -> &'static Characterization {
+    static STUDY: OnceLock<Characterization> = OnceLock::new();
+    STUDY.get_or_init(|| Characterization::run(SocConfig::snapdragon_888(), 2024, 1))
+}
+
+fn ground_truth() -> Clustering {
+    let labels: Vec<usize> = study().profiles().iter().map(|p| p.label as usize).collect();
+    Clustering::new(labels, 5).expect("five labels")
+}
+
+#[test]
+fn all_three_clustering_algorithms_agree_on_the_papers_partition() {
+    // §VI-A: "all three algorithms group the sub-benchmarks identically",
+    // and the grouping separates Antutu GPU from the other Antutu parts.
+    let m = clustering_matrix(study());
+    let km = kmeans(&m, 5, 42).expect("k valid");
+    let pm = pam(&m, 5, 42).expect("k valid");
+    let hc = hierarchical(&m, Linkage::Ward).expect("data").cut(5).expect("k valid");
+    let truth = ground_truth();
+    assert!(km.same_partition(&truth), "k-means deviates from the paper's grouping");
+    assert!(pm.same_partition(&truth), "PAM deviates from the paper's grouping");
+    assert!(hc.same_partition(&truth), "hierarchical deviates from the paper's grouping");
+}
+
+#[test]
+fn internal_validation_picks_five_clusters_for_every_algorithm() {
+    // §VI-A / Figure 4: the optimal number of clusters is 5 for the
+    // internal measures regardless of technique; AD is biased high.
+    let sweep = figures::fig4(study()).expect("sweep succeeds");
+    for alg in Algorithm::ALL {
+        assert_eq!(sweep.best_k_by_dunn(alg), Some(5), "{alg:?} Dunn");
+        assert_eq!(sweep.best_k_by_silhouette(alg), Some(5), "{alg:?} silhouette");
+        let ad = sweep.best_k_by_ad(alg).expect("sweep non-empty");
+        assert!(ad >= 5, "{alg:?} AD prefers the high end, got {ad}");
+    }
+}
+
+#[test]
+fn table6_running_times_match_the_paper() {
+    let t = tables::table6(study(), &ground_truth());
+    assert!((t.original_seconds - 4429.5).abs() < 1.0, "original set runtime");
+    let expected = [(401.7, 90.93), (865.2, 80.47), (1108.36, 74.98)];
+    for ((_, time, reduction), (paper_time, paper_reduction)) in t.rows.iter().zip(expected) {
+        assert!((time - paper_time).abs() < 1.5, "{time} vs {paper_time}");
+        assert!((reduction - paper_reduction).abs() < 0.3, "{reduction} vs {paper_reduction}");
+    }
+}
+
+#[test]
+fn naive_subset_is_the_papers_five_benchmarks() {
+    let naive = subsets::naive_subset(study(), &ground_truth());
+    let mut names = naive.names(study());
+    names.sort_unstable();
+    assert_eq!(
+        names,
+        vec![
+            "3DMark Wild Life",
+            "GFXBench Special",
+            "Geekbench 5 CPU",
+            "Geekbench 5 Compute",
+            "PCMark Storage",
+        ]
+    );
+}
+
+#[test]
+fn all_nine_observations_hold() {
+    for o in check_all(study()) {
+        assert!(o.holds, "Observation #{} failed: {}", o.id, o.evidence);
+    }
+}
+
+#[test]
+fn table3_correlation_signs_match_the_paper() {
+    // Signs and bands of the paper's Table III.
+    let c = tables::table3_matrix(study());
+    // Index order: IC, IPC, cache MPKI, branch MPKI, runtime.
+    let (ic, ipc, cmpki, bmpki, runtime) = (0, 1, 2, 3, 4);
+    assert!(c.get(ic, ipc) > 0.2, "IC-IPC weakly positive (paper 0.400)");
+    assert!(c.get(ipc, cmpki) < -0.8, "IPC-cacheMPKI strongly negative (paper -0.845)");
+    assert!(c.get(ipc, bmpki) < -0.4, "IPC-branchMPKI moderately negative (paper -0.672)");
+    assert!(c.get(cmpki, bmpki) > 0.4, "cache-branch MPKI positive (paper 0.867)");
+    assert!(
+        c.get(ic, runtime) > 0.4 && c.get(ic, runtime) < 0.8,
+        "IC-runtime only moderate (paper 0.588): IC alone does not predict runtime"
+    );
+    assert!(c.get(cmpki, runtime) > 0.0, "cacheMPKI-runtime positive (paper 0.460)");
+}
+
+#[test]
+fn figure1_ic_extremes_match_the_paper() {
+    // Largest IC: Geekbench 6 CPU; smallest: GFXBench Special; newer
+    // Geekbench exceeds older.
+    let s = study();
+    let ic = |name: &str| s.profile(name).expect("unit exists").metrics.instruction_count;
+    let max_unit = s
+        .profiles()
+        .iter()
+        .max_by(|a, b| {
+            a.metrics
+                .instruction_count
+                .partial_cmp(&b.metrics.instruction_count)
+                .expect("finite")
+        })
+        .expect("non-empty");
+    let min_unit = s
+        .profiles()
+        .iter()
+        .min_by(|a, b| {
+            a.metrics
+                .instruction_count
+                .partial_cmp(&b.metrics.instruction_count)
+                .expect("finite")
+        })
+        .expect("non-empty");
+    assert_eq!(max_unit.name, "Geekbench 6 CPU");
+    assert_eq!(min_unit.name, "GFXBench Special");
+    assert!(ic("Geekbench 6 CPU") > ic("Geekbench 5 CPU"));
+    assert!(ic("Geekbench 6 Compute") > ic("Geekbench 5 Compute"));
+    assert!(
+        ic("Geekbench 6 CPU") / ic("GFXBench Special") > 10.0,
+        "order-of-magnitude spread as in the paper"
+    );
+}
+
+#[test]
+fn figure1_ipc_bands_match_the_paper() {
+    // CPU-targeted benchmarks average near the paper's 1.16; graphics
+    // benchmarks sit clearly lower (paper: 0.55); Antutu Mem is the
+    // low-IPC outlier (paper: 0.45).
+    let s = study();
+    let ipc = |name: &str| s.profile(name).expect("unit exists").metrics.ipc;
+    let cpu_mean = (ipc("Antutu CPU") + ipc("Geekbench 5 CPU") + ipc("Geekbench 6 CPU")) / 3.0;
+    assert!((0.85..=1.45).contains(&cpu_mean), "CPU-bench IPC {cpu_mean}");
+    let gfx_mean = (ipc("GFXBench High") + ipc("3DMark Wild Life") + ipc("Antutu GPU")) / 3.0;
+    assert!(gfx_mean < cpu_mean * 0.8, "graphics IPC {gfx_mean} below CPU {cpu_mean}");
+    let mem = ipc("Antutu Mem");
+    assert!((0.3..=0.6).contains(&mem), "Antutu Mem outlier near the paper's 0.45, got {mem}");
+    let min_unit = s
+        .profiles()
+        .iter()
+        .min_by(|a, b| a.metrics.ipc.partial_cmp(&b.metrics.ipc).expect("finite"))
+        .expect("non-empty");
+    assert_eq!(min_unit.name, "Antutu Mem", "Mem is the IPC outlier");
+}
+
+#[test]
+fn figure7_select_plus_gpu_beats_naive() {
+    let s = study();
+    let truth = ground_truth();
+    let naive = subsets::naive_subset(s, &truth);
+    let plus = subsets::select_plus_gpu_subset(s);
+    let curves = figures::fig7(s, &[naive, plus]);
+    let naive_curve = &curves[0].1;
+    let plus_at_7 = curves[1].1[6];
+    // Paper: 22.96% below Naive at 5 benchmarks, 9.78% below Naive at 7.
+    assert!(plus_at_7 < naive_curve[4], "better than Naive at 5");
+    assert!(plus_at_7 < naive_curve[6], "better than Naive at 7");
+    // Curves never increase and end at zero.
+    for curve in [&curves[0].1, &curves[1].1] {
+        for w in curve.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9);
+        }
+        assert!(curve.last().expect("18 points").abs() < 1e-9);
+    }
+}
+
+#[test]
+fn table5_shape_matches_the_paper() {
+    let data = tables::table5_data(study());
+    let (little, mid, big) = (data[0], data[1], data[2]);
+    // Mid mostly idle (paper: 76% in the lowest band).
+    assert!(mid[0] > 0.6, "mid idle {:.2}", mid[0]);
+    // Big mostly idle but with a meaningful flat-out share (paper: 18%).
+    assert!(big[0] > 0.6, "big idle {:.2}", big[0]);
+    assert!(big[3] > mid[3] * 0.9, "big reaches the top band at least as much as mid");
+    // Little is the busiest cluster: the least time idle.
+    assert!(little[0] < mid[0] && little[0] < big[0], "little busiest");
+}
+
+#[test]
+fn gpu_benchmarks_hold_more_memory() {
+    // Observation #6: GPU-oriented benchmarks have higher memory usage.
+    let s = study();
+    let mean_of = |label: ClusterLabel| {
+        let items: Vec<f64> = s
+            .profiles()
+            .iter()
+            .filter(|p| p.label == label)
+            .map(|p| p.metrics.memory_used_fraction)
+            .collect();
+        items.iter().sum::<f64>() / items.len() as f64
+    };
+    assert!(mean_of(ClusterLabel::IntenseGraphics) > mean_of(ClusterLabel::Mixed));
+    assert!(mean_of(ClusterLabel::IntenseGraphics) > mean_of(ClusterLabel::Cpu));
+}

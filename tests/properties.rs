@@ -1,0 +1,370 @@
+//! Property-based tests (proptest) over the core invariants of the
+//! analysis toolkit and the SoC models.
+
+use proptest::prelude::*;
+
+use mwc_analysis::cluster::{hierarchical, kmeans, pam, Clustering, Linkage};
+use mwc_analysis::distance::{euclidean, pairwise_euclidean};
+use mwc_analysis::matrix::Matrix;
+use mwc_analysis::stats::{
+    max_normalize, min_max_normalize, pearson, CorrelationStrength,
+};
+use mwc_analysis::subset::{incremental_distances, runtime_reduction, total_min_euclidean};
+use mwc_analysis::validation::{dunn_index, silhouette_width};
+use mwc_soc::cache::{CacheConfig, CacheHierarchy, MemoryProfile};
+use mwc_soc::config::SocConfig;
+use mwc_soc::cpu::{CpuDemand, InstructionMix, ThreadDemand};
+use mwc_soc::engine::Engine;
+use mwc_soc::freq::Governor;
+use mwc_soc::gpu::GpuDemand;
+use mwc_soc::sched::Scheduler;
+use mwc_soc::workload::{ConstantWorkload, Demand};
+use mwc_workloads::kernels::{compress, crypto, fft, psnr, raytrace};
+
+/// Strategy: a small matrix of finite values in a reasonable range.
+fn matrix_strategy(max_rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(
+        prop::collection::vec(-100.0f64..100.0, cols..=cols),
+        2..=max_rows,
+    )
+    .prop_map(|rows| Matrix::from_rows(&rows).expect("uniform rows"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---------- distances ----------
+
+    #[test]
+    fn euclidean_is_a_metric(
+        a in prop::collection::vec(-50.0f64..50.0, 4),
+        b in prop::collection::vec(-50.0f64..50.0, 4),
+        c in prop::collection::vec(-50.0f64..50.0, 4),
+    ) {
+        let dab = euclidean(&a, &b);
+        let dba = euclidean(&b, &a);
+        prop_assert!((dab - dba).abs() < 1e-9, "symmetry");
+        prop_assert!(dab >= 0.0, "non-negativity");
+        prop_assert!(euclidean(&a, &a) < 1e-12, "identity");
+        prop_assert!(euclidean(&a, &c) <= dab + euclidean(&b, &c) + 1e-9, "triangle");
+    }
+
+    #[test]
+    fn pairwise_matrix_is_symmetric_with_zero_diagonal(m in matrix_strategy(10, 3)) {
+        let d = pairwise_euclidean(&m);
+        for i in 0..m.rows() {
+            prop_assert_eq!(d.get(i, i), 0.0);
+            for j in 0..m.rows() {
+                prop_assert!((d.get(i, j) - d.get(j, i)).abs() < 1e-12);
+            }
+        }
+    }
+
+    // ---------- statistics ----------
+
+    #[test]
+    fn pearson_is_bounded_and_symmetric(
+        xs in prop::collection::vec(-100.0f64..100.0, 3..30),
+    ) {
+        let ys: Vec<f64> = xs.iter().map(|x| x * 2.0 - 1.0).collect();
+        let r = pearson(&xs, &ys);
+        prop_assert!(r.abs() <= 1.0 + 1e-9);
+        prop_assert!((pearson(&xs, &ys) - pearson(&ys, &xs)).abs() < 1e-12);
+        // A perfect affine relation has |r| = 1 (unless xs is constant).
+        if xs.iter().any(|&x| (x - xs[0]).abs() > 1e-9) {
+            prop_assert!((r - 1.0).abs() < 1e-6, "affine relation gives r = 1, got {r}");
+        }
+    }
+
+    #[test]
+    fn normalizations_stay_in_unit_interval(
+        xs in prop::collection::vec(0.0f64..1e6, 1..40),
+    ) {
+        for v in max_normalize(&xs) {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&v));
+        }
+        for v in min_max_normalize(&xs) {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&v));
+        }
+    }
+
+    #[test]
+    fn correlation_strength_bands_are_total(r in -1.0f64..=1.0) {
+        // classify never panics and respects the band edges.
+        let band = CorrelationStrength::classify(r);
+        if r.abs() >= 0.8 {
+            prop_assert_eq!(band, CorrelationStrength::Strong);
+        } else if r.abs() >= 0.4 {
+            prop_assert_eq!(band, CorrelationStrength::Moderate);
+        } else {
+            prop_assert_eq!(band, CorrelationStrength::None);
+        }
+    }
+
+    // ---------- clustering ----------
+
+    #[test]
+    fn kmeans_produces_valid_deterministic_clusterings(
+        m in matrix_strategy(12, 4),
+        k in 1usize..=4,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(k <= m.rows());
+        let a = kmeans(&m, k, seed).expect("valid k");
+        let b = kmeans(&m, k, seed).expect("valid k");
+        prop_assert_eq!(&a, &b, "determinism");
+        prop_assert_eq!(a.len(), m.rows());
+        prop_assert!(a.labels().iter().all(|&l| l < k));
+        // k-means never leaves a cluster empty.
+        prop_assert!(a.members().iter().all(|g| !g.is_empty()));
+    }
+
+    #[test]
+    fn pam_and_hierarchical_produce_valid_partitions(
+        m in matrix_strategy(10, 3),
+        k in 1usize..=3,
+    ) {
+        prop_assume!(k <= m.rows());
+        let p = pam(&m, k, 0).expect("valid k");
+        prop_assert!(p.labels().iter().all(|&l| l < k));
+        let h = hierarchical(&m, Linkage::Average).expect("non-empty").cut(k).expect("valid k");
+        prop_assert!(h.labels().iter().all(|&l| l < k));
+        prop_assert_eq!(h.members().iter().filter(|g| !g.is_empty()).count(), k);
+    }
+
+    #[test]
+    fn dendrogram_cut_sizes_are_consistent(m in matrix_strategy(9, 3)) {
+        let d = hierarchical(&m, Linkage::Complete).expect("non-empty");
+        prop_assert_eq!(d.merges().len(), m.rows() - 1);
+        for k in 1..=m.rows() {
+            let c = d.cut(k).expect("valid k");
+            let non_empty = c.members().iter().filter(|g| !g.is_empty()).count();
+            prop_assert_eq!(non_empty, k);
+        }
+    }
+
+    // ---------- validation ----------
+
+    #[test]
+    fn validation_measures_are_in_range(m in matrix_strategy(10, 3), k in 2usize..=3) {
+        prop_assume!(k <= m.rows());
+        let c = kmeans(&m, k, 1).expect("valid k");
+        prop_assert!(dunn_index(&m, &c) >= 0.0);
+        let s = silhouette_width(&m, &c);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&s));
+    }
+
+    // ---------- subsetting ----------
+
+    #[test]
+    fn representativeness_improves_monotonically(m in matrix_strategy(8, 3)) {
+        let order: Vec<usize> = (0..m.rows()).collect();
+        let mut last = f64::INFINITY;
+        for end in 1..=m.rows() {
+            let d = total_min_euclidean(&m, &order[..end]);
+            prop_assert!(d <= last + 1e-9, "adding members never hurts");
+            last = d;
+        }
+        prop_assert!(last.abs() < 1e-9, "full set has zero distance");
+        let curve = incremental_distances(&m, &[0]);
+        prop_assert_eq!(curve.len(), m.rows());
+    }
+
+    #[test]
+    fn runtime_reduction_is_a_percentage(
+        runtimes in prop::collection::vec(1.0f64..1e4, 2..12),
+        pick in 0usize..2,
+    ) {
+        let r = runtime_reduction(&runtimes, &[pick]);
+        prop_assert!((0.0..=100.0).contains(&r));
+    }
+
+    // ---------- SoC models ----------
+
+    #[test]
+    fn miss_ratio_is_bounded_and_monotone_in_working_set(
+        ws in 1.0f64..1e7,
+        locality in 0.0f64..1.0,
+        apki in 0.0f64..500.0,
+    ) {
+        let h = CacheHierarchy::new(
+            64, 512, CacheConfig::new("L3", 4096), CacheConfig::new("SLC", 3072),
+        );
+        let small = h.misses(&MemoryProfile {
+            working_set_kib: ws,
+            locality,
+            accesses_per_kilo_instr: apki,
+        });
+        let large = h.misses(&MemoryProfile {
+            working_set_kib: ws * 2.0,
+            locality,
+            accesses_per_kilo_instr: apki,
+        });
+        prop_assert!(small.total_mpki() >= 0.0);
+        prop_assert!(large.total_mpki() + 1e-9 >= small.total_mpki(), "monotone in ws");
+        prop_assert!(small.l1_mpki >= small.l2_mpki);
+        prop_assert!(small.l2_mpki >= small.l3_mpki);
+        prop_assert!(small.l3_mpki >= small.slc_mpki);
+        prop_assert!(small.total_mpki() <= apki * 4.0 + 1e-9, "bounded by accesses");
+    }
+
+    #[test]
+    fn governor_stays_within_its_range(
+        utils in prop::collection::vec(0.0f64..1.5, 1..100),
+    ) {
+        let mut g = Governor::for_range(300.0, 3000.0);
+        for u in utils {
+            let f = g.tick(u);
+            prop_assert!((300.0..=3000.0).contains(&f), "frequency {f} out of range");
+        }
+    }
+
+    #[test]
+    fn scheduler_conserves_threads(
+        intensities in prop::collection::vec(0.01f64..1.0, 0..20),
+    ) {
+        let soc = SocConfig::snapdragon_888();
+        let sched = Scheduler::new(&soc);
+        let demand = CpuDemand {
+            threads: intensities.iter().map(|&i| ThreadDemand::new(i)).collect(),
+        };
+        let placement = sched.place(&demand);
+        prop_assert_eq!(placement.thread_count(), intensities.len());
+        // Total placed intensity equals total demanded intensity.
+        let placed: f64 = placement
+            .assignments
+            .iter()
+            .flatten()
+            .map(|t| t.intensity)
+            .sum();
+        let demanded: f64 = intensities.iter().sum();
+        prop_assert!((placed - demanded).abs() < 1e-9);
+    }
+
+    #[test]
+    fn instruction_mix_always_normalizes(
+        a in 0.0f64..10.0, b in 0.0f64..10.0, c in 0.0f64..10.0,
+        d in 0.0f64..10.0, e in 0.0f64..10.0,
+    ) {
+        let mix = InstructionMix::new(a, b, c, d, e);
+        prop_assert!((mix.total() - 1.0).abs() < 1e-9);
+        for frac in [mix.int_ops, mix.fp_ops, mix.simd_ops, mix.load_store, mix.branches] {
+            prop_assert!((0.0..=1.0).contains(&frac));
+        }
+    }
+
+    #[test]
+    fn same_partition_is_an_equivalence_up_to_relabelling(
+        labels in prop::collection::vec(0usize..3, 4..10),
+        perm_seed in 0usize..6,
+    ) {
+        let k = 3;
+        let c = Clustering::new(labels.clone(), k).expect("valid labels");
+        // Apply one of the six permutations of {0, 1, 2}.
+        let perms = [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+        let p = perms[perm_seed];
+        let relabelled: Vec<usize> = labels.iter().map(|&l| p[l]).collect();
+        let c2 = Clustering::new(relabelled, k).expect("valid labels");
+        prop_assert!(c.same_partition(&c2));
+    }
+
+    // ---------- engine invariants ----------
+
+    #[test]
+    fn engine_samples_are_always_in_range(
+        n_threads in 0usize..10,
+        intensity in 0.0f64..1.0,
+        gpu_intensity in 0.0f64..1.0,
+        seconds in 1.0f64..8.0,
+        seed in 0u64..100,
+    ) {
+        let mut d = Demand::idle();
+        d.cpu = CpuDemand::multi_thread(n_threads, intensity);
+        d.gpu = Some(GpuDemand::scene(gpu_intensity));
+        let w = ConstantWorkload::new("prop", seconds, d);
+        let mut engine = Engine::new(SocConfig::snapdragon_888(), seed).expect("preset");
+        let trace = engine.run(&w);
+        prop_assert_eq!(trace.samples.len(), (seconds / mwc_soc::TICK_SECONDS).round() as usize);
+        for s in &trace.samples {
+            prop_assert!(s.instructions >= 0.0);
+            prop_assert!(s.cycles >= s.instructions / 8.0 - 1e-6, "IPC can never exceed 8");
+            prop_assert!(s.cache_misses >= 0.0);
+            prop_assert!(s.branch_misses <= s.branches + 1e-9);
+            for c in &s.clusters {
+                prop_assert!((0.0..=1.0).contains(&c.utilization));
+                prop_assert!((0.0..=1.0).contains(&c.load));
+                prop_assert!(c.frequency_mhz > 0.0);
+            }
+            prop_assert!((0.0..=1.0).contains(&s.gpu_utilization));
+            prop_assert!((0.0..=1.0).contains(&s.gpu_shaders_busy));
+            prop_assert!((0.0..=1.0).contains(&s.gpu_bus_busy));
+            prop_assert!((0.0..=1.0).contains(&s.memory_used_fraction));
+            prop_assert!((0.0..=1.0).contains(&s.memory_bandwidth_utilization));
+        }
+    }
+
+    // ---------- kernel invariants ----------
+
+    #[test]
+    fn xtea_roundtrips_any_block(v0: u32, v1: u32, k0: u32, k1: u32, k2: u32, k3: u32) {
+        let key = [k0, k1, k2, k3];
+        let enc = crypto::xtea_encrypt([v0, v1], &key);
+        prop_assert_eq!(crypto::xtea_decrypt(enc, &key), [v0, v1]);
+    }
+
+    #[test]
+    fn compression_roundtrips_any_bytes(data in prop::collection::vec(any::<u8>(), 0..600)) {
+        let tokens = compress::compress(&data);
+        prop_assert_eq!(compress::decompress(&tokens), data);
+    }
+
+    #[test]
+    fn fft_roundtrips_any_power_of_two_signal(
+        log_n in 2u32..8,
+        seed in 0u64..50,
+    ) {
+        let n = 1usize << log_n;
+        let original: Vec<(f64, f64)> = (0..n)
+            .map(|i| {
+                let phase = (i as u64).wrapping_mul(seed.wrapping_add(1)) as f64;
+                ((phase * 0.37).sin(), (phase * 0.11).cos())
+            })
+            .collect();
+        let mut data = original.clone();
+        fft::fft(&mut data, false);
+        fft::fft(&mut data, true);
+        for (a, b) in data.iter().zip(&original) {
+            prop_assert!((a.0 - b.0).abs() < 1e-8);
+            prop_assert!((a.1 - b.1).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn psnr_decreases_with_noise(base in 1u8..200, noise in 1u8..55) {
+        let reference = vec![base; 256];
+        let small: Vec<u8> = reference.iter().map(|&v| v.saturating_add(1)).collect();
+        let large: Vec<u8> = reference.iter().map(|&v| v.saturating_add(noise.max(2))).collect();
+        prop_assert!(psnr::psnr(&reference, &small) >= psnr::psnr(&reference, &large));
+    }
+
+    #[test]
+    fn ray_sphere_hits_are_on_the_sphere(
+        ox in -1.5f64..1.5,
+        oy in -1.5f64..1.5,
+        r in 0.5f64..2.0,
+    ) {
+        let s = raytrace::Sphere {
+            center: raytrace::Vec3::new(0.0, 0.0, 0.0),
+            radius: r,
+        };
+        let origin = raytrace::Vec3::new(ox, oy, 10.0);
+        let dir = raytrace::Vec3::new(0.0, 0.0, -1.0);
+        if let Some(t) = raytrace::intersect(origin, dir, &s) {
+            let hit = raytrace::Vec3::new(ox, oy, 10.0 - t);
+            prop_assert!((hit.length() - r).abs() < 1e-6, "hit point lies on the sphere");
+        } else {
+            // A miss means the ray passes outside the radius.
+            prop_assert!(ox * ox + oy * oy > r * r - 1e-9);
+        }
+    }
+}

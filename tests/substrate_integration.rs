@@ -1,0 +1,130 @@
+//! Cross-crate integration: workload models driving the simulator through
+//! the profiler must expose the paper's micro-level effects in the traces.
+
+use mobile_workload_characterization::prelude::*;
+use mwc_soc::gpu::{GraphicsApi, RenderTarget};
+use mwc_workloads::suites::{antutu, gfxbench, threedmark};
+
+fn capture(workload: &dyn Workload, seed: u64) -> mwc_profiler::capture::Capture {
+    let engine = Engine::new(SocConfig::snapdragon_888(), seed).expect("preset");
+    let mut profiler = Profiler::new(engine, seed);
+    profiler.capture_runs(workload, 1).remove(0)
+}
+
+#[test]
+fn av1_phase_shifts_load_from_aie_to_cpu() {
+    let cap = capture(&antutu::antutu_ux(), 3);
+    let cpu = cap.series(SeriesKey::CpuLoad);
+    let aie = cap.series(SeriesKey::AieLoad);
+    let n = cpu.len();
+    let window = |s: &mwc_profiler::timeseries::TimeSeries, a: f64, b: f64| -> f64 {
+        let (i, j) = ((a * n as f64) as usize, (b * n as f64) as usize);
+        s.values[i..j].iter().sum::<f64>() / (j - i) as f64
+    };
+    // H.264/H.265/VP9 phases: AIE busy, CPU light. AV1 phase (last 8%):
+    // AIE idle, CPU heavy.
+    let hw_aie = window(&aie, 0.72, 0.90);
+    let av1_aie = window(&aie, 0.94, 1.0);
+    let hw_cpu = window(&cpu, 0.72, 0.90);
+    let av1_cpu = window(&cpu, 0.94, 1.0);
+    assert!(hw_aie > 0.18, "hardware decode keeps the AIE busy: {hw_aie}");
+    assert!(av1_aie < 0.1, "AV1 cannot run on the AIE: {av1_aie}");
+    assert!(av1_cpu > 3.0 * hw_cpu, "AV1 software decode loads the CPU: {av1_cpu} vs {hw_cpu}");
+}
+
+#[test]
+fn slingshot_physics_spikes_cpu_while_gpu_rests() {
+    let cap = capture(&threedmark::slingshot(), 4);
+    let cpu = cap.series(SeriesKey::CpuLoad);
+    let gpu = cap.series(SeriesKey::GpuLoad);
+    let n = cpu.len();
+    // The physics test occupies the last ~15% of the run.
+    let gfx_cpu = cpu.values[n / 4..n / 2].iter().sum::<f64>() / (n / 4) as f64;
+    let phys_cpu = cpu.values[(n as f64 * 0.87) as usize..].iter().sum::<f64>()
+        / (n - (n as f64 * 0.87) as usize) as f64;
+    let gfx_gpu = gpu.values[n / 4..n / 2].iter().sum::<f64>() / (n / 4) as f64;
+    let phys_gpu = gpu.values[(n as f64 * 0.87) as usize..].iter().sum::<f64>()
+        / (n - (n as f64 * 0.87) as usize) as f64;
+    assert!(phys_cpu > 1.5 * gfx_cpu, "physics raises CPU load: {phys_cpu} vs {gfx_cpu}");
+    assert!(phys_gpu < 0.5 * gfx_gpu, "physics minimizes GPU work: {phys_gpu} vs {gfx_gpu}");
+}
+
+#[test]
+fn gfxbench_api_pairs_differ_only_in_gpu_load() {
+    // The on-screen Aztec Ruins High pair: same scene, different API.
+    let tests = gfxbench::high_level_tests();
+    let gl = tests
+        .iter()
+        .find(|t| {
+            t.name.contains("Aztec Ruins High")
+                && t.api == GraphicsApi::OpenGlEs
+                && t.target == RenderTarget::OnScreen
+        })
+        .expect("GL on-screen variant");
+    let vk = tests
+        .iter()
+        .find(|t| {
+            t.name.contains("Aztec Ruins High")
+                && t.api == GraphicsApi::Vulkan
+                && t.target == RenderTarget::OnScreen
+        })
+        .expect("Vulkan on-screen variant");
+    let gl_cap = capture(&gl.workload(30.0), 6);
+    let vk_cap = capture(&vk.workload(30.0), 6);
+    let gl_load = gl_cap.series(SeriesKey::GpuLoad).mean();
+    let vk_load = vk_cap.series(SeriesKey::GpuLoad).mean();
+    let gap = gl_load / vk_load - 1.0;
+    assert!((0.04..=0.15).contains(&gap), "GL/Vulkan load gap {gap} (paper: +9.26%)");
+    // CPU behaviour is identical between the two.
+    let gl_ipc = gl_cap.trace().ipc();
+    let vk_ipc = vk_cap.trace().ipc();
+    assert!((gl_ipc - vk_ipc).abs() / gl_ipc < 0.1);
+}
+
+#[test]
+fn offscreen_variants_sustain_higher_gpu_load() {
+    let tests = gfxbench::low_level_tests();
+    for pair in tests.chunks(2) {
+        let on = capture(&pair[0].workload(20.0), 8).series(SeriesKey::GpuLoad).mean();
+        let off = capture(&pair[1].workload(20.0), 8).series(SeriesKey::GpuLoad).mean();
+        assert!(off > on, "{}: off-screen {off} must exceed on-screen {on}", pair[0].name);
+    }
+}
+
+#[test]
+fn special_tests_have_the_periodic_aie_signature() {
+    // GFXBench Special interleaves render (AIE idle) and PSNR (AIE busy).
+    let cap = capture(&gfxbench::gfx_special(), 9);
+    let aie = cap.series(SeriesKey::AieLoad);
+    assert!(aie.max() > 0.6, "PSNR phases spike the AIE");
+    assert!(aie.min() < 0.05, "render phases leave it idle");
+    assert!(aie.fraction_above(0.5) > 0.2, "spikes cover the PSNR share of runtime");
+}
+
+#[test]
+fn storage_benchmark_saturates_io_not_cpu() {
+    let cap = capture(&mwc_workloads::suites::pcmark::pcmark_storage(), 10);
+    assert!(cap.series(SeriesKey::StorageBusy).mean() > 0.5);
+    assert!(cap.series(SeriesKey::CpuLoad).mean() < 0.25);
+    assert_eq!(cap.series(SeriesKey::GpuLoad).max(), 0.0);
+}
+
+#[test]
+fn full_antutu_run_equals_its_segments_joined() {
+    // The concatenated Antutu run reproduces each segment's behaviour in
+    // its time slice (same demands, same engine — modulo DVFS carry-over
+    // at the seams).
+    let full = capture(&antutu::antutu_full(), 11);
+    let cpu_seg = capture(&antutu::antutu_cpu(), 11);
+    let full_cpu = full.series(SeriesKey::CpuLoad);
+    let seg_cpu = cpu_seg.series(SeriesKey::CpuLoad);
+    // Compare the means over the CPU segment's slice of the full run.
+    let share = antutu::CPU_SECONDS / 700.2;
+    let n = (full_cpu.len() as f64 * share) as usize;
+    let full_mean = full_cpu.values[..n].iter().sum::<f64>() / n as f64;
+    assert!(
+        (full_mean - seg_cpu.mean()).abs() < 0.05,
+        "full-run CPU slice {full_mean} vs standalone segment {}",
+        seg_cpu.mean()
+    );
+}
