@@ -68,7 +68,7 @@ impl Dendrogram {
         }
         // Union-find over node ids; nodes n.. are internal.
         let mut parent: Vec<usize> = (0..n + self.merges.len()).collect();
-        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
             while parent[x] != x {
                 parent[x] = parent[parent[x]];
                 x = parent[x];
@@ -104,11 +104,28 @@ impl Dendrogram {
 /// Build the dendrogram for the rows of `m` under the given linkage using
 /// the Lance–Williams update formula.
 pub fn hierarchical(m: &Matrix, linkage: Linkage) -> Result<Dendrogram, AnalysisError> {
-    let n = m.rows();
-    if n == 0 {
+    if m.rows() == 0 {
         return Err(AnalysisError::EmptyInput("matrix has no rows".into()));
     }
-    let base = pairwise_euclidean(m);
+    hierarchical_with_distances(&pairwise_euclidean(m), linkage)
+}
+
+/// [`hierarchical`] over a precomputed symmetric pairwise-distance matrix.
+///
+/// Agglomeration only consults dissimilarities, so callers holding the
+/// distance matrix can build one dendrogram per linkage without ever
+/// recomputing distances — and since a dendrogram can be [`Dendrogram::cut`]
+/// at any `k`, one build serves a whole sweep over cluster counts.
+pub fn hierarchical_with_distances(
+    base: &Matrix,
+    linkage: Linkage,
+) -> Result<Dendrogram, AnalysisError> {
+    let n = base.rows();
+    if n == 0 {
+        return Err(AnalysisError::EmptyInput(
+            "distance matrix has no rows".into(),
+        ));
+    }
     // Active cluster list: (node_id, size). Distances kept in a flat map
     // keyed by position in `active`.
     let mut active: Vec<(usize, usize)> = (0..n).map(|i| (i, 1)).collect();
@@ -129,10 +146,10 @@ pub fn hierarchical(m: &Matrix, linkage: Linkage) -> Result<Dendrogram, Analysis
         // Find the closest active pair (ties broken by lowest indices, so
         // the result is deterministic).
         let (mut bi, mut bj, mut bd) = (0, 1, f64::INFINITY);
-        for i in 0..active.len() {
-            for j in (i + 1)..active.len() {
-                if dist[i][j] < bd {
-                    bd = dist[i][j];
+        for (i, row) in dist.iter().enumerate() {
+            for (j, &d) in row.iter().enumerate().skip(i + 1) {
+                if d < bd {
+                    bd = d;
                     bi = i;
                     bj = j;
                 }
@@ -141,7 +158,11 @@ pub fn hierarchical(m: &Matrix, linkage: Linkage) -> Result<Dendrogram, Analysis
 
         let (id_a, size_a) = active[bi];
         let (id_b, size_b) = active[bj];
-        let reported = if linkage == Linkage::Ward { bd.sqrt() } else { bd };
+        let reported = if linkage == Linkage::Ward {
+            bd.sqrt()
+        } else {
+            bd
+        };
         merges.push(Merge {
             a: id_a,
             b: id_b,
@@ -231,7 +252,12 @@ mod tests {
 
     #[test]
     fn cut_recovers_blobs() {
-        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average, Linkage::Ward] {
+        for linkage in [
+            Linkage::Single,
+            Linkage::Complete,
+            Linkage::Average,
+            Linkage::Ward,
+        ] {
             let d = hierarchical(&blobs(), linkage).unwrap();
             let c = d.cut(3).unwrap();
             let l = c.labels();
@@ -268,7 +294,10 @@ mod tests {
         let d = hierarchical(&blobs(), Linkage::Single).unwrap();
         let ds: Vec<f64> = d.merges().iter().map(|m| m.distance).collect();
         for w in ds.windows(2) {
-            assert!(w[1] >= w[0] - 1e-9, "single-linkage merges are monotone: {ds:?}");
+            assert!(
+                w[1] >= w[0] - 1e-9,
+                "single-linkage merges are monotone: {ds:?}"
+            );
         }
     }
 
@@ -292,6 +321,24 @@ mod tests {
         let a = hierarchical(&m, Linkage::Ward).unwrap();
         let b = hierarchical(&m, Linkage::Ward).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shared_distances_give_identical_dendrogram() {
+        let m = blobs();
+        let d = pairwise_euclidean(&m);
+        for linkage in [
+            Linkage::Single,
+            Linkage::Complete,
+            Linkage::Average,
+            Linkage::Ward,
+        ] {
+            assert_eq!(
+                hierarchical(&m, linkage).unwrap(),
+                hierarchical_with_distances(&d, linkage).unwrap(),
+                "{linkage:?}"
+            );
+        }
     }
 
     #[test]

@@ -8,9 +8,9 @@ mod hierarchical;
 mod kmeans;
 mod pam;
 
-pub use hierarchical::{hierarchical, Dendrogram, Linkage, Merge};
+pub use hierarchical::{hierarchical, hierarchical_with_distances, Dendrogram, Linkage, Merge};
 pub use kmeans::kmeans;
-pub use pam::pam;
+pub use pam::{pam, pam_with_distances};
 
 use crate::error::AnalysisError;
 

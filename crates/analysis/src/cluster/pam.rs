@@ -12,21 +12,30 @@ use crate::matrix::Matrix;
 
 /// Cluster the rows of `m` into `k` clusters around medoids.
 pub fn pam(m: &Matrix, k: usize, _seed: u64) -> Result<Clustering, AnalysisError> {
-    let n = m.rows();
+    pam_with_distances(&pairwise_euclidean(m), k)
+}
+
+/// [`pam`] over a precomputed symmetric pairwise-distance matrix.
+///
+/// PAM only ever consults dissimilarities, so callers that already hold
+/// the distance matrix (validation sweeps, stability measures) can share
+/// one computation across many clusterings. The result is identical to
+/// [`pam`] on the matrix the distances came from.
+pub fn pam_with_distances(d: &Matrix, k: usize) -> Result<Clustering, AnalysisError> {
+    let n = d.rows();
     if k == 0 || k > n {
         return Err(AnalysisError::InvalidClusterCount(format!(
             "k = {k} for {n} observations"
         )));
     }
-    let d = pairwise_euclidean(m);
 
     // BUILD: first medoid minimizes total distance; each further medoid
     // maximizes the decrease in total dissimilarity.
     let mut medoids: Vec<usize> = Vec::with_capacity(k);
     let first = (0..n)
         .min_by(|&a, &b| {
-            total_dist(&d, a, n)
-                .partial_cmp(&total_dist(&d, b, n))
+            total_dist(d, a, n)
+                .partial_cmp(&total_dist(d, b, n))
                 .expect("finite distances")
         })
         .expect("n >= 1");
@@ -40,7 +49,7 @@ pub fn pam(m: &Matrix, k: usize, _seed: u64) -> Result<Clustering, AnalysisError
             }
             let gain: f64 = (0..n)
                 .map(|j| {
-                    let current = nearest_dist(&d, &medoids, j);
+                    let current = nearest_dist(d, &medoids, j);
                     (current - d.get(j, cand)).max(0.0)
                 })
                 .sum();
@@ -53,7 +62,7 @@ pub fn pam(m: &Matrix, k: usize, _seed: u64) -> Result<Clustering, AnalysisError
     }
 
     // SWAP: steepest-descent exchange until no swap improves the cost.
-    let mut cost = assignment_cost(&d, &medoids, n);
+    let mut cost = assignment_cost(d, &medoids, n);
     loop {
         let mut best_delta = -1e-12;
         let mut best_swap = None;
@@ -64,7 +73,7 @@ pub fn pam(m: &Matrix, k: usize, _seed: u64) -> Result<Clustering, AnalysisError
                 }
                 let mut trial = medoids.clone();
                 trial[mi] = cand;
-                let trial_cost = assignment_cost(&d, &trial, n);
+                let trial_cost = assignment_cost(d, &trial, n);
                 let delta = trial_cost - cost;
                 if delta < best_delta {
                     best_delta = delta;
@@ -143,6 +152,15 @@ mod tests {
     fn deterministic_regardless_of_seed() {
         let m = blobs();
         assert_eq!(pam(&m, 2, 1).unwrap(), pam(&m, 2, 999).unwrap());
+    }
+
+    #[test]
+    fn shared_distances_give_identical_result() {
+        let m = blobs();
+        let d = pairwise_euclidean(&m);
+        for k in 1..=4 {
+            assert_eq!(pam(&m, k, 0).unwrap(), pam_with_distances(&d, k).unwrap());
+        }
     }
 
     #[test]

@@ -144,12 +144,30 @@ mod tests {
 
     #[test]
     fn strength_bands_match_paper() {
-        assert_eq!(CorrelationStrength::classify(0.867), CorrelationStrength::Strong);
-        assert_eq!(CorrelationStrength::classify(-0.845), CorrelationStrength::Strong);
-        assert_eq!(CorrelationStrength::classify(0.588), CorrelationStrength::Moderate);
-        assert_eq!(CorrelationStrength::classify(-0.672), CorrelationStrength::Moderate);
-        assert_eq!(CorrelationStrength::classify(0.350), CorrelationStrength::None);
-        assert_eq!(CorrelationStrength::classify(-0.228), CorrelationStrength::None);
+        assert_eq!(
+            CorrelationStrength::classify(0.867),
+            CorrelationStrength::Strong
+        );
+        assert_eq!(
+            CorrelationStrength::classify(-0.845),
+            CorrelationStrength::Strong
+        );
+        assert_eq!(
+            CorrelationStrength::classify(0.588),
+            CorrelationStrength::Moderate
+        );
+        assert_eq!(
+            CorrelationStrength::classify(-0.672),
+            CorrelationStrength::Moderate
+        );
+        assert_eq!(
+            CorrelationStrength::classify(0.350),
+            CorrelationStrength::None
+        );
+        assert_eq!(
+            CorrelationStrength::classify(-0.228),
+            CorrelationStrength::None
+        );
     }
 
     #[test]

@@ -86,7 +86,10 @@ mod tests {
         let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
         let ys = [2.0, 3.0, 4.0, 5.0, 1e9]; // extreme outlier, still monotone
         assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
-        assert!(pearson(&xs, &ys) < 0.95, "Pearson is dragged by the outlier");
+        assert!(
+            pearson(&xs, &ys) < 0.95,
+            "Pearson is dragged by the outlier"
+        );
     }
 
     #[test]
@@ -106,7 +109,10 @@ mod tests {
         let s = spearman_matrix(&m);
         assert_eq!(s.rows(), 2);
         assert!((s.get(0, 0) - 1.0).abs() < 1e-12);
-        assert!((s.get(0, 1) + 1.0).abs() < 1e-12, "columns are anti-monotone");
+        assert!(
+            (s.get(0, 1) + 1.0).abs() < 1e-12,
+            "columns are anti-monotone"
+        );
     }
 
     #[test]

@@ -32,7 +32,9 @@ pub fn fastest_per_cluster(clustering: &Clustering, runtimes: &[f64]) -> Vec<usi
             *members
                 .iter()
                 .min_by(|&&a, &&b| {
-                    runtimes[a].partial_cmp(&runtimes[b]).expect("finite runtimes")
+                    runtimes[a]
+                        .partial_cmp(&runtimes[b])
+                        .expect("finite runtimes")
                 })
                 .expect("cluster is non-empty")
         })

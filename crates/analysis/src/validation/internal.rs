@@ -8,13 +8,24 @@ use crate::matrix::Matrix;
 /// diameter. Higher is better. Returns 0 when every cluster is a singleton
 /// (no diameter) or only one cluster exists (no separation).
 pub fn dunn_index(m: &Matrix, c: &Clustering) -> f64 {
+    dunn_core(m.rows(), c, |i, j| euclidean(m.row(i), m.row(j)))
+}
+
+/// [`dunn_index`] over a precomputed pairwise-distance matrix. Identical
+/// result (same comparisons over the same floats) without recomputing any
+/// distance — callers evaluating many partitions of the same data share
+/// one matrix.
+pub fn dunn_index_with_distances(d: &Matrix, c: &Clustering) -> f64 {
+    dunn_core(d.rows(), c, |i, j| d.get(i, j))
+}
+
+fn dunn_core(n: usize, c: &Clustering, dist: impl Fn(usize, usize) -> f64) -> f64 {
     let labels = c.labels();
-    let n = m.rows();
     let mut min_inter = f64::INFINITY;
     let mut max_diam: f64 = 0.0;
     for i in 0..n {
         for j in (i + 1)..n {
-            let d = euclidean(m.row(i), m.row(j));
+            let d = dist(i, j);
             if labels[i] == labels[j] {
                 max_diam = max_diam.max(d);
             } else {
@@ -32,8 +43,17 @@ pub fn dunn_index(m: &Matrix, c: &Clustering) -> f64 {
 /// better. Singleton clusters contribute a silhouette of 0 (Kaufman &
 /// Rousseeuw's convention); a single-cluster partition scores 0.
 pub fn silhouette_width(m: &Matrix, c: &Clustering) -> f64 {
+    silhouette_core(m.rows(), c, |i, j| euclidean(m.row(i), m.row(j)))
+}
+
+/// [`silhouette_width`] over a precomputed pairwise-distance matrix;
+/// identical result without recomputing distances.
+pub fn silhouette_width_with_distances(d: &Matrix, c: &Clustering) -> f64 {
+    silhouette_core(d.rows(), c, |i, j| d.get(i, j))
+}
+
+fn silhouette_core(n: usize, c: &Clustering, dist: impl Fn(usize, usize) -> f64) -> f64 {
     let labels = c.labels();
-    let n = m.rows();
     if n == 0 || c.k() < 2 {
         return 0.0;
     }
@@ -48,7 +68,7 @@ pub fn silhouette_width(m: &Matrix, c: &Clustering) -> f64 {
         let a: f64 = own
             .iter()
             .filter(|&&j| j != i)
-            .map(|&j| euclidean(m.row(i), m.row(j)))
+            .map(|&j| dist(i, j))
             .sum::<f64>()
             / (own.len() - 1) as f64;
         // b(i): smallest mean distance to another cluster.
@@ -56,9 +76,7 @@ pub fn silhouette_width(m: &Matrix, c: &Clustering) -> f64 {
             .iter()
             .enumerate()
             .filter(|(l, ms)| *l != labels[i] && !ms.is_empty())
-            .map(|(_, ms)| {
-                ms.iter().map(|&j| euclidean(m.row(i), m.row(j))).sum::<f64>() / ms.len() as f64
-            })
+            .map(|(_, ms)| ms.iter().map(|&j| dist(i, j)).sum::<f64>() / ms.len() as f64)
             .fold(f64::INFINITY, f64::min);
         if b.is_finite() {
             total += (b - a) / a.max(b);
@@ -146,5 +164,22 @@ mod tests {
         let (m, good) = two_blobs();
         let worse = Clustering::new(vec![0, 0, 1, 1, 1, 1], 2).unwrap();
         assert!(silhouette_width(&m, &good) > silhouette_width(&m, &worse));
+    }
+
+    #[test]
+    fn shared_distances_are_bit_identical() {
+        let (m, good) = two_blobs();
+        let d = crate::distance::pairwise_euclidean(&m);
+        let worse = Clustering::new(vec![0, 0, 1, 1, 1, 1], 2).unwrap();
+        for c in [&good, &worse] {
+            assert_eq!(
+                dunn_index(&m, c).to_bits(),
+                dunn_index_with_distances(&d, c).to_bits()
+            );
+            assert_eq!(
+                silhouette_width(&m, c).to_bits(),
+                silhouette_width_with_distances(&d, c).to_bits()
+            );
+        }
     }
 }

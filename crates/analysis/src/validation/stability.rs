@@ -11,7 +11,7 @@
 //!   co-members, measured in the full feature space. Lower is better.
 
 use crate::cluster::Clustering;
-use crate::distance::euclidean;
+use crate::distance::pairwise_euclidean;
 use crate::matrix::Matrix;
 
 /// A function that clusters a matrix into `k` clusters (the algorithm under
@@ -22,17 +22,31 @@ pub type Clusterer<'a> = &'a dyn Fn(&Matrix, usize) -> Clustering;
 /// reclusterings. Lower is better.
 pub fn average_proportion_non_overlap(m: &Matrix, k: usize, clusterer: Clusterer<'_>) -> f64 {
     let full = clusterer(m, k);
-    let n = m.rows();
-    let cols = m.cols();
-    if n == 0 || cols == 0 {
+    if m.rows() == 0 || m.cols() == 0 {
+        return 0.0;
+    }
+    let reduced: Vec<Clustering> = (0..m.cols())
+        .map(|col| clusterer(&m.without_col(col), k))
+        .collect();
+    apn_from(&full, &reduced)
+}
+
+/// APN from precomputed clusterings: `full` over all features and
+/// `reduced[col]` over the data with feature `col` removed.
+///
+/// Sweeps that evaluate many `(algorithm, k)` cells on the same data reuse
+/// the clusterings they already produced instead of re-running the
+/// algorithm `cols + 1` times per measure.
+pub fn apn_from(full: &Clustering, reduced: &[Clustering]) -> f64 {
+    let n = full.len();
+    if n == 0 || reduced.is_empty() {
         return 0.0;
     }
     let mut total = 0.0;
-    for col in 0..cols {
-        let reduced = clusterer(&m.without_col(col), k);
+    for r in reduced {
         for i in 0..n {
-            let full_members = cluster_of(&full, i);
-            let reduced_members = cluster_of(&reduced, i);
+            let full_members = cluster_of(full, i);
+            let reduced_members = cluster_of(r, i);
             let overlap = full_members
                 .iter()
                 .filter(|x| reduced_members.contains(x))
@@ -40,7 +54,7 @@ pub fn average_proportion_non_overlap(m: &Matrix, k: usize, clusterer: Clusterer
             total += 1.0 - overlap as f64 / full_members.len() as f64;
         }
     }
-    total / (n as f64 * cols as f64)
+    total / (n as f64 * reduced.len() as f64)
 }
 
 /// Average distance between observations placed in the same cluster by the
@@ -49,29 +63,40 @@ pub fn average_proportion_non_overlap(m: &Matrix, k: usize, clusterer: Clusterer
 /// paper notes in Figure 4.
 pub fn average_distance(m: &Matrix, k: usize, clusterer: Clusterer<'_>) -> f64 {
     let full = clusterer(m, k);
-    let n = m.rows();
-    let cols = m.cols();
-    if n == 0 || cols == 0 {
+    if m.rows() == 0 || m.cols() == 0 {
+        return 0.0;
+    }
+    let reduced: Vec<Clustering> = (0..m.cols())
+        .map(|col| clusterer(&m.without_col(col), k))
+        .collect();
+    ad_from(&pairwise_euclidean(m), &full, &reduced)
+}
+
+/// AD from precomputed clusterings and the full-feature-space pairwise
+/// distance matrix `d_full` (AD always measures distances in the full
+/// space, even for the leave-one-column-out clusterings).
+pub fn ad_from(d_full: &Matrix, full: &Clustering, reduced: &[Clustering]) -> f64 {
+    let n = full.len();
+    if n == 0 || reduced.is_empty() {
         return 0.0;
     }
     let mut total = 0.0;
-    for col in 0..cols {
-        let reduced = clusterer(&m.without_col(col), k);
+    for r in reduced {
         for i in 0..n {
-            let full_members = cluster_of(&full, i);
-            let reduced_members = cluster_of(&reduced, i);
+            let full_members = cluster_of(full, i);
+            let reduced_members = cluster_of(r, i);
             // Mean pairwise distance between the two member sets, in the
             // full feature space.
             let mut sum = 0.0;
             for &a in &full_members {
                 for &b in &reduced_members {
-                    sum += euclidean(m.row(a), m.row(b));
+                    sum += d_full.get(a, b);
                 }
             }
             total += sum / (full_members.len() * reduced_members.len()) as f64;
         }
     }
-    total / (n as f64 * cols as f64)
+    total / (n as f64 * reduced.len() as f64)
 }
 
 /// Members of the cluster containing observation `i`.
@@ -124,13 +149,19 @@ mod tests {
     #[test]
     fn apn_zero_for_stable_clusters() {
         let apn = average_proportion_non_overlap(&stable_data(), 2, &clusterer);
-        assert!(apn < 1e-9, "stable data must have zero non-overlap, got {apn}");
+        assert!(
+            apn < 1e-9,
+            "stable data must have zero non-overlap, got {apn}"
+        );
     }
 
     #[test]
     fn apn_positive_for_unstable_clusters() {
         let apn = average_proportion_non_overlap(&unstable_data(), 2, &clusterer);
-        assert!(apn > 0.1, "column-dependent clusters must be unstable, got {apn}");
+        assert!(
+            apn > 0.1,
+            "column-dependent clusters must be unstable, got {apn}"
+        );
     }
 
     #[test]
@@ -158,5 +189,23 @@ mod tests {
         let tight = average_distance(&stable_data(), 2, &clusterer);
         let loose = average_distance(&unstable_data(), 2, &clusterer);
         assert!(tight < loose);
+    }
+
+    #[test]
+    fn precomputed_cores_match_the_clusterer_driven_path() {
+        for m in [stable_data(), unstable_data()] {
+            let k = 2;
+            let full = clusterer(&m, k);
+            let reduced: Vec<Clustering> = (0..m.cols())
+                .map(|col| clusterer(&m.without_col(col), k))
+                .collect();
+            let apn = average_proportion_non_overlap(&m, k, &clusterer);
+            assert_eq!(apn.to_bits(), apn_from(&full, &reduced).to_bits());
+            let ad = average_distance(&m, k, &clusterer);
+            assert_eq!(
+                ad.to_bits(),
+                ad_from(&pairwise_euclidean(&m), &full, &reduced).to_bits()
+            );
+        }
     }
 }

@@ -1,10 +1,38 @@
 //! Validation sweep over cluster counts and algorithms (Figure 4).
+//!
+//! The sweep evaluates `|Algorithm::ALL| × |ks|` cells, and every measure
+//! in every cell ultimately consults the same pairwise dissimilarities. So
+//! [`sweep`] computes the expensive shared state exactly once —
+//!
+//! * the full pairwise Euclidean distance matrix,
+//! * each leave-one-column-out matrix and *its* distance matrix (APN/AD
+//!   recluster the data once per removed feature), and
+//! * one hierarchical dendrogram per data set, cut per `k` (agglomeration
+//!   does not depend on `k`, only the cut does)
+//!
+//! — and then evaluates the `(algorithm, k)` grid in parallel, each cell
+//! reading the shared state. The result is `PartialEq`-identical to the
+//! naive per-cell recomputation, which [`sweep_unshared`] retains as a
+//! reference (and benchmark baseline).
 
-use crate::cluster::{hierarchical, kmeans, pam, Clustering, Linkage};
+use crate::cluster::{
+    hierarchical, hierarchical_with_distances, kmeans, pam, pam_with_distances, Clustering,
+    Dendrogram, Linkage,
+};
+use crate::distance::pairwise_euclidean;
 use crate::error::AnalysisError;
 use crate::matrix::Matrix;
-use crate::validation::internal::{dunn_index, silhouette_width};
-use crate::validation::stability::{average_distance, average_proportion_non_overlap};
+use crate::validation::internal::{
+    dunn_index, dunn_index_with_distances, silhouette_width, silhouette_width_with_distances,
+};
+use crate::validation::stability::{
+    ad_from, apn_from, average_distance, average_proportion_non_overlap,
+};
+
+/// Seed used for every clustering run inside a sweep. All three algorithms
+/// are deterministic in this crate for a fixed seed, so the whole sweep is
+/// reproducible.
+const SWEEP_SEED: u64 = 42;
 
 /// The clustering algorithms compared in the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -34,8 +62,8 @@ impl Algorithm {
     /// algorithms are deterministic in this crate's implementations).
     pub fn run(self, m: &Matrix, k: usize) -> Result<Clustering, AnalysisError> {
         match self {
-            Algorithm::KMeans => kmeans(m, k, 42),
-            Algorithm::Pam => pam(m, k, 42),
+            Algorithm::KMeans => kmeans(m, k, SWEEP_SEED),
+            Algorithm::Pam => pam(m, k, SWEEP_SEED),
             Algorithm::Hierarchical => hierarchical(m, Linkage::Ward)?.cut(k),
         }
     }
@@ -108,12 +136,119 @@ impl ValidationSweep {
 
     /// Points for one algorithm, ascending in k.
     pub fn for_algorithm(&self, algorithm: Algorithm) -> Vec<&SweepPoint> {
-        self.points.iter().filter(|p| p.algorithm == algorithm).collect()
+        self.points
+            .iter()
+            .filter(|p| p.algorithm == algorithm)
+            .collect()
+    }
+}
+
+/// Per-sweep shared state: every distance computed once, every dendrogram
+/// built once. `reduced[col]` is the data with feature `col` removed —
+/// the leave-one-column-out variants the stability measures recluster.
+struct SweepContext<'a> {
+    m: &'a Matrix,
+    d_full: Matrix,
+    reduced: Vec<Matrix>,
+    d_reduced: Vec<Matrix>,
+    dend_full: Dendrogram,
+    dend_reduced: Vec<Dendrogram>,
+}
+
+impl SweepContext<'_> {
+    fn new(m: &Matrix) -> Result<SweepContext<'_>, AnalysisError> {
+        let d_full = pairwise_euclidean(m);
+        let reduced: Vec<Matrix> = (0..m.cols()).map(|col| m.without_col(col)).collect();
+        let d_reduced: Vec<Matrix> = reduced.iter().map(pairwise_euclidean).collect();
+        let dend_full = hierarchical_with_distances(&d_full, Linkage::Ward)?;
+        let dend_reduced = d_reduced
+            .iter()
+            .map(|d| hierarchical_with_distances(d, Linkage::Ward))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(SweepContext {
+            m,
+            d_full,
+            reduced,
+            d_reduced,
+            dend_full,
+            dend_reduced,
+        })
+    }
+
+    /// Cluster the full data. `k` was validated by [`sweep`] up front, and
+    /// none of the algorithms can fail for a valid `k`.
+    fn cluster_full(&self, algorithm: Algorithm, k: usize) -> Clustering {
+        match algorithm {
+            Algorithm::KMeans => kmeans(self.m, k, SWEEP_SEED),
+            Algorithm::Pam => pam_with_distances(&self.d_full, k),
+            Algorithm::Hierarchical => self.dend_full.cut(k),
+        }
+        .expect("k validated by sweep")
+    }
+
+    /// Cluster the data with feature `col` removed (same row count, so the
+    /// up-front `k` validation still covers it).
+    fn cluster_reduced(&self, algorithm: Algorithm, k: usize, col: usize) -> Clustering {
+        match algorithm {
+            Algorithm::KMeans => kmeans(&self.reduced[col], k, SWEEP_SEED),
+            Algorithm::Pam => pam_with_distances(&self.d_reduced[col], k),
+            Algorithm::Hierarchical => self.dend_reduced[col].cut(k),
+        }
+        .expect("k validated by sweep")
+    }
+
+    /// All four measures for one grid cell, entirely from shared state.
+    fn evaluate(&self, algorithm: Algorithm, k: usize) -> SweepPoint {
+        let full = self.cluster_full(algorithm, k);
+        let reduced: Vec<Clustering> = (0..self.reduced.len())
+            .map(|col| self.cluster_reduced(algorithm, k, col))
+            .collect();
+        SweepPoint {
+            algorithm,
+            k,
+            dunn: dunn_index_with_distances(&self.d_full, &full),
+            silhouette: silhouette_width_with_distances(&self.d_full, &full),
+            apn: apn_from(&full, &reduced),
+            ad: ad_from(&self.d_full, &full, &reduced),
+        }
     }
 }
 
 /// Evaluate every algorithm at every `k` in `ks` with all four measures.
+///
+/// Pairwise distances (full and leave-one-column-out) and hierarchical
+/// dendrograms are computed once and shared by every cell, and the
+/// `(algorithm, k)` grid is evaluated in parallel (worker count from
+/// `MWC_THREADS`, see `mwc-parallel`). The result is identical to
+/// [`sweep_unshared`].
 pub fn sweep(m: &Matrix, ks: &[usize]) -> Result<ValidationSweep, AnalysisError> {
+    if ks.is_empty() {
+        return Ok(ValidationSweep { points: Vec::new() });
+    }
+    let n = m.rows();
+    if let Some(&k) = ks.iter().find(|&&k| k == 0 || k > n) {
+        return Err(AnalysisError::InvalidClusterCount(format!(
+            "k = {k} for {n} observations"
+        )));
+    }
+    let ctx = SweepContext::new(m)?;
+    let cells: Vec<(Algorithm, usize)> = Algorithm::ALL
+        .iter()
+        .flat_map(|&algorithm| ks.iter().map(move |&k| (algorithm, k)))
+        .collect();
+    let points = mwc_parallel::ordered_map(
+        &cells,
+        mwc_parallel::configured_threads(),
+        |&(algorithm, k), _| ctx.evaluate(algorithm, k),
+    );
+    Ok(ValidationSweep { points })
+}
+
+/// [`sweep`] without any sharing: every cell reclusters from scratch and
+/// every measure recomputes its own distances, serially. Kept as the
+/// reference implementation ([`sweep`] must match it exactly) and as the
+/// baseline for the `sweep_shared_distances` benchmark.
+pub fn sweep_unshared(m: &Matrix, ks: &[usize]) -> Result<ValidationSweep, AnalysisError> {
     let mut points = Vec::with_capacity(ks.len() * Algorithm::ALL.len());
     for &algorithm in &Algorithm::ALL {
         for &k in ks {
@@ -146,7 +281,12 @@ mod tests {
             let base = c as f64 * 10.0;
             for i in 0..4 {
                 let jitter = i as f64 * 0.15;
-                rows.push(vec![base + jitter, base - jitter, base + 0.5 * jitter, base]);
+                rows.push(vec![
+                    base + jitter,
+                    base - jitter,
+                    base + 0.5 * jitter,
+                    base,
+                ]);
             }
         }
         Matrix::from_rows(&rows).unwrap()
@@ -185,6 +325,21 @@ mod tests {
     #[test]
     fn invalid_k_propagates() {
         assert!(sweep(&data(), &[0]).is_err());
+        assert!(sweep(&data(), &[13]).is_err());
+        assert!(sweep_unshared(&data(), &[0]).is_err());
+    }
+
+    #[test]
+    fn empty_ks_is_empty_sweep() {
+        let s = sweep(&data(), &[]).unwrap();
+        assert!(s.points.is_empty());
+    }
+
+    #[test]
+    fn shared_path_matches_unshared_reference() {
+        let m = data();
+        let ks = [2, 3, 4, 5];
+        assert_eq!(sweep(&m, &ks).unwrap(), sweep_unshared(&m, &ks).unwrap());
     }
 
     #[test]

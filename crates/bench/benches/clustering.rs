@@ -12,7 +12,9 @@ fn blobs(n: usize, dims: usize, seed: u64) -> Matrix {
     let rows: Vec<Vec<f64>> = (0..n)
         .map(|i| {
             let center = (i % 5) as f64 * 10.0;
-            (0..dims).map(|_| center + rng.gen_range(-1.0..1.0)).collect()
+            (0..dims)
+                .map(|_| center + rng.gen_range(-1.0..1.0))
+                .collect()
         })
         .collect();
     Matrix::from_rows(&rows).expect("uniform rows")
@@ -38,7 +40,12 @@ fn bench_clustering(c: &mut Criterion) {
 fn bench_linkages(c: &mut Criterion) {
     let m = blobs(128, 14, 7);
     let mut group = c.benchmark_group("hierarchical_linkages");
-    for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average, Linkage::Ward] {
+    for linkage in [
+        Linkage::Single,
+        Linkage::Complete,
+        Linkage::Average,
+        Linkage::Ward,
+    ] {
         group.bench_function(format!("{linkage:?}"), |b| {
             b.iter(|| hierarchical(&m, linkage).expect("non-empty"))
         });

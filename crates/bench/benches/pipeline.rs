@@ -26,6 +26,24 @@ fn bench_single_unit(c: &mut Criterion) {
     });
 }
 
+fn bench_full_pipeline(c: &mut Criterion) {
+    // The whole 18-unit single-run study: one worker vs. the machine's
+    // available parallelism. Both produce bit-identical results (see
+    // tests/determinism.rs); the ratio of the two is the pipeline speedup.
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    c.bench_function("pipeline_serial", |b| {
+        b.iter(|| Characterization::run_with_threads(SocConfig::snapdragon_888(), 7, 1, 1))
+    });
+    c.bench_function("pipeline_parallel", |b| {
+        b.iter(|| Characterization::run_with_threads(SocConfig::snapdragon_888(), 7, 1, threads))
+    });
+    // Fixed worker count, independent of the host: on multicore machines
+    // this shows the scaling, on a single core it bounds the pool overhead.
+    c.bench_function("pipeline_pool_4_workers", |b| {
+        b.iter(|| Characterization::run_with_threads(SocConfig::snapdragon_888(), 7, 1, 4))
+    });
+}
+
 fn bench_analysis_over_study(c: &mut Criterion) {
     // One single-run study, reused across iterations.
     let study = Characterization::run(SocConfig::snapdragon_888(), 7, 1);
@@ -39,6 +57,6 @@ fn bench_analysis_over_study(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_single_unit, bench_analysis_over_study
+    targets = bench_single_unit, bench_full_pipeline, bench_analysis_over_study
 }
 criterion_main!(benches);

@@ -29,11 +29,18 @@ fn bench_scheduler(c: &mut Criterion) {
     let soc = SocConfig::snapdragon_888();
     let sched = Scheduler::new(&soc);
     let demand = CpuDemand::multi_thread(12, 0.7);
-    c.bench_function("scheduler_place_12_threads", |b| b.iter(|| sched.place(&demand)));
+    c.bench_function("scheduler_place_12_threads", |b| {
+        b.iter(|| sched.place(&demand))
+    });
 }
 
 fn bench_cache_model(c: &mut Criterion) {
-    let h = CacheHierarchy::new(64, 1024, CacheConfig::new("L3", 4096), CacheConfig::new("SLC", 3072));
+    let h = CacheHierarchy::new(
+        64,
+        1024,
+        CacheConfig::new("L3", 4096),
+        CacheConfig::new("SLC", 3072),
+    );
     let profile = MemoryProfile {
         working_set_kib: 6144.0,
         locality: 0.6,

@@ -4,7 +4,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use mwc_analysis::cluster::kmeans;
 use mwc_analysis::matrix::Matrix;
 use mwc_analysis::validation::{
-    average_distance, average_proportion_non_overlap, dunn_index, silhouette_width,
+    average_distance, average_proportion_non_overlap, dunn_index, silhouette_width, sweep,
+    sweep_unshared,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -25,17 +26,37 @@ fn bench_validation(c: &mut Criterion) {
     let clustering = kmeans(&m, 5, 42).expect("valid k");
     let clusterer = |mm: &Matrix, k: usize| kmeans(mm, k, 42).expect("valid k");
 
-    c.bench_function("dunn_index_18x14", |b| b.iter(|| dunn_index(&m, &clustering)));
-    c.bench_function("silhouette_18x14", |b| b.iter(|| silhouette_width(&m, &clustering)));
+    c.bench_function("dunn_index_18x14", |b| {
+        b.iter(|| dunn_index(&m, &clustering))
+    });
+    c.bench_function("silhouette_18x14", |b| {
+        b.iter(|| silhouette_width(&m, &clustering))
+    });
     c.bench_function("apn_18x14", |b| {
         b.iter(|| average_proportion_non_overlap(&m, 5, &clusterer))
     });
-    c.bench_function("ad_18x14", |b| b.iter(|| average_distance(&m, 5, &clusterer)));
+    c.bench_function("ad_18x14", |b| {
+        b.iter(|| average_distance(&m, 5, &clusterer))
+    });
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    // The Figure-4 sweep over the paper's k range, with shared distance
+    // matrices / dendrograms vs. the naive per-cell recomputation. Both
+    // return PartialEq-identical results (asserted in mwc-analysis tests).
+    let m = paper_sized_matrix();
+    let ks = [2usize, 3, 4, 5, 6, 7];
+    c.bench_function("sweep_shared_distances", |b| {
+        b.iter(|| sweep(&m, &ks).expect("valid ks"))
+    });
+    c.bench_function("sweep_unshared", |b| {
+        b.iter(|| sweep_unshared(&m, &ks).expect("valid ks"))
+    });
 }
 
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_validation
+    targets = bench_validation, bench_sweep
 }
 criterion_main!(benches);

@@ -12,7 +12,6 @@
 //!    benchmarks' low IPC to texture pressure in the shared caches; an
 //!    oversized SLC makes the effect vanish.
 use mwc_core::observations::check_all;
-use mwc_core::pipeline::Characterization;
 use mwc_profiler::capture::{Profiler, SeriesKey};
 use mwc_soc::cache::CacheConfig;
 use mwc_soc::config::SocConfig;
@@ -91,7 +90,10 @@ fn main() {
         .l3(CacheConfig::new("L3", 64 * 1024))
         .build()
         .expect("valid config");
-    for (label, config) in [("paper platform", baseline), ("64 MB shared caches", uncontended)] {
+    for (label, config) in [
+        ("paper platform", baseline),
+        ("64 MB shared caches", uncontended),
+    ] {
         let engine = Engine::new(config, 7).expect("config validates");
         let mut profiler = Profiler::new(engine, 7);
         let cap = profiler.capture_runs(&gfxbench::gfx_high(), 1).remove(0);
@@ -105,7 +107,7 @@ fn main() {
     println!("  (the low graphics IPC the paper reports is a contention effect, not intrinsic)");
 
     mwc_bench::header("Ablation 4: full observation suite under the default stack");
-    let study = Characterization::run(SocConfig::snapdragon_888(), 2024, 1);
-    let holds = check_all(&study).iter().filter(|o| o.holds).count();
+    let study = mwc_bench::study_with(mwc_bench::DEFAULT_SEED, 1);
+    let holds = check_all(study).iter().filter(|o| o.holds).count();
     println!("  observations holding under EAS + schedutil: {holds}/9");
 }

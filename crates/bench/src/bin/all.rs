@@ -14,7 +14,11 @@ fn main() {
     mwc_bench::header("Table I");
     let mut t = Table::new(vec!["Suite", "Benchmark", "Target"]);
     for row in suite_inventory() {
-        t.row(vec![row.suite.name().into(), row.benchmark.into(), row.target.into()]);
+        t.row(vec![
+            row.suite.name().into(),
+            row.benchmark.into(),
+            row.target.into(),
+        ]);
     }
     print!("{}", t.render());
 
@@ -23,7 +27,15 @@ fn main() {
 
     mwc_bench::header("Figure 1");
     let f1 = figures::fig1(study);
-    let mut t = Table::new(vec!["Benchmark", "Group", "IC (bn)", "IPC", "cMPKI", "bMPKI", "Runtime"]);
+    let mut t = Table::new(vec![
+        "Benchmark",
+        "Group",
+        "IC (bn)",
+        "IPC",
+        "cMPKI",
+        "bMPKI",
+        "Runtime",
+    ]);
     for (name, group, v) in &f1.rows {
         t.row(vec![
             name.clone(),
@@ -94,6 +106,11 @@ fn main() {
 
     mwc_bench::header("Observations");
     for o in observations::check_all(study) {
-        println!("#{} [{}] {}", o.id, if o.holds { "HOLDS" } else { "FAILS" }, o.statement);
+        println!(
+            "#{} [{}] {}",
+            o.id,
+            if o.holds { "HOLDS" } else { "FAILS" },
+            o.statement
+        );
     }
 }

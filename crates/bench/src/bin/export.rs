@@ -13,11 +13,7 @@ use mwc_analysis::stats::spearman_matrix;
 use mwc_core::features::{clustering_matrix, fig1_matrix, CLUSTERING_FEATURES, FIG1_METRICS};
 use mwc_core::tables::table3_matrix;
 
-fn matrix_csv(
-    row_names: &[&str],
-    col_names: &[&str],
-    m: &mwc_analysis::matrix::Matrix,
-) -> String {
+fn matrix_csv(row_names: &[&str], col_names: &[&str], m: &mwc_analysis::matrix::Matrix) -> String {
     let mut out = String::from("name");
     for c in col_names {
         out.push(',');
@@ -36,7 +32,9 @@ fn matrix_csv(
 
 fn main() {
     let dir = PathBuf::from(
-        std::env::args().nth(1).unwrap_or_else(|| "study-export".to_owned()),
+        std::env::args()
+            .nth(1)
+            .unwrap_or_else(|| "study-export".to_owned()),
     );
     fs::create_dir_all(&dir).expect("create output directory");
 
@@ -65,7 +63,11 @@ fn main() {
     .expect("write table3_pearson.csv");
     fs::write(
         dir.join("table3_spearman.csv"),
-        matrix_csv(&FIG1_METRICS, &FIG1_METRICS, &spearman_matrix(&fig1_matrix(study))),
+        matrix_csv(
+            &FIG1_METRICS,
+            &FIG1_METRICS,
+            &spearman_matrix(&fig1_matrix(study)),
+        ),
     )
     .expect("write table3_spearman.csv");
 
@@ -99,5 +101,9 @@ fn main() {
         fs::write(dir.join(format!("series_{slug}.csv")), csv).expect("write series csv");
     }
 
-    println!("exported {} files to {}", 4 + study.profiles().len(), dir.display());
+    println!(
+        "exported {} files to {}",
+        4 + study.profiles().len(),
+        dir.display()
+    );
 }

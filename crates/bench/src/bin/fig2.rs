@@ -4,7 +4,9 @@ use mwc_core::figures::{fig2, FIG2_METRICS};
 use mwc_report::sparkline::labelled_sparkline;
 
 fn main() {
-    mwc_bench::header("Figure 2: Metric values across normalized runtime (sparklines; avg appended)");
+    mwc_bench::header(
+        "Figure 2: Metric values across normalized runtime (sparklines; avg appended)",
+    );
     let f = fig2(mwc_bench::study(), 60);
     for (name, series) in &f.rows {
         println!("{name}");

@@ -3,7 +3,9 @@ use mwc_analysis::validation::Algorithm;
 use mwc_report::table::{fmt, Table};
 
 fn main() {
-    mwc_bench::header("Figure 4: Cluster-count validation (Dunn/Silhouette higher better; APN/AD lower better)");
+    mwc_bench::header(
+        "Figure 4: Cluster-count validation (Dunn/Silhouette higher better; APN/AD lower better)",
+    );
     let sweep = mwc_core::figures::fig4(mwc_bench::study()).expect("sweep succeeds");
     for alg in Algorithm::ALL {
         println!("{}:", alg.name());
@@ -30,14 +32,20 @@ fn main() {
 
     // Silhouette vs k, one series per algorithm (the middle panel of the
     // paper's figure).
-    println!("
-Silhouette width vs k (higher is better):");
+    println!(
+        "
+Silhouette width vs k (higher is better):"
+    );
     let series: Vec<mwc_report::chart::Series> = Algorithm::ALL
         .iter()
         .map(|&alg| {
             mwc_report::chart::Series::new(
                 alg.name(),
-                sweep.for_algorithm(alg).iter().map(|p| p.silhouette).collect(),
+                sweep
+                    .for_algorithm(alg)
+                    .iter()
+                    .map(|p| p.silhouette)
+                    .collect(),
             )
         })
         .collect();

@@ -9,7 +9,11 @@ fn main() {
     let merges: Vec<MergeRow> = d
         .merges()
         .iter()
-        .map(|m| MergeRow { a: m.a, b: m.b, distance: m.distance })
+        .map(|m| MergeRow {
+            a: m.a,
+            b: m.b,
+            distance: m.distance,
+        })
         .collect();
     print!("{}", render(&labels, &merges));
     println!("\nCut at k = 5:");

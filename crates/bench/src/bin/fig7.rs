@@ -9,7 +9,11 @@ fn main() {
     let naive = naive_subset(study, &clustering);
     let select = select_subset(study);
     let plus = select_plus_gpu_subset(study);
-    let sizes = [naive.indices.len(), select.indices.len(), plus.indices.len()];
+    let sizes = [
+        naive.indices.len(),
+        select.indices.len(),
+        plus.indices.len(),
+    ];
     let curves = mwc_core::figures::fig7(study, &[naive, select, plus]);
     for ((name, curve), own) in curves.iter().zip(sizes) {
         println!("{name} (dashed line at n = {own}: {:.2}):", curve[own - 1]);
@@ -30,8 +34,10 @@ fn main() {
         (1.0 - plus_at_7 / naive_at_7) * 100.0
     );
 
-    println!("
-Total minimum Euclidean distance vs benchmarks added:");
+    println!(
+        "
+Total minimum Euclidean distance vs benchmarks added:"
+    );
     // Distinct first letters pick distinct plot glyphs.
     let glyph_label = |name: &str| match name {
         "Naive Set" => "Naive".to_owned(),
@@ -41,9 +47,7 @@ Total minimum Euclidean distance vs benchmarks added:");
     };
     let series: Vec<mwc_report::chart::Series> = curves
         .iter()
-        .map(|(name, curve)| {
-            mwc_report::chart::Series::new(glyph_label(name), curve.clone())
-        })
+        .map(|(name, curve)| mwc_report::chart::Series::new(glyph_label(name), curve.clone()))
         .collect();
     print!("{}", mwc_report::chart::line_chart(&series, 12));
     println!("{:>10} x axis: subset size 1..18", "");

@@ -4,7 +4,11 @@ use mwc_workloads::registry::suite_inventory;
 
 fn main() {
     mwc_bench::header("Table I: Commercial mobile benchmark suites analyzed");
-    let mut t = Table::new(vec!["Benchmark Suite", "Benchmark Names", "Targeted HW / Workload"]);
+    let mut t = Table::new(vec![
+        "Benchmark Suite",
+        "Benchmark Names",
+        "Targeted HW / Workload",
+    ]);
     for row in suite_inventory() {
         t.row(vec![
             row.suite.name().to_owned(),

@@ -21,32 +21,56 @@ fn main() {
             ),
         ]);
     }
-    t.row(vec!["L3 (CPU cores)".into(), format!("{} MB", soc.l3.size_kib / 1024)]);
-    t.row(vec!["System-level cache".into(), format!("{} MB", soc.slc.size_kib / 1024)]);
+    t.row(vec![
+        "L3 (CPU cores)".into(),
+        format!("{} MB", soc.l3.size_kib / 1024),
+    ]);
+    t.row(vec![
+        "System-level cache".into(),
+        format!("{} MB", soc.slc.size_kib / 1024),
+    ]);
     if let Some(gpu) = &soc.gpu {
         t.row(vec![
             "GPU".into(),
-            format!("{} ({} shader cores @ up to {} MHz)", gpu.model, gpu.shader_cores, gpu.max_freq_mhz),
+            format!(
+                "{} ({} shader cores @ up to {} MHz)",
+                gpu.model, gpu.shader_cores, gpu.max_freq_mhz
+            ),
         ]);
     }
     if let Some(aie) = &soc.aie {
         let codecs: Vec<&str> = aie.supported_codecs.iter().map(|c| c.name()).collect();
         t.row(vec![
             "AI Engine".into(),
-            format!("{} ({} TOPS; HW codecs: {})", aie.model, aie.peak_tops, codecs.join("/")),
+            format!(
+                "{} ({} TOPS; HW codecs: {})",
+                aie.model,
+                aie.peak_tops,
+                codecs.join("/")
+            ),
         ]);
     }
     t.row(vec![
         "Memory".into(),
-        format!("{:.0} GB {}", soc.memory.capacity_mib / 1024.0, soc.memory.technology),
+        format!(
+            "{:.0} GB {}",
+            soc.memory.capacity_mib / 1024.0,
+            soc.memory.technology
+        ),
     ]);
     t.row(vec![
         "Storage".into(),
-        format!("{:.0} GB {}", soc.storage.capacity_gib, soc.storage.technology),
+        format!(
+            "{:.0} GB {}",
+            soc.storage.capacity_gib, soc.storage.technology
+        ),
     ]);
     t.row(vec![
         "Display".into(),
-        format!("{}x{} pixels @ {} Hz", soc.display.width, soc.display.height, soc.display.refresh_hz),
+        format!(
+            "{}x{} pixels @ {} Hz",
+            soc.display.width, soc.display.height, soc.display.refresh_hz
+        ),
     ]);
     print!("{}", t.render());
 }

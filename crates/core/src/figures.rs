@@ -104,7 +104,9 @@ pub fn fig2(study: &Characterization, bins: usize) -> Fig2 {
         .iter()
         .map(|p| {
             let series = std::array::from_fn(|m| {
-                extract(p, m).normalized_against(lo[m], hi[m]).resample(bins)
+                extract(p, m)
+                    .normalized_against(lo[m], hi[m])
+                    .resample(bins)
             });
             (p.name.clone(), series)
         })
@@ -136,8 +138,8 @@ pub fn fig3(study: &Characterization, bins: usize) -> Fig3 {
     }
     let mut hi = [f64::NEG_INFINITY; 3];
     for p in study.profiles() {
-        for c in 0..3 {
-            hi[c] = hi[c].max(extract3(p, c).max());
+        for (c, h) in hi.iter_mut().enumerate() {
+            *h = h.max(extract3(p, c).max());
         }
     }
     let rows = study

@@ -75,7 +75,9 @@ fn obs1(study: &Characterization) -> ObservationResult {
     let gemm: f64 = head.iter().sum::<f64>() / head.len() as f64;
     let overall = antutu.series.cpu_load.mean();
     holds &= gemm > overall;
-    evidence.push_str(&format!("Antutu CPU GEMM head {gemm:.2} vs mean {overall:.2}"));
+    evidence.push_str(&format!(
+        "Antutu CPU GEMM head {gemm:.2} vs mean {overall:.2}"
+    ));
     ObservationResult {
         id: 1,
         statement: "Multi-core/multi-threaded components show high CPU load levels",
@@ -96,9 +98,10 @@ fn obs2() -> ObservationResult {
     // Compare only the on-screen API-paired variants of the same scene:
     // the heavy off-screen/4K variants saturate the GPU under either API,
     // compressing the gap to zero.
-    for t in tests.iter().filter(|t| {
-        t.name.contains("Aztec") && t.target == mwc_soc::gpu::RenderTarget::OnScreen
-    }) {
+    for t in tests
+        .iter()
+        .filter(|t| t.name.contains("Aztec") && t.target == mwc_soc::gpu::RenderTarget::OnScreen)
+    {
         let capture: Vec<Capture> = profiler.capture_runs(&t.workload(20.0), 1);
         let load = capture[0].series(SeriesKey::GpuLoad).mean();
         match t.api {
@@ -255,7 +258,11 @@ fn actively_uses_big_or_mid(p: &UnitProfile) -> bool {
 /// every active benchmark except Aitutu.
 fn obs7(study: &Characterization) -> ObservationResult {
     let mut exceptions = Vec::new();
-    for p in study.profiles().iter().filter(|p| actively_uses_big_or_mid(p)) {
+    for p in study
+        .profiles()
+        .iter()
+        .filter(|p| actively_uses_big_or_mid(p))
+    {
         let big = high_fraction(&p.series.big_load);
         let mid = high_fraction(&p.series.mid_load);
         if mid > big {
@@ -282,11 +289,14 @@ fn obs8(study: &Characterization) -> ObservationResult {
     let mut evidence = String::new();
     let mut holds = true;
     for p in study.profiles().iter().filter(|p| {
-        matches!(p.label, ClusterLabel::IntenseGraphics | ClusterLabel::GpuCompute)
+        matches!(
+            p.label,
+            ClusterLabel::IntenseGraphics | ClusterLabel::GpuCompute
+        )
     }) {
         let little = p.series.little_load.fraction_above(0.25);
-        let big_mid = p.series.big_load.fraction_above(0.25)
-            + p.series.mid_load.fraction_above(0.25);
+        let big_mid =
+            p.series.big_load.fraction_above(0.25) + p.series.mid_load.fraction_above(0.25);
         if big_mid >= little {
             holds = false;
             evidence.push_str(&format!(
@@ -316,9 +326,13 @@ fn obs9(study: &Characterization) -> ObservationResult {
             // "Consistent load on all CPU core clusters": every cluster is
             // above the first load level for more than a quarter of the
             // benchmark's execution.
-            [&p.series.little_load, &p.series.mid_load, &p.series.big_load]
-                .iter()
-                .all(|s| s.fraction_above(0.25) > 0.25)
+            [
+                &p.series.little_load,
+                &p.series.mid_load,
+                &p.series.big_load,
+            ]
+            .iter()
+            .all(|s| s.fraction_above(0.25) > 0.25)
         })
         .map(|p| p.name.clone())
         .collect();
@@ -330,7 +344,9 @@ fn obs9(study: &Characterization) -> ObservationResult {
         id: 9,
         statement: "Workloads tend not to exploit more than one type of core concurrently",
         holds: got == expected,
-        evidence: format!("units loading all clusters: {consistent:?} (paper: {MULTICORE_UNITS:?})"),
+        evidence: format!(
+            "units loading all clusters: {consistent:?} (paper: {MULTICORE_UNITS:?})"
+        ),
     }
 }
 

@@ -6,7 +6,7 @@ use mwc_profiler::derive::BenchmarkMetrics;
 use mwc_profiler::timeseries::TimeSeries;
 use mwc_soc::config::{ClusterKind, SocConfig};
 use mwc_soc::engine::Engine;
-use mwc_workloads::registry::{all_units, ClusterLabel, Suite};
+use mwc_workloads::registry::{all_units, BenchmarkUnit, ClusterLabel, Suite};
 
 /// The per-unit time series the temporal and heterogeneity analyses use.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,48 +66,38 @@ impl Characterization {
         Characterization::run(SocConfig::snapdragon_888(), 2024, PAPER_RUNS)
     }
 
-    /// Run the study on an arbitrary platform with `runs` runs per unit.
+    /// Run the study on an arbitrary platform with `runs` runs per unit,
+    /// fanning the units across `MWC_THREADS` worker threads (default:
+    /// the machine's available parallelism).
+    ///
+    /// Whatever the worker count, the result is bit-identical to a serial
+    /// run: every capture's noise stream is derived from
+    /// `(seed, unit_index, run_index)` alone (see
+    /// [`mwc_soc::engine::stream_seed`]), each worker owns a private
+    /// engine, and profiles are collected in unit order.
     ///
     /// # Panics
     /// Panics if the configuration fails validation — configurations are
     /// produced by [`SocConfig::builder`] which validates on `build`, so an
     /// invalid one reaching this point is a programming error.
     pub fn run(config: SocConfig, seed: u64, runs: usize) -> Self {
-        let engine = Engine::new(config, seed).expect("validated SoC configuration");
-        let mut profiler = Profiler::new(engine, seed);
-        let profiles = all_units()
-            .into_iter()
-            .map(|unit| {
-                let captures = profiler.capture_runs(&unit.workload, runs);
-                let metrics = BenchmarkMetrics::from_captures(&captures);
-                let avg = |key: SeriesKey| {
-                    let series: Vec<TimeSeries> =
-                        captures.iter().map(|c| c.series(key)).collect();
-                    TimeSeries::average(&series)
-                };
-                let series = UnitSeries {
-                    cpu_load: avg(SeriesKey::CpuLoad),
-                    little_load: avg(SeriesKey::ClusterLoad(ClusterKind::Little)),
-                    mid_load: avg(SeriesKey::ClusterLoad(ClusterKind::Mid)),
-                    big_load: avg(SeriesKey::ClusterLoad(ClusterKind::Big)),
-                    gpu_load: avg(SeriesKey::GpuLoad),
-                    shaders_busy: avg(SeriesKey::GpuShadersBusy),
-                    bus_busy: avg(SeriesKey::GpuBusBusy),
-                    aie_load: avg(SeriesKey::AieLoad),
-                    memory_fraction: avg(SeriesKey::MemoryUsedFraction),
-                    memory_mib: avg(SeriesKey::MemoryUsedMib),
-                    ipc: avg(SeriesKey::Ipc),
-                    storage_busy: avg(SeriesKey::StorageBusy),
-                };
-                UnitProfile {
-                    name: unit.name.to_owned(),
-                    suite: unit.suite,
-                    label: unit.label,
-                    metrics,
-                    series,
-                }
-            })
-            .collect();
+        Characterization::run_with_threads(config, seed, runs, mwc_parallel::configured_threads())
+    }
+
+    /// [`Characterization::run`] with an explicit worker count
+    /// (`threads <= 1` runs serially on the calling thread).
+    pub fn run_with_threads(config: SocConfig, seed: u64, runs: usize, threads: usize) -> Self {
+        let units = all_units();
+        let profiles = mwc_parallel::ordered_map_with(
+            &units,
+            threads,
+            || {
+                let engine =
+                    Engine::new(config.clone(), seed).expect("validated SoC configuration");
+                Profiler::new(engine, seed)
+            },
+            |profiler, unit, unit_index| profile_unit(profiler, unit, unit_index, runs),
+        );
         Characterization { profiles }
     }
 
@@ -128,7 +118,49 @@ impl Characterization {
 
     /// Runtimes in seconds, in unit order.
     pub fn runtimes(&self) -> Vec<f64> {
-        self.profiles.iter().map(|p| p.metrics.runtime_seconds).collect()
+        self.profiles
+            .iter()
+            .map(|p| p.metrics.runtime_seconds)
+            .collect()
+    }
+}
+
+/// Profile one unit: capture its runs on the worker's engine and average
+/// metrics and series across them. A pure function of
+/// `(profiler seed/config, unit, unit_index, runs)`, which is what makes
+/// the parallel fan-out reproducible.
+fn profile_unit(
+    profiler: &mut Profiler,
+    unit: &BenchmarkUnit,
+    unit_index: usize,
+    runs: usize,
+) -> UnitProfile {
+    let captures = profiler.capture_unit_runs(&unit.workload, unit_index, runs);
+    let metrics = BenchmarkMetrics::from_captures(&captures);
+    let avg = |key: SeriesKey| {
+        let series: Vec<TimeSeries> = captures.iter().map(|c| c.series(key)).collect();
+        TimeSeries::average(&series)
+    };
+    let series = UnitSeries {
+        cpu_load: avg(SeriesKey::CpuLoad),
+        little_load: avg(SeriesKey::ClusterLoad(ClusterKind::Little)),
+        mid_load: avg(SeriesKey::ClusterLoad(ClusterKind::Mid)),
+        big_load: avg(SeriesKey::ClusterLoad(ClusterKind::Big)),
+        gpu_load: avg(SeriesKey::GpuLoad),
+        shaders_busy: avg(SeriesKey::GpuShadersBusy),
+        bus_busy: avg(SeriesKey::GpuBusBusy),
+        aie_load: avg(SeriesKey::AieLoad),
+        memory_fraction: avg(SeriesKey::MemoryUsedFraction),
+        memory_mib: avg(SeriesKey::MemoryUsedMib),
+        ipc: avg(SeriesKey::Ipc),
+        storage_busy: avg(SeriesKey::StorageBusy),
+    };
+    UnitProfile {
+        name: unit.name.to_owned(),
+        suite: unit.suite,
+        label: unit.label,
+        metrics,
+        series,
     }
 }
 
@@ -180,5 +212,12 @@ mod tests {
         let a = Characterization::run(SocConfig::snapdragon_888(), 9, 1);
         let b = Characterization::run(SocConfig::snapdragon_888(), 9, 1);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_study_is_bit_identical_to_serial() {
+        let serial = Characterization::run_with_threads(SocConfig::snapdragon_888(), 9, 1, 1);
+        let parallel = Characterization::run_with_threads(SocConfig::snapdragon_888(), 9, 1, 4);
+        assert_eq!(serial, parallel);
     }
 }

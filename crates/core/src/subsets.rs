@@ -22,7 +22,11 @@ pub enum SubsetKind {
 
 impl SubsetKind {
     /// All subsets, in the paper's order.
-    pub const ALL: [SubsetKind; 3] = [SubsetKind::Naive, SubsetKind::Select, SubsetKind::SelectPlusGpu];
+    pub const ALL: [SubsetKind; 3] = [
+        SubsetKind::Naive,
+        SubsetKind::Select,
+        SubsetKind::SelectPlusGpu,
+    ];
 
     /// Display name matching Table VI.
     pub fn name(self) -> &'static str {

@@ -21,8 +21,8 @@ pub fn table3_text(study: &Characterization) -> String {
     let mut headers: Vec<String> = vec![String::new()];
     headers.extend(FIG1_METRICS.iter().map(|s| s.to_string()));
     let mut t = Table::new(headers);
-    for i in 0..c.rows() {
-        let mut row = vec![FIG1_METRICS[i].to_string()];
+    for (i, metric) in FIG1_METRICS.iter().enumerate().take(c.rows()) {
+        let mut row = vec![metric.to_string()];
         for j in 0..=i {
             row.push(fmt(c.get(i, j), 3));
         }
@@ -84,14 +84,18 @@ pub struct Table6 {
 /// benchmark per cluster); pass the clustering from Figure 5/6.
 pub fn table6(study: &Characterization, clustering: &Clustering) -> Table6 {
     let original_seconds: f64 = study.runtimes().iter().sum();
-    let rows = vec![naive_subset(study, clustering), select_subset(study), select_plus_gpu_subset(study)]
-        .into_iter()
-        .map(|s| {
-            let time = s.running_time(study);
-            let red = s.reduction_percent(study);
-            (s, time, red)
-        })
-        .collect();
+    let rows = vec![
+        naive_subset(study, clustering),
+        select_subset(study),
+        select_plus_gpu_subset(study),
+    ]
+    .into_iter()
+    .map(|s| {
+        let time = s.running_time(study);
+        let red = s.reduction_percent(study);
+        (s, time, red)
+    })
+    .collect();
     Table6 {
         original_seconds,
         rows,
@@ -101,8 +105,17 @@ pub fn table6(study: &Characterization, clustering: &Clustering) -> Table6 {
 /// Render Table VI as text.
 pub fn table6_text(study: &Characterization, clustering: &Clustering) -> String {
     let data = table6(study, clustering);
-    let mut t = Table::new(vec!["", "Original Set", "Naive Set", "Select Set", "Select + GPU Set"]);
-    let mut times = vec!["Running Time (sec)".to_string(), fmt(data.original_seconds, 1)];
+    let mut t = Table::new(vec![
+        "",
+        "Original Set",
+        "Naive Set",
+        "Select Set",
+        "Select + GPU Set",
+    ]);
+    let mut times = vec![
+        "Running Time (sec)".to_string(),
+        fmt(data.original_seconds, 1),
+    ];
     let mut reds = vec!["Running Time Reduction".to_string(), "-".to_string()];
     for (_, time, red) in &data.rows {
         times.push(fmt(*time, 2));

@@ -1,0 +1,354 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this workspace-local
+//! crate implements the API subset the `mwc-bench` benches use —
+//! [`Criterion`], [`criterion_group!`]/[`criterion_main!`],
+//! [`Bencher::iter`]/[`Bencher::iter_with_setup`], benchmark groups and
+//! [`BenchmarkId`] — as a real wall-clock measuring harness: warm-up,
+//! iteration-count calibration, `sample_size` timed samples and a
+//! `min/mean/median/max` text report per benchmark.
+//!
+//! Statistical machinery (outlier classification, HTML reports, comparison
+//! against saved baselines) is intentionally absent.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver: holds measurement configuration and an
+/// optional name filter taken from the command line.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Total time budget for the timed samples of one benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Time spent running the routine before measurement starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Apply command-line arguments (`cargo bench` passes `--bench` plus an
+    /// optional name filter; flags are ignored, the first free argument
+    /// becomes a substring filter).
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            if a == "--bench" || a == "--test" || a.starts_with("--color") {
+                continue;
+            }
+            if a == "--measurement-time" || a == "--sample-size" || a == "--warm-up-time" {
+                let _ = args.next();
+                continue;
+            }
+            if a.starts_with('-') {
+                continue;
+            }
+            self.filter = Some(a);
+            break;
+        }
+        self
+    }
+
+    /// Run one benchmark function.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(&id);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named group of benchmarks (ids are reported as `group/function/param`).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        self.criterion.bench_function(full, f);
+        self
+    }
+
+    /// Run one parameterized benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.render());
+        self.criterion.bench_function(full, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (all reporting already happened inline).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one parameterized benchmark: function name plus parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a displayable parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    fn render(&self) -> String {
+        format!("{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Measures one routine: warm-up, calibration, then timed samples.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measure `routine` (setup-free).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget elapses, estimating the
+        // per-iteration cost as we go.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // Calibrate iterations per sample so all samples fit the budget.
+        let budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters = ((budget / per_iter.max(1e-12)) as u64).max(1);
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            self.samples_ns.push(elapsed / iters as f64);
+        }
+    }
+
+    /// Measure `routine` with a fresh untimed `setup` product per iteration.
+    pub fn iter_with_setup<S, O, SF, R>(&mut self, mut setup: SF, mut routine: R)
+    where
+        SF: FnMut() -> S,
+        R: FnMut(S) -> O,
+    {
+        // Warm-up (setup excluded from the estimate as well as possible).
+        let mut warm_spent = Duration::ZERO;
+        let mut warm_iters: u64 = 0;
+        while warm_spent < self.warm_up_time || warm_iters == 0 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            warm_spent += start.elapsed();
+            warm_iters += 1;
+        }
+        let per_iter = warm_spent.as_secs_f64() / warm_iters as f64;
+
+        let budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters = ((budget / per_iter.max(1e-12)) as u64).max(1);
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let mut timed = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                timed += start.elapsed();
+            }
+            self.samples_ns.push(timed.as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples_ns.is_empty() {
+            println!("{id:<50} (no samples — did the closure call iter?)");
+            return;
+        }
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite sample times"));
+        let min = sorted[0];
+        let max = sorted[sorted.len() - 1];
+        let median = sorted[sorted.len() / 2];
+        let mean = self.samples_ns.iter().sum::<f64>() / self.samples_ns.len() as f64;
+        println!(
+            "{id:<50} time: [{} {} {}]  (median {}, {} samples)",
+            format_ns(min),
+            format_ns(mean),
+            format_ns(max),
+            format_ns(median),
+            self.samples_ns.len(),
+        );
+    }
+}
+
+/// Render nanoseconds with an adaptive unit, criterion-style.
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Define a benchmark group function, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5));
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn groups_and_ids_render() {
+        let id = BenchmarkId::new("kmeans", 18);
+        assert_eq!(id.render(), "kmeans/18");
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(2));
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("f", 1), &7usize, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.bench_function("plain".to_owned(), |b| b.iter(|| black_box(3)));
+        group.finish();
+    }
+
+    #[test]
+    fn iter_with_setup_excludes_setup() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(2));
+        c.bench_function("setup", |b| {
+            b.iter_with_setup(|| vec![1u8; 64], |v| black_box(v.len()))
+        });
+    }
+
+    #[test]
+    fn format_units() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(12_000_000_000.0).ends_with('s'));
+    }
+}

@@ -1,0 +1,168 @@
+//! A minimal, std-only worker pool for deterministic fan-out.
+//!
+//! The characterization pipeline and the analysis layer both fan a fixed
+//! list of independent work items (benchmark units, clustering restarts,
+//! sweep cells) across threads. This crate provides the one primitive they
+//! share: [`ordered_map_with`], a scoped map over a slice where
+//!
+//! * each worker owns private per-worker state built by an `init` closure
+//!   (e.g. a simulation engine), so no state is shared between items;
+//! * results are collected **by item index**, so the output order — and
+//!   therefore every downstream float operation — is identical to a serial
+//!   `items.iter().map(..)` regardless of which worker ran which item or in
+//!   what order items completed.
+//!
+//! Determinism contract: if `f` is a pure function of `(state built by
+//! init, item, index)`, then `ordered_map_with` returns bit-identical
+//! results for any thread count, including 1. The workspace's per-unit
+//! seeding (`mwc_soc::engine::stream_seed`) is designed around exactly this
+//! property.
+//!
+//! Dependency policy (DESIGN.md §6) rules out rayon; `std::thread::scope`
+//! is sufficient at this scale (tens of items, each milliseconds or more).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable overriding the worker count used by
+/// [`configured_threads`].
+pub const THREADS_ENV: &str = "MWC_THREADS";
+
+/// The worker count to use: `MWC_THREADS` if set to a positive integer,
+/// otherwise [`std::thread::available_parallelism`] (1 if unknown).
+pub fn configured_threads() -> usize {
+    if let Ok(raw) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Map `f` over `items` on up to `threads` workers, each with its own state
+/// from `init`, returning results in item order.
+///
+/// With `threads <= 1` (or fewer than two items) the map runs inline on the
+/// calling thread with a single `init()` state — the exact serial loop.
+/// Otherwise workers pull item indices from a shared counter and write each
+/// result into its item's slot, so the returned `Vec` is always ordered by
+/// item index, never by completion order.
+///
+/// Panics in `init` or `f` propagate to the caller when the scope joins.
+pub fn ordered_map_with<T, S, R, I, F>(items: &[T], threads: usize, init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T, usize) -> R + Sync,
+{
+    if threads <= 1 || items.len() < 2 {
+        let mut state = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(index, item)| f(&mut state, item, index))
+            .collect();
+    }
+
+    let workers = threads.min(items.len());
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut state = init();
+                loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(index) else {
+                        break;
+                    };
+                    let result = f(&mut state, item, index);
+                    slots.lock().expect("worker panicked holding results lock")[index] =
+                        Some(result);
+                }
+            });
+        }
+    });
+
+    slots
+        .into_inner()
+        .expect("worker panicked holding results lock")
+        .into_iter()
+        .map(|slot| slot.expect("every index visited exactly once"))
+        .collect()
+}
+
+/// Map `f` over `items` with stateless workers; see [`ordered_map_with`].
+pub fn ordered_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T, usize) -> R + Sync,
+{
+    ordered_map_with(items, threads, || (), |(), item, index| f(item, index))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_item_order() {
+        let items: Vec<usize> = (0..97).collect();
+        let out = ordered_map(&items, 8, |&x, i| {
+            assert_eq!(x, i);
+            x * 3
+        });
+        assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_matches_serial_for_stateful_workers() {
+        // Per-worker state must not leak between items in a way that
+        // changes results: f uses state only as a scratch buffer.
+        let items: Vec<u64> = (0..53).collect();
+        let run = |threads| {
+            ordered_map_with(&items, threads, Vec::<u64>::new, |scratch, &x, i| {
+                scratch.clear();
+                scratch.extend(0..=x);
+                scratch.iter().sum::<u64>() + i as u64
+            })
+        };
+        assert_eq!(run(1), run(4));
+        assert_eq!(run(1), run(16));
+    }
+
+    #[test]
+    fn single_item_and_single_thread_run_inline() {
+        assert_eq!(ordered_map(&[5], 8, |&x: &i32, _| x + 1), vec![6]);
+        assert_eq!(
+            ordered_map(&[1, 2, 3], 1, |&x: &i32, _| x * 2),
+            vec![2, 4, 6]
+        );
+        assert_eq!(
+            ordered_map::<i32, i32, _>(&[], 4, |&x, _| x),
+            Vec::<i32>::new()
+        );
+    }
+
+    #[test]
+    fn worker_count_is_capped_by_item_count() {
+        // More threads than items must still visit each item exactly once.
+        let out = ordered_map(&[10, 20], 64, |&x: &i32, _| x);
+        assert_eq!(out, vec![10, 20]);
+    }
+
+    #[test]
+    fn configured_threads_is_positive() {
+        assert!(configured_threads() >= 1);
+    }
+}

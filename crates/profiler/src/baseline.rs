@@ -37,7 +37,10 @@ impl IdleBaseline {
     pub fn subtract_memory(&self, raw: &TimeSeries) -> TimeSeries {
         TimeSeries::new(
             raw.tick_seconds,
-            raw.values.iter().map(|v| (v - self.memory_mib).max(0.0)).collect(),
+            raw.values
+                .iter()
+                .map(|v| (v - self.memory_mib).max(0.0))
+                .collect(),
         )
     }
 }

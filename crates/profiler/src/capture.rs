@@ -191,16 +191,34 @@ impl Profiler {
         &self.engine
     }
 
-    /// Capture `runs` independent runs of a workload. The engine is reset
-    /// before each run (DVFS back to floor, caches drained), with a
-    /// distinct deterministic seed per run.
-    pub fn capture_runs(&mut self, workload: &dyn Workload, runs: usize) -> Vec<Capture> {
+    /// Capture `runs` independent runs of the unit at `unit_index`. The
+    /// engine is reset before each run (DVFS back to floor, caches
+    /// drained), and each run's noise stream is derived from
+    /// `(base_seed, unit_index, run)` via [`mwc_soc::engine::stream_seed`].
+    ///
+    /// Because the stream depends only on those coordinates, the capture
+    /// is identical whether this unit is profiled first, last, or on a
+    /// different worker thread than its neighbours — the property the
+    /// parallel pipeline in `mwc-core` relies on.
+    pub fn capture_unit_runs(
+        &mut self,
+        workload: &dyn Workload,
+        unit_index: usize,
+        runs: usize,
+    ) -> Vec<Capture> {
         (0..runs)
             .map(|r| {
-                self.engine.reset(self.base_seed.wrapping_add(r as u64));
+                self.engine
+                    .reset_for(self.base_seed, unit_index as u64, r as u64);
                 Capture::from_trace(self.engine.run(workload))
             })
             .collect()
+    }
+
+    /// Capture `runs` independent runs of a standalone workload (unit
+    /// index 0); see [`Profiler::capture_unit_runs`].
+    pub fn capture_runs(&mut self, workload: &dyn Workload, runs: usize) -> Vec<Capture> {
+        self.capture_unit_runs(workload, 0, runs)
     }
 
     /// Capture the paper's standard three runs.
@@ -252,6 +270,33 @@ mod tests {
     }
 
     #[test]
+    fn captures_are_independent_of_profiling_order() {
+        let w = workload();
+        let mut d = Demand::idle();
+        d.cpu = CpuDemand::single_thread(0.4);
+        let other = ConstantWorkload::new("other", 3.0, d);
+
+        // Unit 5 captured cold vs. captured after profiling another unit:
+        // the engine state is fully reset and the stream depends only on
+        // (base_seed, unit, run), so the results must be identical.
+        let mut cold = profiler();
+        let direct = cold.capture_unit_runs(&w, 5, 2);
+        let mut warm = profiler();
+        let _ = warm.capture_unit_runs(&other, 2, 2);
+        let after = warm.capture_unit_runs(&w, 5, 2);
+        assert_eq!(direct, after);
+    }
+
+    #[test]
+    fn distinct_units_get_distinct_noise_streams() {
+        let w = workload();
+        let mut p = profiler();
+        let unit_a = p.capture_unit_runs(&w, 0, 1);
+        let unit_b = p.capture_unit_runs(&w, 1, 1);
+        assert_ne!(unit_a, unit_b, "same workload, different unit index");
+    }
+
+    #[test]
     fn series_extraction() {
         let mut p = profiler();
         let cap = &p.capture_runs(&workload(), 1)[0];
@@ -274,7 +319,10 @@ mod tests {
     #[test]
     fn series_names_are_stable() {
         assert_eq!(SeriesKey::CpuLoad.name(), "cpu.load");
-        assert_eq!(SeriesKey::ClusterLoad(ClusterKind::Big).name(), "cpu.big.load");
+        assert_eq!(
+            SeriesKey::ClusterLoad(ClusterKind::Big).name(),
+            "cpu.big.load"
+        );
         assert_eq!(SeriesKey::GpuShadersBusy.name(), "gpu.shaders_busy");
     }
 

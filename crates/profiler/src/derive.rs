@@ -74,8 +74,7 @@ impl BenchmarkMetrics {
     pub fn from_captures(captures: &[Capture]) -> Self {
         assert!(!captures.is_empty(), "need at least one capture");
         let n = captures.len() as f64;
-        let mean =
-            |f: &dyn Fn(&Capture) -> f64| captures.iter().map(|c| f(c)).sum::<f64>() / n;
+        let mean = |f: &dyn Fn(&Capture) -> f64| captures.iter().map(f).sum::<f64>() / n;
 
         BenchmarkMetrics {
             name: captures[0].workload().to_owned(),
@@ -91,13 +90,16 @@ impl BenchmarkMetrics {
             cpu_mid_load: mean(&|c| c.series(SeriesKey::ClusterLoad(ClusterKind::Mid)).mean()),
             cpu_big_load: mean(&|c| c.series(SeriesKey::ClusterLoad(ClusterKind::Big)).mean()),
             cpu_little_util: mean(&|c| {
-                c.series(SeriesKey::ClusterUtilization(ClusterKind::Little)).mean()
+                c.series(SeriesKey::ClusterUtilization(ClusterKind::Little))
+                    .mean()
             }),
             cpu_mid_util: mean(&|c| {
-                c.series(SeriesKey::ClusterUtilization(ClusterKind::Mid)).mean()
+                c.series(SeriesKey::ClusterUtilization(ClusterKind::Mid))
+                    .mean()
             }),
             cpu_big_util: mean(&|c| {
-                c.series(SeriesKey::ClusterUtilization(ClusterKind::Big)).mean()
+                c.series(SeriesKey::ClusterUtilization(ClusterKind::Big))
+                    .mean()
             }),
             gpu_load: mean(&|c| c.series(SeriesKey::GpuLoad).mean()),
             gpu_shaders_busy: mean(&|c| c.series(SeriesKey::GpuShadersBusy).mean()),

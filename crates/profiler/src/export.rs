@@ -39,7 +39,10 @@ pub fn metrics_csv(metrics: &[BenchmarkMetrics]) -> String {
         for v in m.feature_vector() {
             out.push_str(&format!(",{v:.6}"));
         }
-        out.push_str(&format!(",{:.3},{:.6}\n", m.memory_peak_mib, m.storage_busy));
+        out.push_str(&format!(
+            ",{:.3},{:.6}\n",
+            m.memory_peak_mib, m.storage_busy
+        ));
     }
     out
 }

@@ -79,7 +79,11 @@ pub fn registry() -> Vec<MetricDef> {
             ("context_switches", "count"),
             ("run_queue_depth", "count"),
         ] {
-            defs.push(MetricDef::new(format!("cpu.core{core}.{metric}"), Cpu, unit));
+            defs.push(MetricDef::new(
+                format!("cpu.core{core}.{metric}"),
+                Cpu,
+                unit,
+            ));
         }
     }
     // Per-cluster CPU metrics: 3 clusters × 6 = 18.
@@ -114,7 +118,11 @@ pub fn registry() -> Vec<MetricDef> {
             ("accesses", "count"),
             ("miss_rate", "%"),
         ] {
-            defs.push(MetricDef::new(format!("cache.l2.{cluster}.{metric}"), Cpu, unit));
+            defs.push(MetricDef::new(
+                format!("cache.l2.{cluster}.{metric}"),
+                Cpu,
+                unit,
+            ));
         }
     }
     // Branch predictor: 4.
@@ -176,7 +184,11 @@ pub fn registry() -> Vec<MetricDef> {
             ("stall_memory", "%"),
             ("stall_sync", "%"),
         ] {
-            defs.push(MetricDef::new(format!("gpu.shader{core}.{metric}"), Gpu, unit));
+            defs.push(MetricDef::new(
+                format!("gpu.shader{core}.{metric}"),
+                Gpu,
+                unit,
+            ));
         }
     }
 

@@ -64,7 +64,10 @@ impl TimeSeries {
         let values = if span <= 0.0 {
             vec![0.0; self.len()]
         } else {
-            self.values.iter().map(|v| ((v - lo) / span).clamp(0.0, 1.0)).collect()
+            self.values
+                .iter()
+                .map(|v| ((v - lo) / span).clamp(0.0, 1.0))
+                .collect()
         };
         TimeSeries::new(self.tick_seconds, values)
     }

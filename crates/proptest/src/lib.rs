@@ -1,0 +1,592 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing framework.
+//!
+//! The build environment has no access to crates.io, so this workspace-local
+//! crate implements the API subset `tests/properties.rs` uses: the
+//! [`proptest!`] macro (with `#![proptest_config(..)]`, `name in strategy`
+//! and `name: Type` parameters), range and [`collection::vec`] strategies,
+//! [`Strategy::prop_map`], [`arbitrary::any`], and the
+//! [`prop_assert!`]/[`prop_assert_eq!`]/[`prop_assume!`] macros.
+//!
+//! Inputs are drawn from a deterministic generator keyed by the test name
+//! and case index, so failures are reproducible run-to-run. Shrinking is
+//! intentionally absent: a failing case reports the case index instead of a
+//! minimized input.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// Test-case execution: configuration, RNG, and the case loop.
+pub mod test_runner {
+    /// Per-`proptest!` block configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful (non-rejected) cases each test must run.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Configuration running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// An assertion failed: the property does not hold for this input.
+        Fail(String),
+        /// `prop_assume!` rejected the input; the case is re-drawn.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failed assertion with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A rejected (filtered-out) input with the given reason.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Deterministic generator (xoshiro256++) used to draw strategy values.
+    ///
+    /// Each case gets a fresh stream derived from the test name and the case
+    /// index, so case `n` of a test always sees the same inputs.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Stream for case `case` of the test named `name`.
+        pub fn for_case(name: &str, case: u64) -> Self {
+            // FNV-1a over the test name, mixed with the case index.
+            let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0100_0000_01B3);
+            }
+            let mut sm = h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            TestRng { s }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform draw from `[0, span)` (`span > 0`).
+        pub fn below_u128(&mut self, span: u128) -> u128 {
+            debug_assert!(span > 0);
+            u128::from(self.next_u64()) % span
+        }
+
+        /// Uniform double in `[0, 1)` from the high 53 bits of one word.
+        pub fn unit_open(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform double in `[0, 1]` (closed on both ends).
+        pub fn unit_closed(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64)
+        }
+    }
+
+    /// Drive one property: draw inputs and run `case` until `config.cases`
+    /// cases pass, panicking on the first failure.
+    ///
+    /// Used by the expansion of [`crate::proptest!`]; not part of the public
+    /// proptest API surface.
+    pub fn run_cases<F>(name: &str, config: &ProptestConfig, case: F)
+    where
+        F: Fn(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let mut passed: u32 = 0;
+        let mut rejected: u64 = 0;
+        let max_rejects = u64::from(config.cases) * 64 + 1024;
+        let mut index: u64 = 0;
+        while passed < config.cases {
+            let mut rng = TestRng::for_case(name, index);
+            match case(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= max_rejects,
+                        "proptest {name}: too many prop_assume! rejections \
+                         ({rejected} rejects for {passed} passing cases)"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("proptest {name}: case {index} failed: {msg}")
+                }
+            }
+            index += 1;
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of type [`Strategy::Value`].
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draw one value from `rng`.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform every generated value with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy adapter produced by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "cannot sample empty range");
+            self.start + (self.end - self.start) * rng.unit_open()
+        }
+    }
+
+    impl Strategy for core::ops::RangeInclusive<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "cannot sample empty range");
+            lo + (hi - lo) * rng.unit_closed()
+        }
+    }
+
+    macro_rules! impl_int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end as u128).wrapping_sub(self.start as u128);
+                    self.start.wrapping_add(rng.below_u128(span) as $t)
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "cannot sample empty range");
+                    let span = (hi as u128)
+                        .wrapping_sub(lo as u128)
+                        .wrapping_add(1);
+                    if span == 0 {
+                        return lo.wrapping_add(rng.next_u64() as $t);
+                    }
+                    lo.wrapping_add(rng.below_u128(span) as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+/// Canonical "any value of this type" strategies.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types that can be generated without an explicit strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw one unconstrained value.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    /// The canonical strategy for `T`: any representable value.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Strategies over collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// An inclusive range of collection sizes.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A `Vec` whose length is drawn from `size` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u128 + 1;
+            let len = self.size.lo + rng.below_u128(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Module alias matching `proptest::prelude::prop` (e.g.
+/// `prop::collection::vec`).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Everything a test file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Assert a condition inside a `proptest!` body, failing the current case
+/// (not the whole process) when it does not hold.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Assert two values are equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Assert two values are not equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            left
+        );
+    }};
+}
+
+/// Reject the current input (e.g. an invalid parameter combination); the
+/// runner draws a replacement case instead of counting a failure.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Bind `proptest!` parameters from the case RNG. Internal.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident;) => {};
+    ($rng:ident; ,) => {};
+    ($rng:ident; $name:ident in $strat:expr, $($rest:tt)*) => {
+        let __strategy = $strat;
+        let $name = $crate::strategy::Strategy::generate(&__strategy, $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+    ($rng:ident; $name:ident in $strat:expr) => {
+        let __strategy = $strat;
+        let $name = $crate::strategy::Strategy::generate(&__strategy, $rng);
+    };
+    ($rng:ident; $name:ident: $ty:ty, $($rest:tt)*) => {
+        let $name: $ty = $crate::strategy::Strategy::generate(
+            &$crate::arbitrary::any::<$ty>(),
+            $rng,
+        );
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+    ($rng:ident; $name:ident: $ty:ty) => {
+        let $name: $ty = $crate::strategy::Strategy::generate(
+            &$crate::arbitrary::any::<$ty>(),
+            $rng,
+        );
+    };
+}
+
+/// Expand the `#[test] fn ...` items of a `proptest!` block. Internal.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = ($config:expr);) => {};
+    (config = ($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            $crate::test_runner::run_cases(
+                stringify!($name),
+                &__config,
+                |__rng: &mut $crate::test_runner::TestRng|
+                    -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $crate::__proptest_bind!(__rng; $($params)*);
+                    $body
+                    ::core::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::__proptest_items!(config = ($config); $($rest)*);
+    };
+}
+
+/// Define property tests. Mirrors proptest's macro: an optional
+/// `#![proptest_config(..)]` header followed by `#[test] fn` items whose
+/// parameters are either `name in strategy` or `name: Type`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(config = ($config); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        );
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(
+            x in -3.5f64..7.25,
+            y in 0u64..100,
+            z in 1usize..=4,
+        ) {
+            prop_assert!((-3.5..7.25).contains(&x));
+            prop_assert!(y < 100);
+            prop_assert!((1..=4).contains(&z));
+        }
+
+        #[test]
+        fn vectors_honour_size_ranges(
+            fixed in prop::collection::vec(0.0f64..1.0, 4),
+            ranged in prop::collection::vec(any::<u8>(), 2..6),
+            inclusive in prop::collection::vec(0usize..3, 1..=3),
+        ) {
+            prop_assert_eq!(fixed.len(), 4);
+            prop_assert!((2..6).contains(&ranged.len()));
+            prop_assert!((1..=3).contains(&inclusive.len()));
+        }
+
+        #[test]
+        fn prop_map_transforms(v in prop::collection::vec(1.0f64..2.0, 3).prop_map(|v| v.len())) {
+            prop_assert_eq!(v, 3);
+        }
+
+        #[test]
+        fn typed_params_draw_from_any(a: u32, b: bool) {
+            prop_assert!(u64::from(a) < (1u64 << 32));
+            prop_assert!(usize::from(b) <= 1);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u32..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0, "only even values survive the assume");
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let strat = 0.0f64..1.0;
+        let a = strat.generate(&mut TestRng::for_case("t", 5));
+        let b = strat.generate(&mut TestRng::for_case("t", 5));
+        let c = strat.generate(&mut TestRng::for_case("t", 6));
+        assert_eq!(a.to_bits(), b.to_bits());
+        assert_ne!(a.to_bits(), c.to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "case")]
+    fn failures_panic_with_case_index() {
+        use crate::test_runner::{run_cases, ProptestConfig, TestCaseError};
+        run_cases("always_fails", &ProptestConfig::with_cases(4), |_| {
+            Err(TestCaseError::fail("nope"))
+        });
+    }
+}

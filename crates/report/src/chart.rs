@@ -63,7 +63,10 @@ pub fn line_chart(series: &[Series], height: usize) -> String {
     }
     out.push_str(&format!("{:>8} +{}\n", "", "-".repeat(width)));
     out.push_str(&format!("{:>8}  legend: ", ""));
-    let legend: Vec<String> = series.iter().map(|s| format!("{}={}", s.glyph(), s.label)).collect();
+    let legend: Vec<String> = series
+        .iter()
+        .map(|s| format!("{}={}", s.glyph(), s.label))
+        .collect();
     out.push_str(&legend.join("  "));
     out.push('\n');
     out
@@ -94,7 +97,11 @@ mod tests {
     fn extremes_land_on_top_and_bottom_rows() {
         let chart = line_chart(&[Series::new("x", vec![0.0, 10.0])], 4);
         let lines: Vec<&str> = chart.lines().collect();
-        assert!(lines[0].ends_with('x'), "max on the top row: {:?}", lines[0]);
+        assert!(
+            lines[0].ends_with('x'),
+            "max on the top row: {:?}",
+            lines[0]
+        );
         assert!(lines[3].contains('x'), "min on the bottom row");
     }
 
@@ -107,7 +114,10 @@ mod tests {
     #[test]
     fn empty_input_is_graceful() {
         assert_eq!(line_chart(&[], 5), "(empty chart)\n");
-        assert_eq!(line_chart(&[Series::new("e", vec![])], 5), "(empty chart)\n");
+        assert_eq!(
+            line_chart(&[Series::new("e", vec![])], 5),
+            "(empty chart)\n"
+        );
     }
 
     #[test]

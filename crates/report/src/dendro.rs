@@ -32,7 +32,13 @@ pub fn render(labels: &[String], merges: &[MergeRow]) -> String {
     out
 }
 
-fn render_node(node: usize, labels: &[String], merges: &[MergeRow], depth: usize, out: &mut String) {
+fn render_node(
+    node: usize,
+    labels: &[String],
+    merges: &[MergeRow],
+    depth: usize,
+    out: &mut String,
+) {
     let indent = "  ".repeat(depth);
     let n = labels.len();
     if node < n {
@@ -77,8 +83,16 @@ mod tests {
         let s = render(
             &["a".into(), "b".into(), "c".into()],
             &[
-                MergeRow { a: 0, b: 1, distance: 1.0 },
-                MergeRow { a: 3, b: 2, distance: 2.0 },
+                MergeRow {
+                    a: 0,
+                    b: 1,
+                    distance: 1.0,
+                },
+                MergeRow {
+                    a: 3,
+                    b: 2,
+                    distance: 2.0,
+                },
             ],
         );
         assert!(s.contains("+ (d=2.000)"));

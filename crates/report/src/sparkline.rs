@@ -23,7 +23,10 @@ pub fn labelled_sparkline(label: &str, values: &[f64], label_width: usize) -> St
     } else {
         values.iter().sum::<f64>() / values.len() as f64
     };
-    format!("{label:<label_width$}  {}  avg={mean:.2}", sparkline(values))
+    format!(
+        "{label:<label_width$}  {}  avg={mean:.2}",
+        sparkline(values)
+    )
 }
 
 #[cfg(test)]

@@ -65,7 +65,7 @@ impl Table {
                 line.push_str(cell);
                 let pad = widths[i].saturating_sub(cell.chars().count());
                 if i + 1 < cells.len() {
-                    line.extend(std::iter::repeat(' ').take(pad));
+                    line.extend(std::iter::repeat_n(' ', pad));
                 }
             }
             line
@@ -73,7 +73,7 @@ impl Table {
         out.push_str(&render_row(&self.headers, &widths));
         out.push('\n');
         let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
-        out.extend(std::iter::repeat('-').take(total));
+        out.extend(std::iter::repeat_n('-', total));
         out.push('\n');
         for row in &self.rows {
             out.push_str(&render_row(row, &widths));

@@ -251,7 +251,10 @@ mod tests {
         let d = AieDemand::new(DspKernel::VideoDecode(Codec::Av1), 1.0);
         let r = a.tick(Some(&d), 0.1);
         assert_eq!(r.utilization, 0.0);
-        assert!(r.cpu_fallback_intensity > 0.5, "AV1 software decode is expensive");
+        assert!(
+            r.cpu_fallback_intensity > 0.5,
+            "AV1 software decode is expensive"
+        );
     }
 
     #[test]
@@ -269,9 +272,13 @@ mod tests {
     #[test]
     fn intensity_scales_utilization() {
         let mut a = aie();
-        let full = a.tick(Some(&AieDemand::new(DspKernel::Fft, 1.0)), 0.1).utilization;
+        let full = a
+            .tick(Some(&AieDemand::new(DspKernel::Fft, 1.0)), 0.1)
+            .utilization;
         let mut a2 = aie();
-        let half = a2.tick(Some(&AieDemand::new(DspKernel::Fft, 0.5)), 0.1).utilization;
+        let half = a2
+            .tick(Some(&AieDemand::new(DspKernel::Fft, 0.5)), 0.1)
+            .utilization;
         assert!((full / half - 2.0).abs() < 1e-9);
     }
 

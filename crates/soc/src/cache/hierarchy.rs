@@ -133,7 +133,12 @@ mod tests {
     use super::*;
 
     fn big_core_hierarchy() -> CacheHierarchy {
-        CacheHierarchy::new(64, 1024, CacheConfig::new("L3", 4096), CacheConfig::new("SLC", 3072))
+        CacheHierarchy::new(
+            64,
+            1024,
+            CacheConfig::new("L3", 4096),
+            CacheConfig::new("SLC", 3072),
+        )
     }
 
     fn profile(ws: f64, apki: f64) -> MemoryProfile {

@@ -68,7 +68,8 @@ impl CacheLevel {
     pub fn effective_kib(&self) -> f64 {
         // A sliver of capacity always remains usable: replacement policies
         // never let one agent monopolize the array entirely.
-        (f64::from(self.config.size_kib) - self.stolen_kib).max(f64::from(self.config.size_kib) * 0.1)
+        (f64::from(self.config.size_kib) - self.stolen_kib)
+            .max(f64::from(self.config.size_kib) * 0.1)
     }
 
     /// Declare that `kib` KiB of this cache are occupied by another agent
@@ -105,8 +106,7 @@ impl CacheLevel {
         // hurts them less; streaming workloads miss on nearly every spilled
         // access.
         let ceiling = 1.0 - 0.85 * locality;
-        (COMPULSORY_MISS_RATIO
-            + spill.powf(1.0 + 2.0 * locality) * ceiling * SPATIAL_REUSE_FACTOR)
+        (COMPULSORY_MISS_RATIO + spill.powf(1.0 + 2.0 * locality) * ceiling * SPATIAL_REUSE_FACTOR)
             .min(1.0)
     }
 }

@@ -122,10 +122,14 @@ impl GpuConfig {
             return Err(SocError::InvalidConfig("GPU has zero shader cores".into()));
         }
         if !(self.min_freq_mhz > 0.0 && self.max_freq_mhz >= self.min_freq_mhz) {
-            return Err(SocError::InvalidConfig("GPU frequency range invalid".into()));
+            return Err(SocError::InvalidConfig(
+                "GPU frequency range invalid".into(),
+            ));
         }
         if self.bus_bandwidth_gbps <= 0.0 {
-            return Err(SocError::InvalidConfig("GPU bus bandwidth must be positive".into()));
+            return Err(SocError::InvalidConfig(
+                "GPU bus bandwidth must be positive".into(),
+            ));
         }
         Ok(())
     }
@@ -152,10 +156,14 @@ pub struct AieConfig {
 impl AieConfig {
     fn validate(&self) -> Result<(), SocError> {
         if !(self.min_freq_mhz > 0.0 && self.max_freq_mhz >= self.min_freq_mhz) {
-            return Err(SocError::InvalidConfig("AIE frequency range invalid".into()));
+            return Err(SocError::InvalidConfig(
+                "AIE frequency range invalid".into(),
+            ));
         }
         if self.peak_tops <= 0.0 {
-            return Err(SocError::InvalidConfig("AIE peak TOPS must be positive".into()));
+            return Err(SocError::InvalidConfig(
+                "AIE peak TOPS must be positive".into(),
+            ));
         }
         Ok(())
     }
@@ -179,7 +187,9 @@ pub struct MemoryConfig {
 impl MemoryConfig {
     fn validate(&self) -> Result<(), SocError> {
         if self.capacity_mib <= 0.0 {
-            return Err(SocError::InvalidConfig("memory capacity must be positive".into()));
+            return Err(SocError::InvalidConfig(
+                "memory capacity must be positive".into(),
+            ));
         }
         if self.os_baseline_mib < 0.0 || self.os_baseline_mib >= self.capacity_mib {
             return Err(SocError::InvalidConfig(
@@ -187,7 +197,9 @@ impl MemoryConfig {
             ));
         }
         if self.bandwidth_gbps <= 0.0 {
-            return Err(SocError::InvalidConfig("memory bandwidth must be positive".into()));
+            return Err(SocError::InvalidConfig(
+                "memory bandwidth must be positive".into(),
+            ));
         }
         Ok(())
     }
@@ -213,7 +225,9 @@ pub struct StorageConfig {
 impl StorageConfig {
     fn validate(&self) -> Result<(), SocError> {
         if self.capacity_gib <= 0.0 {
-            return Err(SocError::InvalidConfig("storage capacity must be positive".into()));
+            return Err(SocError::InvalidConfig(
+                "storage capacity must be positive".into(),
+            ));
         }
         for (label, v) in [
             ("sequential read", self.seq_read_mbps),
@@ -251,7 +265,9 @@ impl DisplayConfig {
 
     fn validate(&self) -> Result<(), SocError> {
         if self.width == 0 || self.height == 0 || self.refresh_hz == 0 {
-            return Err(SocError::InvalidConfig("display dimensions must be non-zero".into()));
+            return Err(SocError::InvalidConfig(
+                "display dimensions must be non-zero".into(),
+            ));
         }
         Ok(())
     }
@@ -619,7 +635,11 @@ mod tests {
 
     #[test]
     fn headless_soc_is_valid() {
-        let soc = SocConfig::builder("headless").gpu(None).aie(None).build().unwrap();
+        let soc = SocConfig::builder("headless")
+            .gpu(None)
+            .aie(None)
+            .build()
+            .unwrap();
         assert!(soc.gpu.is_none());
         assert!(soc.aie.is_none());
     }

@@ -112,10 +112,13 @@ impl Cluster {
                 continue;
             }
             let misses = self.hierarchy.misses(&thread.memory_profile());
-            let branch_mpki = self
-                .predictor
-                .branch_mpki(thread.mix.branches_per_kilo_instr(), thread.branch_predictability);
-            let cpi = self.pipeline.total_cpi(&thread.mix, thread.ilp, &misses, branch_mpki);
+            let branch_mpki = self.predictor.branch_mpki(
+                thread.mix.branches_per_kilo_instr(),
+                thread.branch_predictability,
+            );
+            let cpi = self
+                .pipeline
+                .total_cpi(&thread.mix, thread.ilp, &misses, branch_mpki);
             let cycles = share * freq * 1.0e6 * tick_seconds;
             let instructions = cycles / cpi;
             counters.add(&CoreTick {
@@ -149,13 +152,19 @@ mod tests {
 
     fn big_cluster() -> Cluster {
         let soc = SocConfig::snapdragon_888();
-        let cfg = soc.cluster(crate::config::ClusterKind::Big).unwrap().clone();
+        let cfg = soc
+            .cluster(crate::config::ClusterKind::Big)
+            .unwrap()
+            .clone();
         Cluster::new(cfg, soc.l3.clone(), soc.slc.clone())
     }
 
     fn little_cluster() -> Cluster {
         let soc = SocConfig::snapdragon_888();
-        let cfg = soc.cluster(crate::config::ClusterKind::Little).unwrap().clone();
+        let cfg = soc
+            .cluster(crate::config::ClusterKind::Little)
+            .unwrap()
+            .clone();
         Cluster::new(cfg, soc.l3.clone(), soc.slc.clone())
     }
 
@@ -176,7 +185,11 @@ mod tests {
             r = c.tick(std::slice::from_ref(&t), 0.1);
         }
         assert_eq!(r.utilization, 1.0);
-        assert!(r.counters.instructions > 1.0e8 * 0.1, "got {}", r.counters.instructions);
+        assert!(
+            r.counters.instructions > 1.0e8 * 0.1,
+            "got {}",
+            r.counters.instructions
+        );
         assert!(r.counters.ipc() > 0.5);
     }
 

@@ -168,7 +168,8 @@ impl Governor {
             GovernorPolicy::Schedutil | GovernorPolicy::Conservative => {}
         }
         let util = utilization.clamp(0.0, 1.0);
-        let raw_target = (HEADROOM * util * self.opps.max()).clamp(self.opps.min(), self.opps.max());
+        let raw_target =
+            (HEADROOM * util * self.opps.max()).clamp(self.opps.min(), self.opps.max());
         let target = self.opps.snap_up(raw_target);
         // Governors react within a few scheduling periods; close most of
         // the gap each tick rather than jumping instantly.
@@ -277,7 +278,10 @@ mod tests {
 
     #[test]
     fn performance_policy_pins_max() {
-        let mut g = Governor::with_policy(OppTable::linear(300.0, 3000.0, 8), GovernorPolicy::Performance);
+        let mut g = Governor::with_policy(
+            OppTable::linear(300.0, 3000.0, 8),
+            GovernorPolicy::Performance,
+        );
         assert_eq!(g.tick(0.0), 3000.0);
         assert_eq!(g.tick(1.0), 3000.0);
         g.reset();
@@ -286,7 +290,10 @@ mod tests {
 
     #[test]
     fn powersave_policy_pins_min() {
-        let mut g = Governor::with_policy(OppTable::linear(300.0, 3000.0, 8), GovernorPolicy::Powersave);
+        let mut g = Governor::with_policy(
+            OppTable::linear(300.0, 3000.0, 8),
+            GovernorPolicy::Powersave,
+        );
         assert_eq!(g.tick(1.0), 300.0);
     }
 

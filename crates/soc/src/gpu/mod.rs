@@ -201,13 +201,13 @@ impl Gpu {
         // Bus activity: explicit streaming traffic plus texture fetch
         // traffic proportional to the resident footprint.
         let texture_pressure = (demand.texture_mib / 1024.0).min(1.0);
-        let bus_busy =
-            (utilization * demand.bus_fraction.clamp(0.0, 1.0) + 0.25 * texture_pressure * utilization)
-                .min(1.0);
+        let bus_busy = (utilization * demand.bus_fraction.clamp(0.0, 1.0)
+            + 0.25 * texture_pressure * utilization)
+            .min(1.0);
 
         // Fraction of textures hot enough to squat in the shared caches.
-        let cache_residency_kib = (demand.texture_mib * 1024.0 * 0.35 * utilization)
-            .min(7.0 * 1024.0 * 0.9);
+        let cache_residency_kib =
+            (demand.texture_mib * 1024.0 * 0.35 * utilization).min(7.0 * 1024.0 * 0.9);
         let memory_mib = demand.texture_mib * (0.6 + 0.4 * utilization);
         let l1_texture_misses_m =
             utilization * texture_pressure * self.config.shader_cores as f64 * 2.0;
@@ -268,7 +268,10 @@ mod tests {
         // Paper: +9.26% GPU *load* for OpenGL (Observation #2); utilization
         // and the governor's frequency response both contribute.
         let load_ratio = r_gl.load(max_freq) / r_vk.load(max_freq);
-        assert!(load_ratio > 1.03 && load_ratio < 1.20, "load ratio {load_ratio}");
+        assert!(
+            load_ratio > 1.03 && load_ratio < 1.20,
+            "load ratio {load_ratio}"
+        );
     }
 
     #[test]
@@ -282,7 +285,10 @@ mod tests {
         let r_on = run(&mut gpu(), &on, 30);
         let r_off = run(&mut gpu(), &off, 30);
         let heavy_gain = r_off.load(max_freq) / r_on.load(max_freq) - 1.0;
-        assert!((0.03..=0.30).contains(&heavy_gain), "heavy gain {heavy_gain}");
+        assert!(
+            (0.03..=0.30).contains(&heavy_gain),
+            "heavy gain {heavy_gain}"
+        );
 
         // Light (Low-Level-like) scene: ≈ +62.85% load off-screen.
         let mut on = GpuDemand::scene(0.45);
@@ -292,7 +298,10 @@ mod tests {
         let r_on = run(&mut gpu(), &on, 30);
         let r_off = run(&mut gpu(), &off, 30);
         let light_gain = r_off.load(max_freq) / r_on.load(max_freq) - 1.0;
-        assert!((0.30..=0.95).contains(&light_gain), "light gain {light_gain}");
+        assert!(
+            (0.30..=0.95).contains(&light_gain),
+            "light gain {light_gain}"
+        );
         assert!(light_gain > heavy_gain, "{light_gain} vs {heavy_gain}");
     }
 

@@ -118,8 +118,11 @@ impl Scheduler {
         let mut assignments: Vec<Vec<ThreadDemand>> = vec![Vec::new(); self.clusters.len()];
         let mut free: Vec<usize> = self.clusters.iter().map(|&(_, cores)| cores).collect();
 
-        let mut threads: Vec<&ThreadDemand> =
-            demand.threads.iter().filter(|t| t.intensity > 0.0).collect();
+        let mut threads: Vec<&ThreadDemand> = demand
+            .threads
+            .iter()
+            .filter(|t| t.intensity > 0.0)
+            .collect();
         threads.sort_by(|a, b| {
             b.intensity
                 .partial_cmp(&a.intensity)

@@ -41,9 +41,7 @@ pub fn compress(data: &[u8]) -> Vec<Token> {
         let mut best_off = 0usize;
         for start in window_start..pos {
             let mut len = 0;
-            while len < MAX_MATCH
-                && pos + len < data.len()
-                && data[start + len] == data[pos + len]
+            while len < MAX_MATCH && pos + len < data.len() && data[start + len] == data[pos + len]
             {
                 len += 1;
             }
@@ -131,7 +129,9 @@ mod tests {
     #[test]
     fn roundtrip_incompressible_bytes() {
         // A linear-congruential byte stream with no 3-byte repeats nearby.
-        let data: Vec<u8> = (0u32..600).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        let data: Vec<u8> = (0u32..600)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
         let tokens = compress(&data);
         assert_eq!(decompress(&tokens), data);
     }
@@ -146,10 +146,16 @@ mod tests {
     fn long_runs_use_references() {
         let data = vec![7u8; 500];
         let tokens = compress(&data);
-        assert!(tokens.len() < 20, "a run compresses to a few tokens, got {}", tokens.len());
+        assert!(
+            tokens.len() < 20,
+            "a run compresses to a few tokens, got {}",
+            tokens.len()
+        );
         assert_eq!(decompress(&tokens), data);
-        assert!(matches!(tokens[1], Token::Reference { offset: 1, .. }),
-            "run encoding uses the overlapping-copy trick");
+        assert!(
+            matches!(tokens[1], Token::Reference { offset: 1, .. }),
+            "run encoding uses the overlapping-copy trick"
+        );
     }
 
     #[test]
@@ -166,7 +172,10 @@ mod tests {
     #[test]
     fn demand_matches_developer_profile() {
         let d = thread_demand(0.9);
-        assert!(d.branch_predictability < 0.85, "match/literal branches are hard");
+        assert!(
+            d.branch_predictability < 0.85,
+            "match/literal branches are hard"
+        );
         assert_eq!(d.working_set_kib, 3072.0);
     }
 }

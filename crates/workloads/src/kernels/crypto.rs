@@ -86,7 +86,12 @@ mod tests {
 
     #[test]
     fn xtea_roundtrip() {
-        for block in [[0u32, 0u32], [1, 2], [0xDEAD_BEEF, 0xCAFE_BABE], [u32::MAX, u32::MAX]] {
+        for block in [
+            [0u32, 0u32],
+            [1, 2],
+            [0xDEAD_BEEF, 0xCAFE_BABE],
+            [u32::MAX, u32::MAX],
+        ] {
             let enc = xtea_encrypt(block, &KEY);
             assert_ne!(enc, block, "encryption must change the block");
             assert_eq!(xtea_decrypt(enc, &KEY), block);

@@ -16,7 +16,10 @@ use mwc_soc::cpu::{InstructionMix, ThreadDemand};
 /// Panics unless `data.len()` is a power of two (number of complex points).
 pub fn fft(data: &mut [(f64, f64)], inverse: bool) {
     let n = data.len();
-    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "FFT length must be a power of two, got {n}"
+    );
     // Bit-reversal permutation.
     let mut j = 0usize;
     for i in 1..n {
@@ -83,8 +86,9 @@ mod tests {
     #[test]
     fn roundtrip_recovers_signal() {
         let n = 256;
-        let original: Vec<(f64, f64)> =
-            (0..n).map(|i| ((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos())).collect();
+        let original: Vec<(f64, f64)> = (0..n)
+            .map(|i| ((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect();
         let mut data = original.clone();
         fft(&mut data, false);
         fft(&mut data, true);

@@ -23,6 +23,6 @@ pub mod gemm;
 pub mod nn;
 pub mod physics;
 pub mod png;
-pub mod raytrace;
 pub mod psnr;
+pub mod raytrace;
 pub mod video;

@@ -84,7 +84,9 @@ impl Mlp {
 
     /// Forward pass through every layer.
     pub fn forward(&self, x: &[f64]) -> Vec<f64> {
-        self.layers.iter().fold(x.to_vec(), |acc, l| l.forward(&acc))
+        self.layers
+            .iter()
+            .fold(x.to_vec(), |acc, l| l.forward(&acc))
     }
 
     /// Index of the largest output (the predicted class).
@@ -99,7 +101,10 @@ impl Mlp {
 
     /// Total parameter count.
     pub fn parameters(&self) -> usize {
-        self.layers.iter().map(|l| l.weights.len() + l.bias.len()).sum()
+        self.layers
+            .iter()
+            .map(|l| l.weights.len() + l.bias.len())
+            .sum()
     }
 }
 

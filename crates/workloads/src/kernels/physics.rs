@@ -102,8 +102,14 @@ mod tests {
     #[test]
     fn overlapping_particles_repel() {
         let mut ps = vec![
-            Particle { pos: (0.0, 0.0), vel: (0.0, 0.0) },
-            Particle { pos: (0.5, 0.0), vel: (0.0, 0.0) },
+            Particle {
+                pos: (0.0, 0.0),
+                vel: (0.0, 0.0),
+            },
+            Particle {
+                pos: (0.5, 0.0),
+                vel: (0.0, 0.0),
+            },
         ];
         step(&mut ps, 0.01, 1.0, 100.0);
         assert!(ps[0].vel.0 < 0.0, "left particle pushed left");
@@ -129,7 +135,10 @@ mod tests {
 
     #[test]
     fn free_particle_moves_linearly() {
-        let mut ps = vec![Particle { pos: (0.0, 0.0), vel: (1.0, 2.0) }];
+        let mut ps = vec![Particle {
+            pos: (0.0, 0.0),
+            vel: (1.0, 2.0),
+        }];
         step(&mut ps, 0.5, 1.0, 10.0);
         assert!((ps[0].pos.0 - 0.5).abs() < 1e-12);
         assert!((ps[0].pos.1 - 1.0).abs() < 1e-12);

@@ -102,11 +102,18 @@ pub fn thread_demand(width: usize, height: usize, intensity: f64) -> ThreadDeman
 mod tests {
     use super::*;
 
-    const FILTERS: [Filter; 5] =
-        [Filter::None, Filter::Sub, Filter::Up, Filter::Average, Filter::Paeth];
+    const FILTERS: [Filter; 5] = [
+        Filter::None,
+        Filter::Sub,
+        Filter::Up,
+        Filter::Average,
+        Filter::Paeth,
+    ];
 
     fn noisy_line(seed: u8, n: usize) -> Vec<u8> {
-        (0..n).map(|i| seed.wrapping_mul(31).wrapping_add((i * 97 % 251) as u8)).collect()
+        (0..n)
+            .map(|i| seed.wrapping_mul(31).wrapping_add((i * 97 % 251) as u8))
+            .collect()
     }
 
     #[test]
@@ -149,7 +156,10 @@ mod tests {
         let d = thread_demand(1920, 1080, 1.0);
         assert!(d.mix.int_ops > 0.4);
         assert_eq!(d.mix.fp_ops, 0.0);
-        assert!(d.branch_predictability < 0.8, "Paeth branches are data-dependent");
+        assert!(
+            d.branch_predictability < 0.8,
+            "Paeth branches are data-dependent"
+        );
         assert!(d.ilp < 0.5, "scanline dependencies serialize decode");
     }
 

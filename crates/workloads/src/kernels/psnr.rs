@@ -35,7 +35,12 @@ pub fn psnr(a: &[u8], b: &[u8]) -> f64 {
 /// Derivation: a pure streaming reduction — two sequential input streams,
 /// no reuse (locality near zero), wide independent accumulation (high ILP),
 /// FP-dominated in the high-precision tier.
-pub fn thread_demand(width: usize, height: usize, high_precision: bool, intensity: f64) -> ThreadDemand {
+pub fn thread_demand(
+    width: usize,
+    height: usize,
+    high_precision: bool,
+    intensity: f64,
+) -> ThreadDemand {
     let fp_weight = if high_precision { 0.5 } else { 0.3 };
     ThreadDemand {
         intensity: intensity.clamp(0.0, 1.0),

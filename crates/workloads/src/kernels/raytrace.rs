@@ -30,7 +30,7 @@ impl Vec3 {
     }
 
     /// Difference.
-    pub fn sub(self, o: Vec3) -> Vec3 {
+    pub fn minus(self, o: Vec3) -> Vec3 {
         Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
     }
 
@@ -67,7 +67,7 @@ pub struct Sphere {
 /// Distance along the ray (origin + t·dir, `dir` unit length) of the first
 /// intersection with the sphere, if any.
 pub fn intersect(origin: Vec3, dir: Vec3, s: &Sphere) -> Option<f64> {
-    let oc = origin.sub(s.center);
+    let oc = origin.minus(s.center);
     let b = oc.dot(dir);
     let c = oc.dot(oc) - s.radius * s.radius;
     let disc = b * b - c;
@@ -100,8 +100,8 @@ pub fn shade(origin: Vec3, dir: Vec3, scene: &[Sphere], light_dir: Vec3) -> f64 
     match best {
         None => 0.0,
         Some((t, s)) => {
-            let hit = origin.sub(dir.scale(-t));
-            let normal = hit.sub(s.center).normalized();
+            let hit = origin.minus(dir.scale(-t));
+            let normal = hit.minus(s.center).normalized();
             normal.dot(light_dir.normalized().scale(-1.0)).max(0.0)
         }
     }
@@ -154,25 +154,41 @@ mod tests {
 
     #[test]
     fn head_on_ray_hits_at_known_distance() {
-        let t = intersect(Vec3::new(0.0, 0.0, 10.0), Vec3::new(0.0, 0.0, -1.0), &unit_sphere());
+        let t = intersect(
+            Vec3::new(0.0, 0.0, 10.0),
+            Vec3::new(0.0, 0.0, -1.0),
+            &unit_sphere(),
+        );
         assert!((t.expect("hit") - 9.0).abs() < 1e-9);
     }
 
     #[test]
     fn offset_ray_misses() {
-        let t = intersect(Vec3::new(5.0, 0.0, 10.0), Vec3::new(0.0, 0.0, -1.0), &unit_sphere());
+        let t = intersect(
+            Vec3::new(5.0, 0.0, 10.0),
+            Vec3::new(0.0, 0.0, -1.0),
+            &unit_sphere(),
+        );
         assert!(t.is_none());
     }
 
     #[test]
     fn tangent_ray_grazes() {
-        let t = intersect(Vec3::new(1.0, 0.0, 10.0), Vec3::new(0.0, 0.0, -1.0), &unit_sphere());
+        let t = intersect(
+            Vec3::new(1.0, 0.0, 10.0),
+            Vec3::new(0.0, 0.0, -1.0),
+            &unit_sphere(),
+        );
         assert!(t.is_some(), "|offset| == radius grazes the sphere");
     }
 
     #[test]
     fn ray_from_inside_hits_far_wall() {
-        let t = intersect(Vec3::new(0.0, 0.0, 0.0), Vec3::new(0.0, 0.0, -1.0), &unit_sphere());
+        let t = intersect(
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(0.0, 0.0, -1.0),
+            &unit_sphere(),
+        );
         assert!((t.expect("hit") - 1.0).abs() < 1e-9);
     }
 
@@ -183,8 +199,18 @@ mod tests {
         // Light travels along (-1,-1,-1): the lit hemisphere faces
         // (+1,+1,+1), so sample the (+x,+y) region of the camera-side
         // surface.
-        let lit = shade(Vec3::new(0.6, 0.6, 10.0), Vec3::new(0.0, 0.0, -1.0), &scene, light);
-        let center = shade(Vec3::new(0.0, 0.0, 10.0), Vec3::new(0.0, 0.0, -1.0), &scene, light);
+        let lit = shade(
+            Vec3::new(0.6, 0.6, 10.0),
+            Vec3::new(0.0, 0.0, -1.0),
+            &scene,
+            light,
+        );
+        let center = shade(
+            Vec3::new(0.0, 0.0, 10.0),
+            Vec3::new(0.0, 0.0, -1.0),
+            &scene,
+            light,
+        );
         assert!((0.0..=1.0).contains(&lit));
         assert!((0.0..=1.0).contains(&center));
         assert!(lit > 0.0);
@@ -205,8 +231,14 @@ mod tests {
 
     #[test]
     fn nearest_sphere_wins() {
-        let near = Sphere { center: Vec3::new(0.0, 0.0, 5.0), radius: 1.0 };
-        let far = Sphere { center: Vec3::new(0.0, 0.0, -5.0), radius: 1.0 };
+        let near = Sphere {
+            center: Vec3::new(0.0, 0.0, 5.0),
+            radius: 1.0,
+        };
+        let far = Sphere {
+            center: Vec3::new(0.0, 0.0, -5.0),
+            radius: 1.0,
+        };
         let t_near = intersect(Vec3::new(0.0, 0.0, 10.0), Vec3::new(0.0, 0.0, -1.0), &near);
         let t_far = intersect(Vec3::new(0.0, 0.0, 10.0), Vec3::new(0.0, 0.0, -1.0), &far);
         assert!(t_near.unwrap() < t_far.unwrap());

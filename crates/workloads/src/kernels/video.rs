@@ -154,6 +154,9 @@ mod tests {
         let h264 = sw_decode_demand(Codec::H264, 0.9);
         let av1 = sw_decode_demand(Codec::Av1, 0.9);
         assert!(av1.intensity > 2.0 * h264.intensity);
-        assert!((av1.intensity - 0.9).abs() < 1e-12, "AV1 is the reference cost");
+        assert!(
+            (av1.intensity - 0.9).abs() < 1e-12,
+            "AV1 is the reference cost"
+        );
     }
 }

@@ -71,7 +71,11 @@ impl PhasedWorkload {
 
     /// Normalized `[start, end)` interval of phase `idx`.
     pub fn phase_interval(&self, idx: usize) -> (f64, f64) {
-        let start = if idx == 0 { 0.0 } else { self.boundaries[idx - 1] };
+        let start = if idx == 0 {
+            0.0
+        } else {
+            self.boundaries[idx - 1]
+        };
         (start, self.boundaries[idx])
     }
 }
@@ -112,7 +116,11 @@ impl PhasedWorkloadBuilder {
     /// the duration is non-positive — these are programming errors in a
     /// benchmark definition, not runtime conditions.
     pub fn build(self) -> PhasedWorkload {
-        assert!(!self.phases.is_empty(), "workload '{}' has no phases", self.name);
+        assert!(
+            !self.phases.is_empty(),
+            "workload '{}' has no phases",
+            self.name
+        );
         assert!(
             self.duration > 0.0,
             "workload '{}' duration must be positive",
@@ -213,12 +221,16 @@ mod tests {
     #[test]
     #[should_panic(expected = "non-positive phase weight")]
     fn zero_weight_panics() {
-        let _ = PhasedWorkload::builder("z", 10.0).phase("x", 0.0, demand(0.1)).build();
+        let _ = PhasedWorkload::builder("z", 10.0)
+            .phase("x", 0.0, demand(0.1))
+            .build();
     }
 
     #[test]
     #[should_panic(expected = "duration must be positive")]
     fn zero_duration_panics() {
-        let _ = PhasedWorkload::builder("d", 0.0).phase("x", 1.0, demand(0.1)).build();
+        let _ = PhasedWorkload::builder("d", 0.0)
+            .phase("x", 1.0, demand(0.1))
+            .build();
     }
 }

@@ -98,13 +98,21 @@ pub fn suite_inventory() -> Vec<InventoryRow> {
         row(Suite::Geekbench5, "Compute", "GPU"),
         row(Suite::Geekbench6, "CPU", "CPU"),
         row(Suite::Geekbench6, "Compute", "GPU"),
-        row(Suite::GfxBench, "High Level", "GPU (overall graphics performance)"),
+        row(
+            Suite::GfxBench,
+            "High Level",
+            "GPU (overall graphics performance)",
+        ),
         row(
             Suite::GfxBench,
             "Low Level",
             "GPU (specific graphics performance, e.g., tessellation)",
         ),
-        row(Suite::GfxBench, "Stress Test", "GPU (render quality performance)"),
+        row(
+            Suite::GfxBench,
+            "Stress Test",
+            "GPU (render quality performance)",
+        ),
         row(Suite::PcMark, "Storage 2.0", "Storage subsystem"),
         row(
             Suite::PcMark,
@@ -206,15 +214,30 @@ pub fn all_units() -> Vec<BenchmarkUnit> {
             ClusterLabel::IntenseGraphics,
             threedmark::wild_life_extreme(),
         ),
-        unit("Antutu CPU", Suite::Antutu, ClusterLabel::Mixed, antutu::antutu_cpu()),
+        unit(
+            "Antutu CPU",
+            Suite::Antutu,
+            ClusterLabel::Mixed,
+            antutu::antutu_cpu(),
+        ),
         unit(
             "Antutu GPU",
             Suite::Antutu,
             ClusterLabel::IntenseGraphics,
             antutu::antutu_gpu(),
         ),
-        unit("Antutu Mem", Suite::Antutu, ClusterLabel::Mixed, antutu::antutu_mem()),
-        unit("Antutu UX", Suite::Antutu, ClusterLabel::Mixed, antutu::antutu_ux()),
+        unit(
+            "Antutu Mem",
+            Suite::Antutu,
+            ClusterLabel::Mixed,
+            antutu::antutu_mem(),
+        ),
+        unit(
+            "Antutu UX",
+            Suite::Antutu,
+            ClusterLabel::Mixed,
+            antutu::antutu_ux(),
+        ),
         unit("Aitutu", Suite::Aitutu, ClusterLabel::Cpu, aitutu::aitutu()),
         unit(
             "Geekbench 5 CPU",
@@ -264,7 +287,12 @@ pub fn all_units() -> Vec<BenchmarkUnit> {
             ClusterLabel::Mixed,
             pcmark::pcmark_storage(),
         ),
-        unit("PCMark Work", Suite::PcMark, ClusterLabel::Mixed, pcmark::pcmark_work()),
+        unit(
+            "PCMark Work",
+            Suite::PcMark,
+            ClusterLabel::Mixed,
+            pcmark::pcmark_work(),
+        ),
     ]
 }
 
@@ -313,13 +341,22 @@ pub fn executable_benchmarks() -> Vec<ExecutableBenchmark> {
     const STANDALONE_STRETCH: f64 = 1.5;
     let standalone = |share: f64| share * STANDALONE_STRETCH + STANDALONE_SETUP_SECONDS;
     for t in gfxbench::high_level_tests() {
-        out.push(item(Suite::GfxBench, t.workload(standalone(gfxbench::HIGH_SECONDS / 19.0))));
+        out.push(item(
+            Suite::GfxBench,
+            t.workload(standalone(gfxbench::HIGH_SECONDS / 19.0)),
+        ));
     }
     for t in gfxbench::low_level_tests() {
-        out.push(item(Suite::GfxBench, t.workload(standalone(gfxbench::LOW_SECONDS / 8.0))));
+        out.push(item(
+            Suite::GfxBench,
+            t.workload(standalone(gfxbench::LOW_SECONDS / 8.0)),
+        ));
     }
     for t in gfxbench::special_tests() {
-        out.push(item(Suite::GfxBench, t.workload(standalone(gfxbench::SPECIAL_SECONDS / 2.0))));
+        out.push(item(
+            Suite::GfxBench,
+            t.workload(standalone(gfxbench::SPECIAL_SECONDS / 2.0)),
+        ));
     }
     out.push(item(Suite::PcMark, pcmark::pcmark_storage()));
     out.push(item(Suite::PcMark, pcmark::pcmark_work()));
@@ -418,7 +455,11 @@ mod tests {
             let fastest = units
                 .iter()
                 .filter(|u| u.label == label)
-                .min_by(|a, b| a.runtime_seconds().partial_cmp(&b.runtime_seconds()).unwrap())
+                .min_by(|a, b| {
+                    a.runtime_seconds()
+                        .partial_cmp(&b.runtime_seconds())
+                        .unwrap()
+                })
                 .unwrap();
             let expected = match label {
                 ClusterLabel::Mixed => "PCMark Storage",
@@ -435,7 +476,10 @@ mod tests {
     fn inventory_matches_table_1() {
         let inv = suite_inventory();
         assert_eq!(inv.len(), 18, "Table I has 18 benchmark rows");
-        assert_eq!(inv.iter().filter(|r| r.suite == Suite::ThreeDMark).count(), 4);
+        assert_eq!(
+            inv.iter().filter(|r| r.suite == Suite::ThreeDMark).count(),
+            4
+        );
         assert_eq!(inv.iter().filter(|r| r.suite == Suite::Antutu).count(), 4);
         assert_eq!(inv.iter().filter(|r| r.suite == Suite::GfxBench).count(), 3);
     }

@@ -110,7 +110,11 @@ mod tests {
             .iter()
             .find(|p| p.name == "image-classification")
             .unwrap();
-        assert_eq!(classify.demand.cpu.threads.len(), 8, "7 workers + 1 coordinator");
+        assert_eq!(
+            classify.demand.cpu.threads.len(),
+            8,
+            "7 workers + 1 coordinator"
+        );
         assert!(classify
             .demand
             .cpu

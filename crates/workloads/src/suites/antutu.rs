@@ -356,7 +356,12 @@ pub fn antutu_full() -> PhasedWorkload {
         let weight_scale = seconds / total;
         let phase_total: f64 = segment.phases().iter().map(|p| p.weight).sum();
         let prefix = mwc_soc::workload::Workload::name(&segment).to_owned();
-        for Phase { name, weight, demand } in segment.phases().iter().cloned() {
+        for Phase {
+            name,
+            weight,
+            demand,
+        } in segment.phases().iter().cloned()
+        {
             builder = builder.phase(
                 format!("{prefix}/{name}"),
                 weight / phase_total * weight_scale,
@@ -427,7 +432,10 @@ mod tests {
         let w = antutu_mem();
         let ram = &w.phases()[0];
         let t = &ram.demand.cpu.threads[0];
-        assert!(t.working_set_kib > 4096.0, "working set spills the shared caches");
+        assert!(
+            t.working_set_kib > 4096.0,
+            "working set spills the shared caches"
+        );
         assert!(t.branch_predictability < 0.7, "pointer chases mispredict");
     }
 

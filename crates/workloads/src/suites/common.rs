@@ -165,7 +165,10 @@ mod tests {
 
     #[test]
     fn ui_threads_merge_with_existing() {
-        let d = DemandBuilder::new().thread(ui_thread(0.9)).ui_threads(3, 0.2).build();
+        let d = DemandBuilder::new()
+            .thread(ui_thread(0.9))
+            .ui_threads(3, 0.2)
+            .build();
         assert_eq!(d.cpu.threads.len(), 4);
     }
 

@@ -57,12 +57,18 @@ pub fn gb5_cpu() -> PhasedWorkload {
         .phase(
             "single-int",
             0.21,
-            DemandBuilder::new().thread(int_thread(0.95)).memory(650.0, 1.0).build(),
+            DemandBuilder::new()
+                .thread(int_thread(0.95))
+                .memory(650.0, 1.0)
+                .build(),
         )
         .phase(
             "single-fp",
             0.21,
-            DemandBuilder::new().thread(fp_thread(0.95)).memory(650.0, 1.0).build(),
+            DemandBuilder::new()
+                .thread(fp_thread(0.95))
+                .memory(650.0, 1.0)
+                .build(),
         )
         // Multi-core half: one worker per core — the CPU-load spike, and
         // the sustained mid-cluster load of Observation #9.
@@ -77,12 +83,18 @@ pub fn gb5_cpu() -> PhasedWorkload {
         .phase(
             "multi-int",
             0.21,
-            DemandBuilder::new().threads(8, int_thread(0.92)).memory(850.0, 2.5).build(),
+            DemandBuilder::new()
+                .threads(8, int_thread(0.92))
+                .memory(850.0, 2.5)
+                .build(),
         )
         .phase(
             "multi-fp",
             0.21,
-            DemandBuilder::new().threads(8, fp_thread(0.92)).memory(850.0, 2.5).build(),
+            DemandBuilder::new()
+                .threads(8, fp_thread(0.92))
+                .memory(850.0, 2.5)
+                .build(),
         )
         .build()
 }

@@ -63,12 +63,18 @@ pub fn gb6_cpu() -> PhasedWorkload {
         .phase(
             "productivity-single",
             0.1,
-            DemandBuilder::new().thread(productivity_thread(0.95)).memory(900.0, 1.5).build(),
+            DemandBuilder::new()
+                .thread(productivity_thread(0.95))
+                .memory(900.0, 1.5)
+                .build(),
         )
         .phase(
             "developer-single",
             0.1,
-            DemandBuilder::new().thread(dev_thread(0.95)).memory(950.0, 1.5).build(),
+            DemandBuilder::new()
+                .thread(dev_thread(0.95))
+                .memory(950.0, 1.5)
+                .build(),
         )
         .phase(
             "machine-learning-single",
@@ -82,22 +88,34 @@ pub fn gb6_cpu() -> PhasedWorkload {
         .phase(
             "image-editing-single",
             0.11,
-            DemandBuilder::new().thread(media_thread(0.95)).memory(1100.0, 2.0).build(),
+            DemandBuilder::new()
+                .thread(media_thread(0.95))
+                .memory(1100.0, 2.0)
+                .build(),
         )
         .phase(
             "image-synthesis-single",
             0.11,
-            DemandBuilder::new().thread(synth_thread(0.95)).memory(1050.0, 2.0).build(),
+            DemandBuilder::new()
+                .thread(synth_thread(0.95))
+                .memory(1050.0, 2.0)
+                .build(),
         )
         .phase(
             "productivity-multi",
             0.1,
-            DemandBuilder::new().threads(8, productivity_thread(0.9)).memory(1100.0, 3.0).build(),
+            DemandBuilder::new()
+                .threads(8, productivity_thread(0.9))
+                .memory(1100.0, 3.0)
+                .build(),
         )
         .phase(
             "developer-multi",
             0.1,
-            DemandBuilder::new().threads(8, dev_thread(0.9)).memory(1150.0, 3.5).build(),
+            DemandBuilder::new()
+                .threads(8, dev_thread(0.9))
+                .memory(1150.0, 3.5)
+                .build(),
         )
         .phase(
             "machine-learning-multi",
@@ -111,12 +129,18 @@ pub fn gb6_cpu() -> PhasedWorkload {
         .phase(
             "image-editing-multi",
             0.11,
-            DemandBuilder::new().threads(8, media_thread(0.9)).memory(1300.0, 4.0).build(),
+            DemandBuilder::new()
+                .threads(8, media_thread(0.9))
+                .memory(1300.0, 4.0)
+                .build(),
         )
         .phase(
             "image-synthesis-multi",
             0.11,
-            DemandBuilder::new().threads(8, synth_thread(0.92)).memory(1250.0, 4.0).build(),
+            DemandBuilder::new()
+                .threads(8, synth_thread(0.92))
+                .memory(1250.0, 4.0)
+                .build(),
         )
         .build()
 }
@@ -187,7 +211,10 @@ mod tests {
         assert_eq!(w.phases().len(), 8);
         for cat in ["ml-", "image-edit-", "synthesis-", "simulation-"] {
             assert_eq!(
-                w.phases().iter().filter(|p| p.name.starts_with(cat)).count(),
+                w.phases()
+                    .iter()
+                    .filter(|p| p.name.starts_with(cat))
+                    .count(),
                 2,
                 "{cat} should have two workloads"
             );
@@ -195,6 +222,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // cross-suite duration invariant
     fn gb6_is_heavier_than_gb5() {
         // Newer versions run longer and at higher intensity (paper: GB6 CPU
         // has the largest IC of all benchmarks).
@@ -222,7 +250,11 @@ mod tests {
     #[test]
     fn ml_sections_offload_to_the_aie() {
         let w = gb6_cpu();
-        for p in w.phases().iter().filter(|p| p.name.starts_with("machine-learning")) {
+        for p in w
+            .phases()
+            .iter()
+            .filter(|p| p.name.starts_with("machine-learning"))
+        {
             assert!(p.demand.aie.is_some(), "{}", p.name);
         }
     }

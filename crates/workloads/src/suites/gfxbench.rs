@@ -119,23 +119,135 @@ pub fn high_level_tests() -> Vec<MicroBenchmark> {
         texture_mib,
     };
     vec![
-        m("Aztec Ruins High (GL, on-screen)", GL, ON, FullHd, 0.85, 1900.0),
-        m("Aztec Ruins High (GL, 1440p off-screen)", GL, OFF, Qhd, 0.85, 2000.0),
-        m("Aztec Ruins High (Vulkan, on-screen)", VK, ON, FullHd, 0.85, 1900.0),
-        m("Aztec Ruins High (Vulkan, 1440p off-screen)", VK, OFF, Qhd, 0.85, 2000.0),
-        m("Aztec Ruins Normal (GL, on-screen)", GL, ON, FullHd, 0.8, 1500.0),
-        m("Aztec Ruins Normal (GL, 1080p off-screen)", GL, OFF, FullHd, 0.8, 1500.0),
-        m("Aztec Ruins Normal (Vulkan, on-screen)", VK, ON, FullHd, 0.8, 1500.0),
-        m("Aztec Ruins Normal (Vulkan, 1080p off-screen)", VK, OFF, FullHd, 0.8, 1500.0),
-        m("Aztec Ruins (GL, 4K off-screen)", GL, OFF, Uhd4K, 0.97, 1800.0),
-        m("Aztec Ruins (Vulkan, 4K off-screen)", VK, OFF, Uhd4K, 0.97, 1800.0),
+        m(
+            "Aztec Ruins High (GL, on-screen)",
+            GL,
+            ON,
+            FullHd,
+            0.85,
+            1900.0,
+        ),
+        m(
+            "Aztec Ruins High (GL, 1440p off-screen)",
+            GL,
+            OFF,
+            Qhd,
+            0.85,
+            2000.0,
+        ),
+        m(
+            "Aztec Ruins High (Vulkan, on-screen)",
+            VK,
+            ON,
+            FullHd,
+            0.85,
+            1900.0,
+        ),
+        m(
+            "Aztec Ruins High (Vulkan, 1440p off-screen)",
+            VK,
+            OFF,
+            Qhd,
+            0.85,
+            2000.0,
+        ),
+        m(
+            "Aztec Ruins Normal (GL, on-screen)",
+            GL,
+            ON,
+            FullHd,
+            0.8,
+            1500.0,
+        ),
+        m(
+            "Aztec Ruins Normal (GL, 1080p off-screen)",
+            GL,
+            OFF,
+            FullHd,
+            0.8,
+            1500.0,
+        ),
+        m(
+            "Aztec Ruins Normal (Vulkan, on-screen)",
+            VK,
+            ON,
+            FullHd,
+            0.8,
+            1500.0,
+        ),
+        m(
+            "Aztec Ruins Normal (Vulkan, 1080p off-screen)",
+            VK,
+            OFF,
+            FullHd,
+            0.8,
+            1500.0,
+        ),
+        m(
+            "Aztec Ruins (GL, 4K off-screen)",
+            GL,
+            OFF,
+            Uhd4K,
+            0.97,
+            1800.0,
+        ),
+        m(
+            "Aztec Ruins (Vulkan, 4K off-screen)",
+            VK,
+            OFF,
+            Uhd4K,
+            0.97,
+            1800.0,
+        ),
         m("Car Chase (GL, on-screen)", GL, ON, FullHd, 0.88, 1700.0),
-        m("Car Chase (GL, 1080p off-screen)", GL, OFF, FullHd, 0.88, 1700.0),
-        m("Manhattan 3.1 (GL, on-screen)", GL, ON, FullHd, 0.84, 1400.0),
-        m("Manhattan 3.1 (GL, 1080p off-screen)", GL, OFF, FullHd, 0.84, 1400.0),
-        m("Manhattan 3.1 (GL, 1440p off-screen)", GL, OFF, Qhd, 0.84, 1500.0),
-        m("Manhattan 3.0 (GL, on-screen)", GL, ON, FullHd, 0.76, 1200.0),
-        m("Manhattan 3.0 (GL, 1080p off-screen)", GL, OFF, FullHd, 0.76, 1200.0),
+        m(
+            "Car Chase (GL, 1080p off-screen)",
+            GL,
+            OFF,
+            FullHd,
+            0.88,
+            1700.0,
+        ),
+        m(
+            "Manhattan 3.1 (GL, on-screen)",
+            GL,
+            ON,
+            FullHd,
+            0.84,
+            1400.0,
+        ),
+        m(
+            "Manhattan 3.1 (GL, 1080p off-screen)",
+            GL,
+            OFF,
+            FullHd,
+            0.84,
+            1400.0,
+        ),
+        m(
+            "Manhattan 3.1 (GL, 1440p off-screen)",
+            GL,
+            OFF,
+            Qhd,
+            0.84,
+            1500.0,
+        ),
+        m(
+            "Manhattan 3.0 (GL, on-screen)",
+            GL,
+            ON,
+            FullHd,
+            0.76,
+            1200.0,
+        ),
+        m(
+            "Manhattan 3.0 (GL, 1080p off-screen)",
+            GL,
+            OFF,
+            FullHd,
+            0.76,
+            1200.0,
+        ),
         m("T-Rex (GL, on-screen)", GL, ON, FullHd, 0.62, 900.0),
         m("T-Rex (GL, 1080p off-screen)", GL, OFF, FullHd, 0.62, 900.0),
     ]
@@ -310,7 +422,10 @@ mod tests {
     #[test]
     fn low_level_pairs_on_and_off_screen() {
         let tests = low_level_tests();
-        let on = tests.iter().filter(|t| t.target == RenderTarget::OnScreen).count();
+        let on = tests
+            .iter()
+            .filter(|t| t.target == RenderTarget::OnScreen)
+            .count();
         assert_eq!(on, 4);
         assert_eq!(tests.len() - on, 4);
     }

@@ -185,7 +185,11 @@ mod tests {
     #[test]
     fn video_editing_uses_the_aie_encoder() {
         let w = pcmark_work();
-        let p = w.phases().iter().find(|p| p.name == "video-editing").unwrap();
+        let p = w
+            .phases()
+            .iter()
+            .find(|p| p.name == "video-editing")
+            .unwrap();
         assert!(matches!(
             p.demand.aie.as_ref().unwrap().kernel,
             DspKernel::VideoEncode(Codec::H265)

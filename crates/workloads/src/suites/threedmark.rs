@@ -75,7 +75,12 @@ fn slingshot_variant(
             0.385,
             DemandBuilder::new()
                 .threads(4, scene_worker(0.55))
-                .gpu(scene(gl, resolution, gfx_intensity + 0.05, texture_mib + 150.0))
+                .gpu(scene(
+                    gl,
+                    resolution,
+                    gfx_intensity + 0.05,
+                    texture_mib + 150.0,
+                ))
                 .memory(450.0, 1.2)
                 .build(),
         );
@@ -102,7 +107,13 @@ pub fn slingshot() -> PhasedWorkload {
 
 /// 3DMark Sling Shot Extreme (OpenGL ES, 2560×1440).
 pub fn slingshot_extreme() -> PhasedWorkload {
-    slingshot_variant("3DMark Slingshot Extreme", 330.0, Resolution::Qhd, 0.88, 1450.0)
+    slingshot_variant(
+        "3DMark Slingshot Extreme",
+        330.0,
+        Resolution::Qhd,
+        0.88,
+        1450.0,
+    )
 }
 
 fn wild_life_variant(

@@ -1,0 +1,20 @@
+#!/bin/sh
+# Full verification gate: release build, complete test suite, lints, formatting.
+# Run from anywhere; operates on the repository this script lives in.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> all checks passed"

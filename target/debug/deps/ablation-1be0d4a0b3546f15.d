@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-1be0d4a0b3546f15.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-1be0d4a0b3546f15: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

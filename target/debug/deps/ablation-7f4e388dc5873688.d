@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-7f4e388dc5873688.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-7f4e388dc5873688: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-b0aabf18cd99dad0.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-b0aabf18cd99dad0: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-b9436cd2536b7e70.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-b9436cd2536b7e70: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all-566a88d35ae2d887.d: crates/bench/src/bin/all.rs
+
+/root/repo/target/debug/deps/all-566a88d35ae2d887: crates/bench/src/bin/all.rs
+
+crates/bench/src/bin/all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all-7ea4e9068dd57823.d: crates/bench/src/bin/all.rs
+
+/root/repo/target/debug/deps/all-7ea4e9068dd57823: crates/bench/src/bin/all.rs
+
+crates/bench/src/bin/all.rs:

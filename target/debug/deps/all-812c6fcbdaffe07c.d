@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all-812c6fcbdaffe07c.d: crates/bench/src/bin/all.rs
+
+/root/repo/target/debug/deps/all-812c6fcbdaffe07c: crates/bench/src/bin/all.rs
+
+crates/bench/src/bin/all.rs:

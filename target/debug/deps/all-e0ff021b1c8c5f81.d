@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all-e0ff021b1c8c5f81.d: crates/bench/src/bin/all.rs
+
+/root/repo/target/debug/deps/all-e0ff021b1c8c5f81: crates/bench/src/bin/all.rs
+
+crates/bench/src/bin/all.rs:

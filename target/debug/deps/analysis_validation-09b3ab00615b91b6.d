@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/analysis_validation-09b3ab00615b91b6.d: tests/analysis_validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalysis_validation-09b3ab00615b91b6.rmeta: tests/analysis_validation.rs Cargo.toml
+
+tests/analysis_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

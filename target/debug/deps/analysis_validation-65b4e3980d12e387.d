@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_validation-65b4e3980d12e387.d: tests/analysis_validation.rs
+
+/root/repo/target/debug/deps/analysis_validation-65b4e3980d12e387: tests/analysis_validation.rs
+
+tests/analysis_validation.rs:

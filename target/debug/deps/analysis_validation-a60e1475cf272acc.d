@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_validation-a60e1475cf272acc.d: tests/analysis_validation.rs
+
+/root/repo/target/debug/deps/analysis_validation-a60e1475cf272acc: tests/analysis_validation.rs
+
+tests/analysis_validation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_validation-a6cb1e441dba2ab6.d: tests/analysis_validation.rs
+
+/root/repo/target/debug/deps/analysis_validation-a6cb1e441dba2ab6: tests/analysis_validation.rs
+
+tests/analysis_validation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-5da35a846f17f750.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-5da35a846f17f750: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-61936d0b5277894c.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-61936d0b5277894c: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

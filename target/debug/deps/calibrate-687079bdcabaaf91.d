@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-687079bdcabaaf91.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-687079bdcabaaf91: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

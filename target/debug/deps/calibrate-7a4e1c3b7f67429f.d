@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-7a4e1c3b7f67429f.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-7a4e1c3b7f67429f: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

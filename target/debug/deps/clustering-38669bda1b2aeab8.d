@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/clustering-38669bda1b2aeab8.d: crates/bench/benches/clustering.rs Cargo.toml
+
+/root/repo/target/debug/deps/libclustering-38669bda1b2aeab8.rmeta: crates/bench/benches/clustering.rs Cargo.toml
+
+crates/bench/benches/clustering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

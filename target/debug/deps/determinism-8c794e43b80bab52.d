@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-8c794e43b80bab52.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-8c794e43b80bab52: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-9d50fdae52adb53c.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-9d50fdae52adb53c: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-ef54667df22d945d.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-ef54667df22d945d: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/export-0d1cd15c09b38bb8.d: crates/bench/src/bin/export.rs
+
+/root/repo/target/debug/deps/export-0d1cd15c09b38bb8: crates/bench/src/bin/export.rs
+
+crates/bench/src/bin/export.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/export-406ba8c4539568a5.d: crates/bench/src/bin/export.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexport-406ba8c4539568a5.rmeta: crates/bench/src/bin/export.rs Cargo.toml
+
+crates/bench/src/bin/export.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/export-486c09eff1ff6ccf.d: crates/bench/src/bin/export.rs
+
+/root/repo/target/debug/deps/export-486c09eff1ff6ccf: crates/bench/src/bin/export.rs
+
+crates/bench/src/bin/export.rs:

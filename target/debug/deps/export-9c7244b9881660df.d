@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/export-9c7244b9881660df.d: crates/bench/src/bin/export.rs
+
+/root/repo/target/debug/deps/export-9c7244b9881660df: crates/bench/src/bin/export.rs
+
+crates/bench/src/bin/export.rs:

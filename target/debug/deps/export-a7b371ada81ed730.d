@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/export-a7b371ada81ed730.d: crates/bench/src/bin/export.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexport-a7b371ada81ed730.rmeta: crates/bench/src/bin/export.rs Cargo.toml
+
+crates/bench/src/bin/export.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

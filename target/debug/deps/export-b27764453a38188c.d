@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/export-b27764453a38188c.d: crates/bench/src/bin/export.rs
+
+/root/repo/target/debug/deps/export-b27764453a38188c: crates/bench/src/bin/export.rs
+
+crates/bench/src/bin/export.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-2b2eef2f3d8f0ac7.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-2b2eef2f3d8f0ac7: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

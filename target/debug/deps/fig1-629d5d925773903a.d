@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-629d5d925773903a.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-629d5d925773903a: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-a07f113c2ed002c0.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-a07f113c2ed002c0: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

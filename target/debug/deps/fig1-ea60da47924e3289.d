@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-ea60da47924e3289.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-ea60da47924e3289: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

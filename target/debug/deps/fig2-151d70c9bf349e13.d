@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-151d70c9bf349e13.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-151d70c9bf349e13: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

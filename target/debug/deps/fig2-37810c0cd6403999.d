@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-37810c0cd6403999.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-37810c0cd6403999: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

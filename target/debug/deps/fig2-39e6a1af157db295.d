@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-39e6a1af157db295.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-39e6a1af157db295: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-850d17fba98e48af.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-850d17fba98e48af: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-13253dcb7be95ff3.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-13253dcb7be95ff3: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

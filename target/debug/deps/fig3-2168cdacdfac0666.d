@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-2168cdacdfac0666.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-2168cdacdfac0666: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

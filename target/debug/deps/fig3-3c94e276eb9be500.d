@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-3c94e276eb9be500.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-3c94e276eb9be500: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

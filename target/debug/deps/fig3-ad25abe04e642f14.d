@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-ad25abe04e642f14.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-ad25abe04e642f14: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

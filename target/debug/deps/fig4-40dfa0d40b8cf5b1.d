@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-40dfa0d40b8cf5b1.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-40dfa0d40b8cf5b1: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-73f984555af705e6.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-73f984555af705e6: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

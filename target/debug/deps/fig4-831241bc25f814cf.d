@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-831241bc25f814cf.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-831241bc25f814cf: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-c895c8119e84f635.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-c895c8119e84f635: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-56fb800df24389c7.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-56fb800df24389c7: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

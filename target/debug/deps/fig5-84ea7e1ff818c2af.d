@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-84ea7e1ff818c2af.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-84ea7e1ff818c2af: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-c59b06d89e0a9b90.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-c59b06d89e0a9b90: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

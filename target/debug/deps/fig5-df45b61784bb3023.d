@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-df45b61784bb3023.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-df45b61784bb3023: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-07cbfc1883be4f7b.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-07cbfc1883be4f7b: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-5e3e075334c4e86f.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-5e3e075334c4e86f: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-77d6304f19dc0d1e.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-77d6304f19dc0d1e: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-20cb0088e383838f.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-20cb0088e383838f: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

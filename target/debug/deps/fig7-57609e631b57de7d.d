@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-57609e631b57de7d.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-57609e631b57de7d: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

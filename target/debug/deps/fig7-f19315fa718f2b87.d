@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-f19315fa718f2b87.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-f19315fa718f2b87: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mobile_workload_characterization-1144bc7ce7a9ef82.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmobile_workload_characterization-1144bc7ce7a9ef82.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmobile_workload_characterization-1144bc7ce7a9ef82.rmeta: src/lib.rs
+
+src/lib.rs:

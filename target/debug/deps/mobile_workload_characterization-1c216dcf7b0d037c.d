@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mobile_workload_characterization-1c216dcf7b0d037c.d: src/lib.rs
+
+/root/repo/target/debug/deps/mobile_workload_characterization-1c216dcf7b0d037c: src/lib.rs
+
+src/lib.rs:

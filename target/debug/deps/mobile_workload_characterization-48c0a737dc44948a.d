@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mobile_workload_characterization-48c0a737dc44948a.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmobile_workload_characterization-48c0a737dc44948a.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmobile_workload_characterization-48c0a737dc44948a.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mobile_workload_characterization-85afa6bf3716f70a.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmobile_workload_characterization-85afa6bf3716f70a.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mobile_workload_characterization-a0897f3c61660a1b.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmobile_workload_characterization-a0897f3c61660a1b.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

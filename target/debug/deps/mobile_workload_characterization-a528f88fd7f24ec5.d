@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mobile_workload_characterization-a528f88fd7f24ec5.d: src/lib.rs
+
+/root/repo/target/debug/deps/mobile_workload_characterization-a528f88fd7f24ec5: src/lib.rs
+
+src/lib.rs:

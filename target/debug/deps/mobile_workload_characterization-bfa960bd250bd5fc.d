@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mobile_workload_characterization-bfa960bd250bd5fc.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmobile_workload_characterization-bfa960bd250bd5fc.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmobile_workload_characterization-bfa960bd250bd5fc.rmeta: src/lib.rs
+
+src/lib.rs:

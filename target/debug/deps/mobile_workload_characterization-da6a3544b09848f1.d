@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mobile_workload_characterization-da6a3544b09848f1.d: src/lib.rs
+
+/root/repo/target/debug/deps/mobile_workload_characterization-da6a3544b09848f1: src/lib.rs
+
+src/lib.rs:

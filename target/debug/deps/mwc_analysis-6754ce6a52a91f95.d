@@ -1,0 +1,25 @@
+/root/repo/target/debug/deps/mwc_analysis-6754ce6a52a91f95.d: crates/analysis/src/lib.rs crates/analysis/src/cluster/mod.rs crates/analysis/src/cluster/hierarchical.rs crates/analysis/src/cluster/kmeans.rs crates/analysis/src/cluster/pam.rs crates/analysis/src/distance.rs crates/analysis/src/error.rs crates/analysis/src/matrix.rs crates/analysis/src/stats/mod.rs crates/analysis/src/stats/descriptive.rs crates/analysis/src/stats/normalize.rs crates/analysis/src/stats/pearson.rs crates/analysis/src/stats/spearman.rs crates/analysis/src/subset/mod.rs crates/analysis/src/validation/mod.rs crates/analysis/src/validation/connectivity.rs crates/analysis/src/validation/internal.rs crates/analysis/src/validation/stability.rs crates/analysis/src/validation/sweep.rs
+
+/root/repo/target/debug/deps/libmwc_analysis-6754ce6a52a91f95.rlib: crates/analysis/src/lib.rs crates/analysis/src/cluster/mod.rs crates/analysis/src/cluster/hierarchical.rs crates/analysis/src/cluster/kmeans.rs crates/analysis/src/cluster/pam.rs crates/analysis/src/distance.rs crates/analysis/src/error.rs crates/analysis/src/matrix.rs crates/analysis/src/stats/mod.rs crates/analysis/src/stats/descriptive.rs crates/analysis/src/stats/normalize.rs crates/analysis/src/stats/pearson.rs crates/analysis/src/stats/spearman.rs crates/analysis/src/subset/mod.rs crates/analysis/src/validation/mod.rs crates/analysis/src/validation/connectivity.rs crates/analysis/src/validation/internal.rs crates/analysis/src/validation/stability.rs crates/analysis/src/validation/sweep.rs
+
+/root/repo/target/debug/deps/libmwc_analysis-6754ce6a52a91f95.rmeta: crates/analysis/src/lib.rs crates/analysis/src/cluster/mod.rs crates/analysis/src/cluster/hierarchical.rs crates/analysis/src/cluster/kmeans.rs crates/analysis/src/cluster/pam.rs crates/analysis/src/distance.rs crates/analysis/src/error.rs crates/analysis/src/matrix.rs crates/analysis/src/stats/mod.rs crates/analysis/src/stats/descriptive.rs crates/analysis/src/stats/normalize.rs crates/analysis/src/stats/pearson.rs crates/analysis/src/stats/spearman.rs crates/analysis/src/subset/mod.rs crates/analysis/src/validation/mod.rs crates/analysis/src/validation/connectivity.rs crates/analysis/src/validation/internal.rs crates/analysis/src/validation/stability.rs crates/analysis/src/validation/sweep.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/cluster/mod.rs:
+crates/analysis/src/cluster/hierarchical.rs:
+crates/analysis/src/cluster/kmeans.rs:
+crates/analysis/src/cluster/pam.rs:
+crates/analysis/src/distance.rs:
+crates/analysis/src/error.rs:
+crates/analysis/src/matrix.rs:
+crates/analysis/src/stats/mod.rs:
+crates/analysis/src/stats/descriptive.rs:
+crates/analysis/src/stats/normalize.rs:
+crates/analysis/src/stats/pearson.rs:
+crates/analysis/src/stats/spearman.rs:
+crates/analysis/src/subset/mod.rs:
+crates/analysis/src/validation/mod.rs:
+crates/analysis/src/validation/connectivity.rs:
+crates/analysis/src/validation/internal.rs:
+crates/analysis/src/validation/stability.rs:
+crates/analysis/src/validation/sweep.rs:

@@ -1,0 +1,27 @@
+/root/repo/target/debug/deps/mwc_analysis-8e97c2d2de640e54.d: crates/analysis/src/lib.rs crates/analysis/src/cluster/mod.rs crates/analysis/src/cluster/hierarchical.rs crates/analysis/src/cluster/kmeans.rs crates/analysis/src/cluster/pam.rs crates/analysis/src/distance.rs crates/analysis/src/error.rs crates/analysis/src/matrix.rs crates/analysis/src/stats/mod.rs crates/analysis/src/stats/descriptive.rs crates/analysis/src/stats/normalize.rs crates/analysis/src/stats/pearson.rs crates/analysis/src/stats/spearman.rs crates/analysis/src/subset/mod.rs crates/analysis/src/validation/mod.rs crates/analysis/src/validation/connectivity.rs crates/analysis/src/validation/internal.rs crates/analysis/src/validation/stability.rs crates/analysis/src/validation/sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmwc_analysis-8e97c2d2de640e54.rmeta: crates/analysis/src/lib.rs crates/analysis/src/cluster/mod.rs crates/analysis/src/cluster/hierarchical.rs crates/analysis/src/cluster/kmeans.rs crates/analysis/src/cluster/pam.rs crates/analysis/src/distance.rs crates/analysis/src/error.rs crates/analysis/src/matrix.rs crates/analysis/src/stats/mod.rs crates/analysis/src/stats/descriptive.rs crates/analysis/src/stats/normalize.rs crates/analysis/src/stats/pearson.rs crates/analysis/src/stats/spearman.rs crates/analysis/src/subset/mod.rs crates/analysis/src/validation/mod.rs crates/analysis/src/validation/connectivity.rs crates/analysis/src/validation/internal.rs crates/analysis/src/validation/stability.rs crates/analysis/src/validation/sweep.rs Cargo.toml
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/cluster/mod.rs:
+crates/analysis/src/cluster/hierarchical.rs:
+crates/analysis/src/cluster/kmeans.rs:
+crates/analysis/src/cluster/pam.rs:
+crates/analysis/src/distance.rs:
+crates/analysis/src/error.rs:
+crates/analysis/src/matrix.rs:
+crates/analysis/src/stats/mod.rs:
+crates/analysis/src/stats/descriptive.rs:
+crates/analysis/src/stats/normalize.rs:
+crates/analysis/src/stats/pearson.rs:
+crates/analysis/src/stats/spearman.rs:
+crates/analysis/src/subset/mod.rs:
+crates/analysis/src/validation/mod.rs:
+crates/analysis/src/validation/connectivity.rs:
+crates/analysis/src/validation/internal.rs:
+crates/analysis/src/validation/stability.rs:
+crates/analysis/src/validation/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mwc_bench-06e605f01581cd05.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmwc_bench-06e605f01581cd05.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmwc_bench-06e605f01581cd05.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

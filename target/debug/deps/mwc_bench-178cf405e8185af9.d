@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mwc_bench-178cf405e8185af9.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/mwc_bench-178cf405e8185af9: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

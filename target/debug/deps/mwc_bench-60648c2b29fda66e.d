@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mwc_bench-60648c2b29fda66e.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/mwc_bench-60648c2b29fda66e: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

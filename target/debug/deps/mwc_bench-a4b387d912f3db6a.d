@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mwc_bench-a4b387d912f3db6a.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmwc_bench-a4b387d912f3db6a.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmwc_bench-a4b387d912f3db6a.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mwc_bench-c1c8c52d4b069322.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmwc_bench-c1c8c52d4b069322.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmwc_bench-c1c8c52d4b069322.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

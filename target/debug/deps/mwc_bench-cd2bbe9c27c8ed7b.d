@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mwc_bench-cd2bbe9c27c8ed7b.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/mwc_bench-cd2bbe9c27c8ed7b: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

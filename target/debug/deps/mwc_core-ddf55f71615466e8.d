@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mwc_core-ddf55f71615466e8.d: crates/core/src/lib.rs crates/core/src/features.rs crates/core/src/figures.rs crates/core/src/observations.rs crates/core/src/pipeline.rs crates/core/src/subsets.rs crates/core/src/tables.rs
+
+/root/repo/target/debug/deps/libmwc_core-ddf55f71615466e8.rlib: crates/core/src/lib.rs crates/core/src/features.rs crates/core/src/figures.rs crates/core/src/observations.rs crates/core/src/pipeline.rs crates/core/src/subsets.rs crates/core/src/tables.rs
+
+/root/repo/target/debug/deps/libmwc_core-ddf55f71615466e8.rmeta: crates/core/src/lib.rs crates/core/src/features.rs crates/core/src/figures.rs crates/core/src/observations.rs crates/core/src/pipeline.rs crates/core/src/subsets.rs crates/core/src/tables.rs
+
+crates/core/src/lib.rs:
+crates/core/src/features.rs:
+crates/core/src/figures.rs:
+crates/core/src/observations.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/subsets.rs:
+crates/core/src/tables.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mwc_core-df74db1cfdb2e880.d: crates/core/src/lib.rs crates/core/src/features.rs crates/core/src/figures.rs crates/core/src/observations.rs crates/core/src/pipeline.rs crates/core/src/subsets.rs crates/core/src/tables.rs
+
+/root/repo/target/debug/deps/mwc_core-df74db1cfdb2e880: crates/core/src/lib.rs crates/core/src/features.rs crates/core/src/figures.rs crates/core/src/observations.rs crates/core/src/pipeline.rs crates/core/src/subsets.rs crates/core/src/tables.rs
+
+crates/core/src/lib.rs:
+crates/core/src/features.rs:
+crates/core/src/figures.rs:
+crates/core/src/observations.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/subsets.rs:
+crates/core/src/tables.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mwc_parallel-98fe8a2fc4184f22.d: crates/parallel/src/lib.rs
+
+/root/repo/target/debug/deps/libmwc_parallel-98fe8a2fc4184f22.rlib: crates/parallel/src/lib.rs
+
+/root/repo/target/debug/deps/libmwc_parallel-98fe8a2fc4184f22.rmeta: crates/parallel/src/lib.rs
+
+crates/parallel/src/lib.rs:

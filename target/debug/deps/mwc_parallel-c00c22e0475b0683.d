@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mwc_parallel-c00c22e0475b0683.d: crates/parallel/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmwc_parallel-c00c22e0475b0683.rmeta: crates/parallel/src/lib.rs Cargo.toml
+
+crates/parallel/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mwc_parallel-d17a2901f9ad8aca.d: crates/parallel/src/lib.rs
+
+/root/repo/target/debug/deps/mwc_parallel-d17a2901f9ad8aca: crates/parallel/src/lib.rs
+
+crates/parallel/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mwc_report-04a552400e14a388.d: crates/report/src/lib.rs crates/report/src/chart.rs crates/report/src/dendro.rs crates/report/src/heat.rs crates/report/src/sparkline.rs crates/report/src/table.rs
+
+/root/repo/target/debug/deps/mwc_report-04a552400e14a388: crates/report/src/lib.rs crates/report/src/chart.rs crates/report/src/dendro.rs crates/report/src/heat.rs crates/report/src/sparkline.rs crates/report/src/table.rs
+
+crates/report/src/lib.rs:
+crates/report/src/chart.rs:
+crates/report/src/dendro.rs:
+crates/report/src/heat.rs:
+crates/report/src/sparkline.rs:
+crates/report/src/table.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mwc_report-52d8b217b256721e.d: crates/report/src/lib.rs crates/report/src/chart.rs crates/report/src/dendro.rs crates/report/src/heat.rs crates/report/src/sparkline.rs crates/report/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmwc_report-52d8b217b256721e.rmeta: crates/report/src/lib.rs crates/report/src/chart.rs crates/report/src/dendro.rs crates/report/src/heat.rs crates/report/src/sparkline.rs crates/report/src/table.rs Cargo.toml
+
+crates/report/src/lib.rs:
+crates/report/src/chart.rs:
+crates/report/src/dendro.rs:
+crates/report/src/heat.rs:
+crates/report/src/sparkline.rs:
+crates/report/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

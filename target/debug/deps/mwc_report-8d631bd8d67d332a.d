@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mwc_report-8d631bd8d67d332a.d: crates/report/src/lib.rs crates/report/src/chart.rs crates/report/src/dendro.rs crates/report/src/heat.rs crates/report/src/sparkline.rs crates/report/src/table.rs
+
+/root/repo/target/debug/deps/libmwc_report-8d631bd8d67d332a.rlib: crates/report/src/lib.rs crates/report/src/chart.rs crates/report/src/dendro.rs crates/report/src/heat.rs crates/report/src/sparkline.rs crates/report/src/table.rs
+
+/root/repo/target/debug/deps/libmwc_report-8d631bd8d67d332a.rmeta: crates/report/src/lib.rs crates/report/src/chart.rs crates/report/src/dendro.rs crates/report/src/heat.rs crates/report/src/sparkline.rs crates/report/src/table.rs
+
+crates/report/src/lib.rs:
+crates/report/src/chart.rs:
+crates/report/src/dendro.rs:
+crates/report/src/heat.rs:
+crates/report/src/sparkline.rs:
+crates/report/src/table.rs:

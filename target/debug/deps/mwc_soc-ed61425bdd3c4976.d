@@ -1,0 +1,29 @@
+/root/repo/target/debug/deps/mwc_soc-ed61425bdd3c4976.d: crates/soc/src/lib.rs crates/soc/src/aie.rs crates/soc/src/cache/mod.rs crates/soc/src/cache/hierarchy.rs crates/soc/src/cache/level.rs crates/soc/src/config.rs crates/soc/src/counters.rs crates/soc/src/cpu/mod.rs crates/soc/src/cpu/branch.rs crates/soc/src/cpu/cluster.rs crates/soc/src/cpu/core_model.rs crates/soc/src/cpu/pipeline.rs crates/soc/src/engine.rs crates/soc/src/error.rs crates/soc/src/freq.rs crates/soc/src/gpu/mod.rs crates/soc/src/gpu/api.rs crates/soc/src/memory.rs crates/soc/src/sched/mod.rs crates/soc/src/storage.rs crates/soc/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmwc_soc-ed61425bdd3c4976.rmeta: crates/soc/src/lib.rs crates/soc/src/aie.rs crates/soc/src/cache/mod.rs crates/soc/src/cache/hierarchy.rs crates/soc/src/cache/level.rs crates/soc/src/config.rs crates/soc/src/counters.rs crates/soc/src/cpu/mod.rs crates/soc/src/cpu/branch.rs crates/soc/src/cpu/cluster.rs crates/soc/src/cpu/core_model.rs crates/soc/src/cpu/pipeline.rs crates/soc/src/engine.rs crates/soc/src/error.rs crates/soc/src/freq.rs crates/soc/src/gpu/mod.rs crates/soc/src/gpu/api.rs crates/soc/src/memory.rs crates/soc/src/sched/mod.rs crates/soc/src/storage.rs crates/soc/src/workload.rs Cargo.toml
+
+crates/soc/src/lib.rs:
+crates/soc/src/aie.rs:
+crates/soc/src/cache/mod.rs:
+crates/soc/src/cache/hierarchy.rs:
+crates/soc/src/cache/level.rs:
+crates/soc/src/config.rs:
+crates/soc/src/counters.rs:
+crates/soc/src/cpu/mod.rs:
+crates/soc/src/cpu/branch.rs:
+crates/soc/src/cpu/cluster.rs:
+crates/soc/src/cpu/core_model.rs:
+crates/soc/src/cpu/pipeline.rs:
+crates/soc/src/engine.rs:
+crates/soc/src/error.rs:
+crates/soc/src/freq.rs:
+crates/soc/src/gpu/mod.rs:
+crates/soc/src/gpu/api.rs:
+crates/soc/src/memory.rs:
+crates/soc/src/sched/mod.rs:
+crates/soc/src/storage.rs:
+crates/soc/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

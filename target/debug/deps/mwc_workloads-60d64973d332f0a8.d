@@ -1,0 +1,29 @@
+/root/repo/target/debug/deps/mwc_workloads-60d64973d332f0a8.d: crates/workloads/src/lib.rs crates/workloads/src/kernels/mod.rs crates/workloads/src/kernels/compress.rs crates/workloads/src/kernels/crypto.rs crates/workloads/src/kernels/fft.rs crates/workloads/src/kernels/gemm.rs crates/workloads/src/kernels/nn.rs crates/workloads/src/kernels/physics.rs crates/workloads/src/kernels/png.rs crates/workloads/src/kernels/psnr.rs crates/workloads/src/kernels/raytrace.rs crates/workloads/src/kernels/video.rs crates/workloads/src/phase.rs crates/workloads/src/registry.rs crates/workloads/src/suites/mod.rs crates/workloads/src/suites/aitutu.rs crates/workloads/src/suites/antutu.rs crates/workloads/src/suites/common.rs crates/workloads/src/suites/geekbench5.rs crates/workloads/src/suites/geekbench6.rs crates/workloads/src/suites/gfxbench.rs crates/workloads/src/suites/pcmark.rs crates/workloads/src/suites/threedmark.rs
+
+/root/repo/target/debug/deps/libmwc_workloads-60d64973d332f0a8.rlib: crates/workloads/src/lib.rs crates/workloads/src/kernels/mod.rs crates/workloads/src/kernels/compress.rs crates/workloads/src/kernels/crypto.rs crates/workloads/src/kernels/fft.rs crates/workloads/src/kernels/gemm.rs crates/workloads/src/kernels/nn.rs crates/workloads/src/kernels/physics.rs crates/workloads/src/kernels/png.rs crates/workloads/src/kernels/psnr.rs crates/workloads/src/kernels/raytrace.rs crates/workloads/src/kernels/video.rs crates/workloads/src/phase.rs crates/workloads/src/registry.rs crates/workloads/src/suites/mod.rs crates/workloads/src/suites/aitutu.rs crates/workloads/src/suites/antutu.rs crates/workloads/src/suites/common.rs crates/workloads/src/suites/geekbench5.rs crates/workloads/src/suites/geekbench6.rs crates/workloads/src/suites/gfxbench.rs crates/workloads/src/suites/pcmark.rs crates/workloads/src/suites/threedmark.rs
+
+/root/repo/target/debug/deps/libmwc_workloads-60d64973d332f0a8.rmeta: crates/workloads/src/lib.rs crates/workloads/src/kernels/mod.rs crates/workloads/src/kernels/compress.rs crates/workloads/src/kernels/crypto.rs crates/workloads/src/kernels/fft.rs crates/workloads/src/kernels/gemm.rs crates/workloads/src/kernels/nn.rs crates/workloads/src/kernels/physics.rs crates/workloads/src/kernels/png.rs crates/workloads/src/kernels/psnr.rs crates/workloads/src/kernels/raytrace.rs crates/workloads/src/kernels/video.rs crates/workloads/src/phase.rs crates/workloads/src/registry.rs crates/workloads/src/suites/mod.rs crates/workloads/src/suites/aitutu.rs crates/workloads/src/suites/antutu.rs crates/workloads/src/suites/common.rs crates/workloads/src/suites/geekbench5.rs crates/workloads/src/suites/geekbench6.rs crates/workloads/src/suites/gfxbench.rs crates/workloads/src/suites/pcmark.rs crates/workloads/src/suites/threedmark.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/kernels/mod.rs:
+crates/workloads/src/kernels/compress.rs:
+crates/workloads/src/kernels/crypto.rs:
+crates/workloads/src/kernels/fft.rs:
+crates/workloads/src/kernels/gemm.rs:
+crates/workloads/src/kernels/nn.rs:
+crates/workloads/src/kernels/physics.rs:
+crates/workloads/src/kernels/png.rs:
+crates/workloads/src/kernels/psnr.rs:
+crates/workloads/src/kernels/raytrace.rs:
+crates/workloads/src/kernels/video.rs:
+crates/workloads/src/phase.rs:
+crates/workloads/src/registry.rs:
+crates/workloads/src/suites/mod.rs:
+crates/workloads/src/suites/aitutu.rs:
+crates/workloads/src/suites/antutu.rs:
+crates/workloads/src/suites/common.rs:
+crates/workloads/src/suites/geekbench5.rs:
+crates/workloads/src/suites/geekbench6.rs:
+crates/workloads/src/suites/gfxbench.rs:
+crates/workloads/src/suites/pcmark.rs:
+crates/workloads/src/suites/threedmark.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observations-11e7151e1e856fea.d: crates/bench/src/bin/observations.rs
+
+/root/repo/target/debug/deps/observations-11e7151e1e856fea: crates/bench/src/bin/observations.rs
+
+crates/bench/src/bin/observations.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/observations-61e0bdf064b8b5e1.d: crates/bench/src/bin/observations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobservations-61e0bdf064b8b5e1.rmeta: crates/bench/src/bin/observations.rs Cargo.toml
+
+crates/bench/src/bin/observations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observations-7997c86b4fe7b431.d: crates/bench/src/bin/observations.rs
+
+/root/repo/target/debug/deps/observations-7997c86b4fe7b431: crates/bench/src/bin/observations.rs
+
+crates/bench/src/bin/observations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observations-b3607aa5c62b5d2f.d: crates/bench/src/bin/observations.rs
+
+/root/repo/target/debug/deps/observations-b3607aa5c62b5d2f: crates/bench/src/bin/observations.rs
+
+crates/bench/src/bin/observations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observations-dca26db180788595.d: crates/bench/src/bin/observations.rs
+
+/root/repo/target/debug/deps/observations-dca26db180788595: crates/bench/src/bin/observations.rs
+
+crates/bench/src/bin/observations.rs:

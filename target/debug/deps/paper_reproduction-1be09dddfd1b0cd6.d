@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_reproduction-1be09dddfd1b0cd6.d: tests/paper_reproduction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_reproduction-1be09dddfd1b0cd6.rmeta: tests/paper_reproduction.rs Cargo.toml
+
+tests/paper_reproduction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_reproduction-bb465be70a6252f7.d: tests/paper_reproduction.rs
+
+/root/repo/target/debug/deps/paper_reproduction-bb465be70a6252f7: tests/paper_reproduction.rs
+
+tests/paper_reproduction.rs:

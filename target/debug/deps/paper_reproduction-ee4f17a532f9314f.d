@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_reproduction-ee4f17a532f9314f.d: tests/paper_reproduction.rs
+
+/root/repo/target/debug/deps/paper_reproduction-ee4f17a532f9314f: tests/paper_reproduction.rs
+
+tests/paper_reproduction.rs:

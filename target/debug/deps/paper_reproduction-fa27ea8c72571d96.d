@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_reproduction-fa27ea8c72571d96.d: tests/paper_reproduction.rs
+
+/root/repo/target/debug/deps/paper_reproduction-fa27ea8c72571d96: tests/paper_reproduction.rs
+
+tests/paper_reproduction.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline-f880c0cdfb0d991c.d: crates/bench/benches/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-f880c0cdfb0d991c.rmeta: crates/bench/benches/pipeline.rs Cargo.toml
+
+crates/bench/benches/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-48d951bcb963f32f.d: tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-48d951bcb963f32f.rmeta: tests/properties.rs Cargo.toml
+
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-6ba7bb40ec9d92c6.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-6ba7bb40ec9d92c6: tests/properties.rs
+
+tests/properties.rs:

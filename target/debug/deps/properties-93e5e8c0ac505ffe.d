@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-93e5e8c0ac505ffe.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-93e5e8c0ac505ffe: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-e129db11192f3e58.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-e129db11192f3e58: tests/properties.rs
+
+tests/properties.rs:

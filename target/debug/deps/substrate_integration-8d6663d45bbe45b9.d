@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate_integration-8d6663d45bbe45b9.d: tests/substrate_integration.rs
+
+/root/repo/target/debug/deps/substrate_integration-8d6663d45bbe45b9: tests/substrate_integration.rs
+
+tests/substrate_integration.rs:

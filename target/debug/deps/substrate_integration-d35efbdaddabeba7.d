@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate_integration-d35efbdaddabeba7.d: tests/substrate_integration.rs
+
+/root/repo/target/debug/deps/substrate_integration-d35efbdaddabeba7: tests/substrate_integration.rs
+
+tests/substrate_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate_integration-d4c48ad3188ec4f9.d: tests/substrate_integration.rs
+
+/root/repo/target/debug/deps/substrate_integration-d4c48ad3188ec4f9: tests/substrate_integration.rs
+
+tests/substrate_integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/substrate_integration-f0a6d78d876ae2fd.d: tests/substrate_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsubstrate_integration-f0a6d78d876ae2fd.rmeta: tests/substrate_integration.rs Cargo.toml
+
+tests/substrate_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-09baae65694b3bfd.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-09baae65694b3bfd: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-2cda7a29c57f6b9d.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-2cda7a29c57f6b9d: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

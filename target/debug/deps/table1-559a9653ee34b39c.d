@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-559a9653ee34b39c.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-559a9653ee34b39c: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-843f485950e88694.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-843f485950e88694: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

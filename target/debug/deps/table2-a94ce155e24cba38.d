@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-a94ce155e24cba38.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-a94ce155e24cba38: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

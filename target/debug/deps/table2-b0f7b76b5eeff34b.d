@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-b0f7b76b5eeff34b.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-b0f7b76b5eeff34b: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

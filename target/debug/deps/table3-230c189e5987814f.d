@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-230c189e5987814f.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-230c189e5987814f: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

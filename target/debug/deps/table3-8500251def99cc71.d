@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-8500251def99cc71.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-8500251def99cc71: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-b56eaa827214d784.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-b56eaa827214d784: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-6b3453ca5bf10ddc.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-6b3453ca5bf10ddc: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-82292cdd90bfb28c.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-82292cdd90bfb28c: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

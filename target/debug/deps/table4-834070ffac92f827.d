@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-834070ffac92f827.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-834070ffac92f827: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-b82f0ee872bf4c4b.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-b82f0ee872bf4c4b: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-3832c9c4613f9789.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-3832c9c4613f9789: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-3b83d0489c6d3e0e.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-3b83d0489c6d3e0e: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

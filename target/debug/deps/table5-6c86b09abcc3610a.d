@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-6c86b09abcc3610a.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-6c86b09abcc3610a: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-8e018e770f0901a8.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-8e018e770f0901a8: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

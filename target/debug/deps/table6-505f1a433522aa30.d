@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-505f1a433522aa30.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-505f1a433522aa30: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

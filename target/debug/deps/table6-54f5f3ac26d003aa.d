@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-54f5f3ac26d003aa.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-54f5f3ac26d003aa: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

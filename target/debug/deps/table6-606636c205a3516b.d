@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-606636c205a3516b.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-606636c205a3516b: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-e2ba678f59add6d7.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-e2ba678f59add6d7: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/validation-095adb39397396c7.d: crates/bench/benches/validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvalidation-095adb39397396c7.rmeta: crates/bench/benches/validation.rs Cargo.toml
+
+crates/bench/benches/validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/benchmark_subsetting-e65ecf239192c2e4.d: examples/benchmark_subsetting.rs
+
+/root/repo/target/debug/examples/benchmark_subsetting-e65ecf239192c2e4: examples/benchmark_subsetting.rs
+
+examples/benchmark_subsetting.rs:

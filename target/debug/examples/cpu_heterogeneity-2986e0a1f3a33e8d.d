@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cpu_heterogeneity-2986e0a1f3a33e8d.d: examples/cpu_heterogeneity.rs
+
+/root/repo/target/debug/examples/cpu_heterogeneity-2986e0a1f3a33e8d: examples/cpu_heterogeneity.rs
+
+examples/cpu_heterogeneity.rs:

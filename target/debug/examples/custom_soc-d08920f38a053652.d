@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_soc-d08920f38a053652.d: examples/custom_soc.rs
+
+/root/repo/target/debug/examples/custom_soc-d08920f38a053652: examples/custom_soc.rs
+
+examples/custom_soc.rs:

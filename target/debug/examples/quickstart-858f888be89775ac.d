@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-858f888be89775ac.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-858f888be89775ac: examples/quickstart.rs
+
+examples/quickstart.rs:

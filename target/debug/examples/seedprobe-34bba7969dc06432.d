@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/seedprobe-34bba7969dc06432.d: examples/seedprobe.rs
+
+/root/repo/target/debug/examples/seedprobe-34bba7969dc06432: examples/seedprobe.rs
+
+examples/seedprobe.rs:

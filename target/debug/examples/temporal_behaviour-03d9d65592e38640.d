@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/temporal_behaviour-03d9d65592e38640.d: examples/temporal_behaviour.rs
+
+/root/repo/target/debug/examples/temporal_behaviour-03d9d65592e38640: examples/temporal_behaviour.rs
+
+examples/temporal_behaviour.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-520e885b6baf891e.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-520e885b6baf891e: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

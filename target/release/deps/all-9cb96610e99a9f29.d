@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all-9cb96610e99a9f29.d: crates/bench/src/bin/all.rs
+
+/root/repo/target/release/deps/all-9cb96610e99a9f29: crates/bench/src/bin/all.rs
+
+crates/bench/src/bin/all.rs:

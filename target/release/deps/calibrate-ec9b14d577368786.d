@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibrate-ec9b14d577368786.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/release/deps/calibrate-ec9b14d577368786: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/export-853ed82ccc6f4729.d: crates/bench/src/bin/export.rs
+
+/root/repo/target/release/deps/export-853ed82ccc6f4729: crates/bench/src/bin/export.rs
+
+crates/bench/src/bin/export.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1-c038731833b5b38c.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/release/deps/fig1-c038731833b5b38c: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2-9183fd57b4168ab6.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/release/deps/fig2-9183fd57b4168ab6: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-d1f7e69a2f6e7789.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-d1f7e69a2f6e7789: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-634802d3d926f7c4.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-634802d3d926f7c4: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-2ece1557b23bcc8d.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-2ece1557b23bcc8d: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-00d9fbc54e54b8d9.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-00d9fbc54e54b8d9: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-1f5676b617f1e56e.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-1f5676b617f1e56e: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

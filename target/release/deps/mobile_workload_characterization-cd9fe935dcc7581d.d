@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mobile_workload_characterization-cd9fe935dcc7581d.d: src/lib.rs
+
+/root/repo/target/release/deps/libmobile_workload_characterization-cd9fe935dcc7581d.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmobile_workload_characterization-cd9fe935dcc7581d.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mobile_workload_characterization-db5d77bb15240937.d: src/lib.rs
+
+/root/repo/target/release/deps/libmobile_workload_characterization-db5d77bb15240937.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmobile_workload_characterization-db5d77bb15240937.rmeta: src/lib.rs
+
+src/lib.rs:

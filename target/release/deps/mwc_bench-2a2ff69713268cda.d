@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mwc_bench-2a2ff69713268cda.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmwc_bench-2a2ff69713268cda.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmwc_bench-2a2ff69713268cda.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

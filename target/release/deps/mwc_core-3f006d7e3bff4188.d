@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mwc_core-3f006d7e3bff4188.d: crates/core/src/lib.rs crates/core/src/features.rs crates/core/src/figures.rs crates/core/src/observations.rs crates/core/src/pipeline.rs crates/core/src/subsets.rs crates/core/src/tables.rs
+
+/root/repo/target/release/deps/libmwc_core-3f006d7e3bff4188.rlib: crates/core/src/lib.rs crates/core/src/features.rs crates/core/src/figures.rs crates/core/src/observations.rs crates/core/src/pipeline.rs crates/core/src/subsets.rs crates/core/src/tables.rs
+
+/root/repo/target/release/deps/libmwc_core-3f006d7e3bff4188.rmeta: crates/core/src/lib.rs crates/core/src/features.rs crates/core/src/figures.rs crates/core/src/observations.rs crates/core/src/pipeline.rs crates/core/src/subsets.rs crates/core/src/tables.rs
+
+crates/core/src/lib.rs:
+crates/core/src/features.rs:
+crates/core/src/figures.rs:
+crates/core/src/observations.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/subsets.rs:
+crates/core/src/tables.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mwc_parallel-402c8d6a12477616.d: crates/parallel/src/lib.rs
+
+/root/repo/target/release/deps/libmwc_parallel-402c8d6a12477616.rlib: crates/parallel/src/lib.rs
+
+/root/repo/target/release/deps/libmwc_parallel-402c8d6a12477616.rmeta: crates/parallel/src/lib.rs
+
+crates/parallel/src/lib.rs:

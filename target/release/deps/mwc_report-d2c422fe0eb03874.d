@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mwc_report-d2c422fe0eb03874.d: crates/report/src/lib.rs crates/report/src/chart.rs crates/report/src/dendro.rs crates/report/src/heat.rs crates/report/src/sparkline.rs crates/report/src/table.rs
+
+/root/repo/target/release/deps/libmwc_report-d2c422fe0eb03874.rlib: crates/report/src/lib.rs crates/report/src/chart.rs crates/report/src/dendro.rs crates/report/src/heat.rs crates/report/src/sparkline.rs crates/report/src/table.rs
+
+/root/repo/target/release/deps/libmwc_report-d2c422fe0eb03874.rmeta: crates/report/src/lib.rs crates/report/src/chart.rs crates/report/src/dendro.rs crates/report/src/heat.rs crates/report/src/sparkline.rs crates/report/src/table.rs
+
+crates/report/src/lib.rs:
+crates/report/src/chart.rs:
+crates/report/src/dendro.rs:
+crates/report/src/heat.rs:
+crates/report/src/sparkline.rs:
+crates/report/src/table.rs:

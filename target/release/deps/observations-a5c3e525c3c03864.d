@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/observations-a5c3e525c3c03864.d: crates/bench/src/bin/observations.rs
+
+/root/repo/target/release/deps/observations-a5c3e525c3c03864: crates/bench/src/bin/observations.rs
+
+crates/bench/src/bin/observations.rs:

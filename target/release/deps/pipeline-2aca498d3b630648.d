@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline-2aca498d3b630648.d: crates/bench/benches/pipeline.rs
+
+/root/repo/target/release/deps/pipeline-2aca498d3b630648: crates/bench/benches/pipeline.rs
+
+crates/bench/benches/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-2d426647ec3b5a61.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-2d426647ec3b5a61: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

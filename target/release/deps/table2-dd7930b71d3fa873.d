@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-dd7930b71d3fa873.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-dd7930b71d3fa873: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-8df93fb4802dadde.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-8df93fb4802dadde: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5-3ce123c218025fc4.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/release/deps/table5-3ce123c218025fc4: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

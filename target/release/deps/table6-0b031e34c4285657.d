@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6-0b031e34c4285657.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/release/deps/table6-0b031e34c4285657: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

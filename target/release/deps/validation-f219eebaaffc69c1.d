@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/validation-f219eebaaffc69c1.d: crates/bench/benches/validation.rs
+
+/root/repo/target/release/deps/validation-f219eebaaffc69c1: crates/bench/benches/validation.rs
+
+crates/bench/benches/validation.rs:

@@ -65,8 +65,16 @@ fn ground_truth_partition_minimizes_connectivity_among_rivals() {
     // Rival 1: the paper-grouping with Antutu GPU moved in with the other
     // Antutu segments (the specific split §VI-B highlights).
     let mut labels: Vec<usize> = s.profiles().iter().map(|p| p.label as usize).collect();
-    let gpu_idx = s.profiles().iter().position(|p| p.name == "Antutu GPU").expect("unit");
-    let cpu_idx = s.profiles().iter().position(|p| p.name == "Antutu CPU").expect("unit");
+    let gpu_idx = s
+        .profiles()
+        .iter()
+        .position(|p| p.name == "Antutu GPU")
+        .expect("unit");
+    let cpu_idx = s
+        .profiles()
+        .iter()
+        .position(|p| p.name == "Antutu CPU")
+        .expect("unit");
     labels[gpu_idx] = labels[cpu_idx];
     let rival = Clustering::new(labels, 5).expect("valid labels");
     assert!(
@@ -75,7 +83,11 @@ fn ground_truth_partition_minimizes_connectivity_among_rivals() {
     );
 
     // Rival 2: a rotation of the true labels (same sizes, wrong members).
-    let rotated: Vec<usize> = s.profiles().iter().map(|p| (p.label as usize + 1) % 5).collect();
+    let rotated: Vec<usize> = s
+        .profiles()
+        .iter()
+        .map(|p| (p.label as usize + 1) % 5)
+        .collect();
     // Rotating labels keeps the same partition; scramble by assigning each
     // unit the label of the next unit instead.
     let mut scrambled: Vec<usize> = s.profiles().iter().map(|p| p.label as usize).collect();

@@ -59,6 +59,31 @@ fn full_study_is_reproducible() {
 }
 
 #[test]
+fn worker_count_does_not_change_the_study() {
+    // The parallel pipeline must be bit-identical to a serial run whatever
+    // MWC_THREADS resolves to: one worker, several workers, and the
+    // env-driven default all produce the same `Characterization`.
+    let serial = Characterization::run_with_threads(SocConfig::snapdragon_888(), 77, 1, 1);
+    let four = Characterization::run_with_threads(SocConfig::snapdragon_888(), 77, 1, 4);
+    let auto = Characterization::run(SocConfig::snapdragon_888(), 77, 1);
+    assert_eq!(serial, four, "4 workers == serial");
+    assert_eq!(serial, auto, "default worker count == serial");
+}
+
+#[test]
+fn profiling_order_does_not_change_a_unit_profile() {
+    // Per-capture streams derive from (seed, unit_index, run_index), so a
+    // unit's capture is the same whether profiled first or after another
+    // unit on the same profiler.
+    let engine = Engine::new(SocConfig::snapdragon_888(), 31).expect("preset");
+    let mut profiler = Profiler::new(engine, 31);
+    let cold = profiler.capture_unit_runs(&pcmark::pcmark_storage(), 3, 1);
+    let _ = profiler.capture_unit_runs(&geekbench5::gb5_cpu(), 0, 1);
+    let warm = profiler.capture_unit_runs(&pcmark::pcmark_storage(), 3, 1);
+    assert_eq!(cold, warm);
+}
+
+#[test]
 fn averaging_three_runs_tightens_metrics() {
     // The three-run average must land between the per-run extremes.
     let w = geekbench5::gb5_compute();

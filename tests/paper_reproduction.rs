@@ -18,7 +18,11 @@ fn study() -> &'static Characterization {
 }
 
 fn ground_truth() -> Clustering {
-    let labels: Vec<usize> = study().profiles().iter().map(|p| p.label as usize).collect();
+    let labels: Vec<usize> = study()
+        .profiles()
+        .iter()
+        .map(|p| p.label as usize)
+        .collect();
     Clustering::new(labels, 5).expect("five labels")
 }
 
@@ -29,11 +33,23 @@ fn all_three_clustering_algorithms_agree_on_the_papers_partition() {
     let m = clustering_matrix(study());
     let km = kmeans(&m, 5, 42).expect("k valid");
     let pm = pam(&m, 5, 42).expect("k valid");
-    let hc = hierarchical(&m, Linkage::Ward).expect("data").cut(5).expect("k valid");
+    let hc = hierarchical(&m, Linkage::Ward)
+        .expect("data")
+        .cut(5)
+        .expect("k valid");
     let truth = ground_truth();
-    assert!(km.same_partition(&truth), "k-means deviates from the paper's grouping");
-    assert!(pm.same_partition(&truth), "PAM deviates from the paper's grouping");
-    assert!(hc.same_partition(&truth), "hierarchical deviates from the paper's grouping");
+    assert!(
+        km.same_partition(&truth),
+        "k-means deviates from the paper's grouping"
+    );
+    assert!(
+        pm.same_partition(&truth),
+        "PAM deviates from the paper's grouping"
+    );
+    assert!(
+        hc.same_partition(&truth),
+        "hierarchical deviates from the paper's grouping"
+    );
 }
 
 #[test]
@@ -43,7 +59,11 @@ fn internal_validation_picks_five_clusters_for_every_algorithm() {
     let sweep = figures::fig4(study()).expect("sweep succeeds");
     for alg in Algorithm::ALL {
         assert_eq!(sweep.best_k_by_dunn(alg), Some(5), "{alg:?} Dunn");
-        assert_eq!(sweep.best_k_by_silhouette(alg), Some(5), "{alg:?} silhouette");
+        assert_eq!(
+            sweep.best_k_by_silhouette(alg),
+            Some(5),
+            "{alg:?} silhouette"
+        );
         let ad = sweep.best_k_by_ad(alg).expect("sweep non-empty");
         assert!(ad >= 5, "{alg:?} AD prefers the high end, got {ad}");
     }
@@ -52,11 +72,17 @@ fn internal_validation_picks_five_clusters_for_every_algorithm() {
 #[test]
 fn table6_running_times_match_the_paper() {
     let t = tables::table6(study(), &ground_truth());
-    assert!((t.original_seconds - 4429.5).abs() < 1.0, "original set runtime");
+    assert!(
+        (t.original_seconds - 4429.5).abs() < 1.0,
+        "original set runtime"
+    );
     let expected = [(401.7, 90.93), (865.2, 80.47), (1108.36, 74.98)];
     for ((_, time, reduction), (paper_time, paper_reduction)) in t.rows.iter().zip(expected) {
         assert!((time - paper_time).abs() < 1.5, "{time} vs {paper_time}");
-        assert!((reduction - paper_reduction).abs() < 0.3, "{reduction} vs {paper_reduction}");
+        assert!(
+            (reduction - paper_reduction).abs() < 0.3,
+            "{reduction} vs {paper_reduction}"
+        );
     }
 }
 
@@ -91,14 +117,26 @@ fn table3_correlation_signs_match_the_paper() {
     // Index order: IC, IPC, cache MPKI, branch MPKI, runtime.
     let (ic, ipc, cmpki, bmpki, runtime) = (0, 1, 2, 3, 4);
     assert!(c.get(ic, ipc) > 0.2, "IC-IPC weakly positive (paper 0.400)");
-    assert!(c.get(ipc, cmpki) < -0.8, "IPC-cacheMPKI strongly negative (paper -0.845)");
-    assert!(c.get(ipc, bmpki) < -0.4, "IPC-branchMPKI moderately negative (paper -0.672)");
-    assert!(c.get(cmpki, bmpki) > 0.4, "cache-branch MPKI positive (paper 0.867)");
+    assert!(
+        c.get(ipc, cmpki) < -0.8,
+        "IPC-cacheMPKI strongly negative (paper -0.845)"
+    );
+    assert!(
+        c.get(ipc, bmpki) < -0.4,
+        "IPC-branchMPKI moderately negative (paper -0.672)"
+    );
+    assert!(
+        c.get(cmpki, bmpki) > 0.4,
+        "cache-branch MPKI positive (paper 0.867)"
+    );
     assert!(
         c.get(ic, runtime) > 0.4 && c.get(ic, runtime) < 0.8,
         "IC-runtime only moderate (paper 0.588): IC alone does not predict runtime"
     );
-    assert!(c.get(cmpki, runtime) > 0.0, "cacheMPKI-runtime positive (paper 0.460)");
+    assert!(
+        c.get(cmpki, runtime) > 0.0,
+        "cacheMPKI-runtime positive (paper 0.460)"
+    );
 }
 
 #[test]
@@ -106,7 +144,12 @@ fn figure1_ic_extremes_match_the_paper() {
     // Largest IC: Geekbench 6 CPU; smallest: GFXBench Special; newer
     // Geekbench exceeds older.
     let s = study();
-    let ic = |name: &str| s.profile(name).expect("unit exists").metrics.instruction_count;
+    let ic = |name: &str| {
+        s.profile(name)
+            .expect("unit exists")
+            .metrics
+            .instruction_count
+    };
     let max_unit = s
         .profiles()
         .iter()
@@ -145,11 +188,20 @@ fn figure1_ipc_bands_match_the_paper() {
     let s = study();
     let ipc = |name: &str| s.profile(name).expect("unit exists").metrics.ipc;
     let cpu_mean = (ipc("Antutu CPU") + ipc("Geekbench 5 CPU") + ipc("Geekbench 6 CPU")) / 3.0;
-    assert!((0.85..=1.45).contains(&cpu_mean), "CPU-bench IPC {cpu_mean}");
+    assert!(
+        (0.85..=1.45).contains(&cpu_mean),
+        "CPU-bench IPC {cpu_mean}"
+    );
     let gfx_mean = (ipc("GFXBench High") + ipc("3DMark Wild Life") + ipc("Antutu GPU")) / 3.0;
-    assert!(gfx_mean < cpu_mean * 0.8, "graphics IPC {gfx_mean} below CPU {cpu_mean}");
+    assert!(
+        gfx_mean < cpu_mean * 0.8,
+        "graphics IPC {gfx_mean} below CPU {cpu_mean}"
+    );
     let mem = ipc("Antutu Mem");
-    assert!((0.3..=0.6).contains(&mem), "Antutu Mem outlier near the paper's 0.45, got {mem}");
+    assert!(
+        (0.3..=0.6).contains(&mem),
+        "Antutu Mem outlier near the paper's 0.45, got {mem}"
+    );
     let min_unit = s
         .profiles()
         .iter()
@@ -187,7 +239,10 @@ fn table5_shape_matches_the_paper() {
     assert!(mid[0] > 0.6, "mid idle {:.2}", mid[0]);
     // Big mostly idle but with a meaningful flat-out share (paper: 18%).
     assert!(big[0] > 0.6, "big idle {:.2}", big[0]);
-    assert!(big[3] > mid[3] * 0.9, "big reaches the top band at least as much as mid");
+    assert!(
+        big[3] > mid[3] * 0.9,
+        "big reaches the top band at least as much as mid"
+    );
     // Little is the busiest cluster: the least time idle.
     assert!(little[0] < mid[0] && little[0] < big[0], "little busiest");
 }

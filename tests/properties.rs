@@ -6,9 +6,7 @@ use proptest::prelude::*;
 use mwc_analysis::cluster::{hierarchical, kmeans, pam, Clustering, Linkage};
 use mwc_analysis::distance::{euclidean, pairwise_euclidean};
 use mwc_analysis::matrix::Matrix;
-use mwc_analysis::stats::{
-    max_normalize, min_max_normalize, pearson, CorrelationStrength,
-};
+use mwc_analysis::stats::{max_normalize, min_max_normalize, pearson, CorrelationStrength};
 use mwc_analysis::subset::{incremental_distances, runtime_reduction, total_min_euclidean};
 use mwc_analysis::validation::{dunn_index, silhouette_width};
 use mwc_soc::cache::{CacheConfig, CacheHierarchy, MemoryProfile};

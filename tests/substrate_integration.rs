@@ -27,9 +27,15 @@ fn av1_phase_shifts_load_from_aie_to_cpu() {
     let av1_aie = window(&aie, 0.94, 1.0);
     let hw_cpu = window(&cpu, 0.72, 0.90);
     let av1_cpu = window(&cpu, 0.94, 1.0);
-    assert!(hw_aie > 0.18, "hardware decode keeps the AIE busy: {hw_aie}");
+    assert!(
+        hw_aie > 0.18,
+        "hardware decode keeps the AIE busy: {hw_aie}"
+    );
     assert!(av1_aie < 0.1, "AV1 cannot run on the AIE: {av1_aie}");
-    assert!(av1_cpu > 3.0 * hw_cpu, "AV1 software decode loads the CPU: {av1_cpu} vs {hw_cpu}");
+    assert!(
+        av1_cpu > 3.0 * hw_cpu,
+        "AV1 software decode loads the CPU: {av1_cpu} vs {hw_cpu}"
+    );
 }
 
 #[test]
@@ -45,8 +51,14 @@ fn slingshot_physics_spikes_cpu_while_gpu_rests() {
     let gfx_gpu = gpu.values[n / 4..n / 2].iter().sum::<f64>() / (n / 4) as f64;
     let phys_gpu = gpu.values[(n as f64 * 0.87) as usize..].iter().sum::<f64>()
         / (n - (n as f64 * 0.87) as usize) as f64;
-    assert!(phys_cpu > 1.5 * gfx_cpu, "physics raises CPU load: {phys_cpu} vs {gfx_cpu}");
-    assert!(phys_gpu < 0.5 * gfx_gpu, "physics minimizes GPU work: {phys_gpu} vs {gfx_gpu}");
+    assert!(
+        phys_cpu > 1.5 * gfx_cpu,
+        "physics raises CPU load: {phys_cpu} vs {gfx_cpu}"
+    );
+    assert!(
+        phys_gpu < 0.5 * gfx_gpu,
+        "physics minimizes GPU work: {phys_gpu} vs {gfx_gpu}"
+    );
 }
 
 #[test]
@@ -74,7 +86,10 @@ fn gfxbench_api_pairs_differ_only_in_gpu_load() {
     let gl_load = gl_cap.series(SeriesKey::GpuLoad).mean();
     let vk_load = vk_cap.series(SeriesKey::GpuLoad).mean();
     let gap = gl_load / vk_load - 1.0;
-    assert!((0.04..=0.15).contains(&gap), "GL/Vulkan load gap {gap} (paper: +9.26%)");
+    assert!(
+        (0.04..=0.15).contains(&gap),
+        "GL/Vulkan load gap {gap} (paper: +9.26%)"
+    );
     // CPU behaviour is identical between the two.
     let gl_ipc = gl_cap.trace().ipc();
     let vk_ipc = vk_cap.trace().ipc();
@@ -85,9 +100,17 @@ fn gfxbench_api_pairs_differ_only_in_gpu_load() {
 fn offscreen_variants_sustain_higher_gpu_load() {
     let tests = gfxbench::low_level_tests();
     for pair in tests.chunks(2) {
-        let on = capture(&pair[0].workload(20.0), 8).series(SeriesKey::GpuLoad).mean();
-        let off = capture(&pair[1].workload(20.0), 8).series(SeriesKey::GpuLoad).mean();
-        assert!(off > on, "{}: off-screen {off} must exceed on-screen {on}", pair[0].name);
+        let on = capture(&pair[0].workload(20.0), 8)
+            .series(SeriesKey::GpuLoad)
+            .mean();
+        let off = capture(&pair[1].workload(20.0), 8)
+            .series(SeriesKey::GpuLoad)
+            .mean();
+        assert!(
+            off > on,
+            "{}: off-screen {off} must exceed on-screen {on}",
+            pair[0].name
+        );
     }
 }
 
@@ -98,7 +121,10 @@ fn special_tests_have_the_periodic_aie_signature() {
     let aie = cap.series(SeriesKey::AieLoad);
     assert!(aie.max() > 0.6, "PSNR phases spike the AIE");
     assert!(aie.min() < 0.05, "render phases leave it idle");
-    assert!(aie.fraction_above(0.5) > 0.2, "spikes cover the PSNR share of runtime");
+    assert!(
+        aie.fraction_above(0.5) > 0.2,
+        "spikes cover the PSNR share of runtime"
+    );
 }
 
 #[test]
