@@ -32,19 +32,33 @@ pub fn max(xs: &[f64]) -> f64 {
     xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
 }
 
-/// Median (mean of the middle pair for even lengths); 0 for an empty slice.
+/// Median of the finite values (mean of the middle pair for even lengths);
+/// 0 for an empty or all-non-finite slice.
 pub fn median(xs: &[f64]) -> f64 {
-    if xs.is_empty() {
+    let mut sorted: Vec<f64> = xs.iter().copied().filter(|x| x.is_finite()).collect();
+    if sorted.is_empty() {
         return 0.0;
     }
-    let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    sorted.sort_by(f64::total_cmp);
     let n = sorted.len();
     if n % 2 == 1 {
         sorted[n / 2]
     } else {
         (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
     }
+}
+
+/// Median absolute deviation of the finite values — the robust spread
+/// estimate behind the pipeline's quorum outlier rejection; 0 for an empty
+/// or all-non-finite slice.
+pub fn mad(xs: &[f64]) -> f64 {
+    let m = median(xs);
+    let deviations: Vec<f64> = xs
+        .iter()
+        .filter(|x| x.is_finite())
+        .map(|x| (x - m).abs())
+        .collect();
+    median(&deviations)
 }
 
 #[cfg(test)]
@@ -78,5 +92,19 @@ mod tests {
         assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
         assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
         assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn median_ignores_non_finite() {
+        assert_eq!(median(&[3.0, f64::NAN, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[f64::NAN, f64::INFINITY]), 0.0);
+    }
+
+    #[test]
+    fn mad_of_known_values() {
+        // median = 3, |x - 3| = [2, 1, 0, 1, 6] → MAD = 1.
+        assert_eq!(mad(&[1.0, 2.0, 3.0, 4.0, 9.0]), 1.0);
+        assert_eq!(mad(&[5.0, 5.0, 5.0]), 0.0);
+        assert_eq!(mad(&[]), 0.0);
     }
 }

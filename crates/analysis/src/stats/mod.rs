@@ -5,7 +5,7 @@ mod normalize;
 mod pearson;
 mod spearman;
 
-pub use descriptive::{max, mean, median, min, stddev, variance};
+pub use descriptive::{mad, max, mean, median, min, stddev, variance};
 pub use normalize::{max_normalize, min_max_normalize, normalize_columns, NormalizeMode};
 pub use pearson::{correlation_matrix, pearson, CorrelationStrength};
 pub use spearman::{ranks, spearman, spearman_matrix};

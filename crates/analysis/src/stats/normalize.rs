@@ -20,26 +20,39 @@ pub enum NormalizeMode {
     MinMax,
 }
 
-/// Normalize one series by its maximum. Columns whose maximum is 0 (or
-/// negative) are left untouched — there is nothing meaningful to scale by.
+/// Normalize one series by its maximum (taken over the finite values).
+/// Columns whose maximum is 0 (or negative, or absent entirely) are left
+/// untouched — there is nothing meaningful to scale by. Non-finite entries
+/// are imputed to 0 so gaps from degraded captures cannot poison
+/// downstream distance computations. Bit-identical to plain division for
+/// finite input.
 pub fn max_normalize(xs: &[f64]) -> Vec<f64> {
     let m = max(xs);
-    if m <= 0.0 {
-        return xs.to_vec();
+    if !m.is_finite() || m <= 0.0 {
+        return xs
+            .iter()
+            .map(|&x| if x.is_finite() { x } else { 0.0 })
+            .collect();
     }
-    xs.iter().map(|x| x / m).collect()
+    xs.iter()
+        .map(|x| if x.is_finite() { x / m } else { 0.0 })
+        .collect()
 }
 
-/// Min-max normalize one series to `[0, 1]`. A constant series maps to all
-/// zeros.
+/// Min-max normalize one series to `[0, 1]`, bounds taken over the finite
+/// values. A constant (or empty, or all-gap) series maps to all zeros, and
+/// non-finite entries are imputed to 0. Bit-identical to the plain formula
+/// for finite input.
 pub fn min_max_normalize(xs: &[f64]) -> Vec<f64> {
     let lo = min(xs);
     let hi = max(xs);
     let span = hi - lo;
-    if span <= 0.0 {
+    if !span.is_finite() || span <= 0.0 {
         return vec![0.0; xs.len()];
     }
-    xs.iter().map(|x| (x - lo) / span).collect()
+    xs.iter()
+        .map(|x| if x.is_finite() { (x - lo) / span } else { 0.0 })
+        .collect()
 }
 
 /// Normalize every column of a matrix with the given mode.

@@ -29,22 +29,34 @@ impl CorrelationStrength {
     }
 }
 
-/// Pearson correlation coefficient of two equal-length series.
+/// Pearson correlation coefficient, pairwise-complete.
 ///
-/// Returns 0 when either series is constant or shorter than 2 (the
-/// coefficient is undefined there; 0 = "no association" is the conservative
-/// reading the paper's bands imply).
+/// Only index pairs where both values are finite contribute — gaps from
+/// dropped capture ticks are excluded rather than poisoning the
+/// coefficient. Mismatched lengths correlate the common prefix (the
+/// overhang has no pair to correlate with). Returns 0 when fewer than two
+/// complete pairs remain or either side is constant (the coefficient is
+/// undefined there; 0 = "no association" is the conservative reading the
+/// paper's bands imply). Identical to the textbook formula for equal-length
+/// all-finite input.
 pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
-    assert_eq!(xs.len(), ys.len(), "series must have equal length");
-    if xs.len() < 2 {
+    let pairs: Vec<(f64, f64)> = xs
+        .iter()
+        .zip(ys)
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .map(|(&x, &y)| (x, y))
+        .collect();
+    if pairs.len() < 2 {
         return 0.0;
     }
-    let mx = mean(xs);
-    let my = mean(ys);
+    let px: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+    let py: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+    let mx = mean(&px);
+    let my = mean(&py);
     let mut cov = 0.0;
     let mut vx = 0.0;
     let mut vy = 0.0;
-    for (x, y) in xs.iter().zip(ys) {
+    for (x, y) in &pairs {
         let dx = x - mx;
         let dy = y - my;
         cov += dx * dy;
@@ -171,8 +183,27 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "equal length")]
-    fn mismatched_lengths_panic() {
-        pearson(&[1.0], &[1.0, 2.0]);
+    fn mismatched_lengths_use_common_prefix() {
+        let full = pearson(&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0]);
+        let trimmed = pearson(&[1.0, 2.0, 3.0, 99.0], &[10.0, 20.0, 30.0]);
+        assert_eq!(full, trimmed);
+    }
+
+    #[test]
+    fn nan_pairs_are_excluded() {
+        // With the NaN pair removed, the remaining points are perfectly
+        // linear.
+        let xs = [1.0, 2.0, f64::NAN, 4.0];
+        let ys = [10.0, 20.0, 1e6, 40.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        // Gap on either side removes the pair.
+        let ys_gap = [10.0, f64::NAN, 30.0, 40.0];
+        let xs_fin = [1.0, 2.0, 3.0, 4.0];
+        assert!((pearson(&xs_fin, &ys_gap) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_nan_yields_zero() {
+        assert_eq!(pearson(&[f64::NAN, f64::NAN], &[1.0, 2.0]), 0.0);
     }
 }

@@ -8,11 +8,14 @@
 use crate::matrix::Matrix;
 use crate::stats::pearson::pearson;
 
-/// Ranks of a series (average ranks for ties), 1-based.
+/// Ranks of a series (average ranks for ties), 1-based. Non-finite values
+/// sort by IEEE total order (NaN last) rather than panicking; callers that
+/// may see gaps should filter to complete pairs first, as [`spearman`]
+/// does.
 pub fn ranks(xs: &[f64]) -> Vec<f64> {
     let n = xs.len();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("finite values"));
+    order.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
     let mut out = vec![0.0; n];
     let mut i = 0;
     while i < n {
@@ -31,14 +34,20 @@ pub fn ranks(xs: &[f64]) -> Vec<f64> {
     out
 }
 
-/// Spearman rank correlation coefficient of two equal-length series.
+/// Spearman rank correlation coefficient, pairwise-complete.
 ///
 /// Computed as the Pearson correlation of the rank vectors (the definition
-/// that handles ties correctly). Returns 0 for constant or too-short
-/// series, matching [`pearson`].
+/// that handles ties correctly), over the index pairs where both values
+/// are finite. Mismatched lengths use the common prefix. Returns 0 for
+/// constant or too-short input, matching [`pearson`].
 pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
-    assert_eq!(xs.len(), ys.len(), "series must have equal length");
-    pearson(&ranks(xs), &ranks(ys))
+    let (px, py): (Vec<f64>, Vec<f64>) = xs
+        .iter()
+        .zip(ys)
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .map(|(&x, &y)| (x, y))
+        .unzip();
+    pearson(&ranks(&px), &ranks(&py))
 }
 
 /// Pairwise Spearman correlation matrix of the columns of `m`.
@@ -116,8 +125,21 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "equal length")]
-    fn mismatched_lengths_panic() {
-        spearman(&[1.0], &[1.0, 2.0]);
+    fn nan_pairs_are_excluded() {
+        let xs = [1.0, 2.0, f64::NAN, 4.0, 5.0];
+        let ys = [1.0, 8.0, -3.0, 64.0, 125.0];
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mismatched_lengths_use_common_prefix() {
+        assert!((spearman(&[1.0, 2.0, 3.0, 9.0], &[1.0, 4.0, 9.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranks_tolerate_nan() {
+        let r = ranks(&[2.0, f64::NAN, 1.0]);
+        // NaN sorts last under IEEE total order.
+        assert_eq!(r, vec![2.0, 3.0, 1.0]);
     }
 }

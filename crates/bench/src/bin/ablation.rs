@@ -21,6 +21,10 @@ use mwc_soc::sched::PlacementPolicy;
 use mwc_workloads::suites::{gfxbench, threedmark};
 
 fn main() {
+    mwc_bench::run_or_exit(run);
+}
+
+fn run() -> Result<(), mwc_core::PipelineError> {
     mwc_bench::header("Ablation 1: scheduler placement policy vs Observations #7-#9");
     // A fast probe: run the study with one run per unit under each policy
     // is expensive; instead run three representative units and check the
@@ -35,8 +39,7 @@ fn main() {
             7,
             GovernorPolicy::Schedutil,
             policy,
-        )
-        .expect("preset validates");
+        )?;
         let mut profiler = Profiler::new(engine, 7);
         let cap = profiler.capture_runs(&threedmark::wild_life(), 1).remove(0);
         let little = cap
@@ -70,8 +73,7 @@ fn main() {
             7,
             policy,
             PlacementPolicy::EnergyAware,
-        )
-        .expect("preset validates");
+        )?;
         let mut profiler = Profiler::new(engine, 7);
         let cap = profiler.capture_runs(&threedmark::slingshot(), 1).remove(0);
         println!(
@@ -88,13 +90,12 @@ fn main() {
     let uncontended = SocConfig::builder("snapdragon-888-64mb-slc")
         .slc(CacheConfig::new("SLC", 64 * 1024))
         .l3(CacheConfig::new("L3", 64 * 1024))
-        .build()
-        .expect("valid config");
+        .build()?;
     for (label, config) in [
         ("paper platform", baseline),
         ("64 MB shared caches", uncontended),
     ] {
-        let engine = Engine::new(config, 7).expect("config validates");
+        let engine = Engine::new(config, 7)?;
         let mut profiler = Profiler::new(engine, 7);
         let cap = profiler.capture_runs(&gfxbench::gfx_high(), 1).remove(0);
         println!(
@@ -110,4 +111,5 @@ fn main() {
     let study = mwc_bench::study_with(mwc_bench::DEFAULT_SEED, 1);
     let holds = check_all(study).iter().filter(|o| o.holds).count();
     println!("  observations holding under EAS + schedutil: {holds}/9");
+    Ok(())
 }

@@ -8,8 +8,15 @@ use mwc_report::table::{fmt, Table};
 use mwc_workloads::registry::suite_inventory;
 
 fn main() {
+    mwc_bench::run_or_exit(run);
+}
+
+fn run() -> Result<(), mwc_core::PipelineError> {
     let study = mwc_bench::study();
-    let clustering = mwc_bench::clustering();
+    let clustering = mwc_bench::try_clustering()?;
+    if study.report().is_degraded() {
+        eprintln!("warning: degraded study — {}", study.report().summary());
+    }
 
     mwc_bench::header("Table I");
     let mut t = Table::new(vec!["Suite", "Benchmark", "Target"]);
@@ -74,15 +81,15 @@ fn main() {
     print!("{}", tables::table5_text(study));
 
     mwc_bench::header("Figure 4");
-    let sweep = figures::fig4(study).expect("sweep succeeds");
+    let sweep = figures::fig4(study)?;
     for alg in Algorithm::ALL {
         println!(
             "{:<12} best k: Dunn={:?} Sil={:?} APN={:?} AD={:?}",
             alg.name(),
-            sweep.best_k_by_dunn(alg).unwrap(),
-            sweep.best_k_by_silhouette(alg).unwrap(),
-            sweep.best_k_by_apn(alg).unwrap(),
-            sweep.best_k_by_ad(alg).unwrap(),
+            sweep.best_k_by_dunn(alg),
+            sweep.best_k_by_silhouette(alg),
+            sweep.best_k_by_apn(alg),
+            sweep.best_k_by_ad(alg),
         );
     }
 
@@ -113,4 +120,5 @@ fn main() {
             o.statement
         );
     }
+    Ok(())
 }

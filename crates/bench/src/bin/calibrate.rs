@@ -6,6 +6,10 @@ use mwc_core::figures;
 use mwc_core::observations;
 
 fn main() {
+    mwc_bench::run_or_exit(run);
+}
+
+fn run() -> Result<(), mwc_core::PipelineError> {
     let study = mwc_bench::study_with(mwc_bench::DEFAULT_SEED, 1);
     println!("{:<26} {:>10} {:>6} {:>7} {:>7} {:>7} | {:>5} {:>5} {:>5} | {:>5} {:>5} {:>5} {:>5} {:>5} {:>6}",
         "unit","IC(bn)","IPC","cMPKI","bMPKI","run(s)","lit","mid","big","gpu","shad","bus","aie","mem","store");
@@ -27,13 +31,12 @@ fn main() {
     let truth = Clustering::new(
         study.profiles().iter().map(|p| p.label as usize).collect(),
         5,
-    )
-    .unwrap();
+    )?;
     let m = clustering_matrix(study);
     for (name, c) in [
-        ("kmeans", mwc_analysis::cluster::kmeans(&m, 5, 42).unwrap()),
-        ("pam", mwc_analysis::cluster::pam(&m, 5, 42).unwrap()),
-        ("hier", figures::fig5(study).unwrap().cut(5).unwrap()),
+        ("kmeans", mwc_analysis::cluster::kmeans(&m, 5, 42)?),
+        ("pam", mwc_analysis::cluster::pam(&m, 5, 42)?),
+        ("hier", figures::fig5(study)?.cut(5)?),
     ] {
         println!(
             "{name}: matches ground truth = {}",
@@ -49,7 +52,7 @@ fn main() {
         }
     }
     println!("\nvalidation sweep:");
-    let sweep = figures::fig4(study).unwrap();
+    let sweep = figures::fig4(study)?;
     for alg in mwc_analysis::validation::Algorithm::ALL {
         println!(
             "{:<12} dunn_best={:?} sil_best={:?} apn_best={:?} ad_best={:?}",
@@ -67,9 +70,9 @@ fn main() {
         }
     }
     println!("\nhier partitions at k=6..8:");
-    let dendro = figures::fig5(study).unwrap();
+    let dendro = figures::fig5(study)?;
     for k in [6usize, 7, 8] {
-        let c = dendro.cut(k).unwrap();
+        let c = dendro.cut(k)?;
         println!(" k={k}:");
         for (i, grp) in c.members().iter().enumerate() {
             let names: Vec<&str> = grp
@@ -124,4 +127,5 @@ fn main() {
     for o in observations::check_all(study) {
         println!("#{} holds={} — {}", o.id, o.holds, o.evidence);
     }
+    Ok(())
 }

@@ -31,12 +31,14 @@ fn matrix_csv(row_names: &[&str], col_names: &[&str], m: &mwc_analysis::matrix::
 }
 
 fn main() {
-    let dir = PathBuf::from(
-        std::env::args()
-            .nth(1)
-            .unwrap_or_else(|| "study-export".to_owned()),
-    );
-    fs::create_dir_all(&dir).expect("create output directory");
+    mwc_bench::run_or_exit(run);
+}
+
+fn run() -> Result<(), mwc_core::PipelineError> {
+    let dir = std::env::args()
+        .nth(1)
+        .map_or_else(|| PathBuf::from("study-export"), PathBuf::from);
+    fs::create_dir_all(&dir)?;
 
     let study = mwc_bench::study();
     let names = study.names();
@@ -45,22 +47,19 @@ fn main() {
     fs::write(
         dir.join("fig1_metrics.csv"),
         matrix_csv(&names, &FIG1_METRICS, &fig1_matrix(study)),
-    )
-    .expect("write fig1_metrics.csv");
+    )?;
 
     // 2. Normalized clustering features.
     fs::write(
         dir.join("clustering_features.csv"),
         matrix_csv(&names, &CLUSTERING_FEATURES, &clustering_matrix(study)),
-    )
-    .expect("write clustering_features.csv");
+    )?;
 
     // 3. Correlation matrices.
     fs::write(
         dir.join("table3_pearson.csv"),
         matrix_csv(&FIG1_METRICS, &FIG1_METRICS, &table3_matrix(study)),
-    )
-    .expect("write table3_pearson.csv");
+    )?;
     fs::write(
         dir.join("table3_spearman.csv"),
         matrix_csv(
@@ -68,8 +67,7 @@ fn main() {
             &FIG1_METRICS,
             &spearman_matrix(&fig1_matrix(study)),
         ),
-    )
-    .expect("write table3_spearman.csv");
+    )?;
 
     // 4. Per-unit time series (the Figure-2 inputs).
     for p in study.profiles() {
@@ -98,7 +96,7 @@ fn main() {
                 s.memory_fraction.values[i],
             ));
         }
-        fs::write(dir.join(format!("series_{slug}.csv")), csv).expect("write series csv");
+        fs::write(dir.join(format!("series_{slug}.csv")), csv)?;
     }
 
     println!(
@@ -106,4 +104,5 @@ fn main() {
         4 + study.profiles().len(),
         dir.display()
     );
+    Ok(())
 }

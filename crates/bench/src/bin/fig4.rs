@@ -3,10 +3,14 @@ use mwc_analysis::validation::Algorithm;
 use mwc_report::table::{fmt, Table};
 
 fn main() {
+    mwc_bench::run_or_exit(run);
+}
+
+fn run() -> Result<(), mwc_core::PipelineError> {
     mwc_bench::header(
         "Figure 4: Cluster-count validation (Dunn/Silhouette higher better; APN/AD lower better)",
     );
-    let sweep = mwc_core::figures::fig4(mwc_bench::study()).expect("sweep succeeds");
+    let sweep = mwc_core::figures::fig4(mwc_bench::study())?;
     for alg in Algorithm::ALL {
         println!("{}:", alg.name());
         let mut t = Table::new(vec!["k", "Dunn", "Silhouette", "APN", "AD"]);
@@ -22,10 +26,10 @@ fn main() {
         print!("{}", t.render());
         println!(
             "best k: Dunn={:?} Silhouette={:?} APN={:?} AD={:?}\n",
-            sweep.best_k_by_dunn(alg).unwrap(),
-            sweep.best_k_by_silhouette(alg).unwrap(),
-            sweep.best_k_by_apn(alg).unwrap(),
-            sweep.best_k_by_ad(alg).unwrap(),
+            sweep.best_k_by_dunn(alg),
+            sweep.best_k_by_silhouette(alg),
+            sweep.best_k_by_apn(alg),
+            sweep.best_k_by_ad(alg),
         );
     }
     println!("Paper: internal measures pick k = 5 for every algorithm; APN ties toward low k; AD prefers high k.");
@@ -51,4 +55,5 @@ Silhouette width vs k (higher is better):"
         .collect();
     print!("{}", mwc_report::chart::line_chart(&series, 10));
     println!("{:>10} x axis: k = 2..6", "");
+    Ok(())
 }

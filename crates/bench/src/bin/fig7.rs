@@ -3,9 +3,13 @@
 use mwc_core::subsets::{naive_subset, select_plus_gpu_subset, select_subset};
 
 fn main() {
+    mwc_bench::run_or_exit(run);
+}
+
+fn run() -> Result<(), mwc_core::PipelineError> {
     mwc_bench::header("Figure 7: Total minimum Euclidean distance vs subset size");
     let study = mwc_bench::study();
-    let clustering = mwc_bench::clustering();
+    let clustering = mwc_bench::try_clustering()?;
     let naive = naive_subset(study, &clustering);
     let select = select_subset(study);
     let plus = select_plus_gpu_subset(study);
@@ -51,4 +55,5 @@ Total minimum Euclidean distance vs benchmarks added:"
         .collect();
     print!("{}", mwc_report::chart::line_chart(&series, 12));
     println!("{:>10} x axis: subset size 1..18", "");
+    Ok(())
 }

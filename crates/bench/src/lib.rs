@@ -17,6 +17,7 @@ use std::sync::{Mutex, OnceLock};
 
 use mwc_analysis::cluster::Clustering;
 use mwc_core::pipeline::Characterization;
+use mwc_core::PipelineError;
 use mwc_soc::config::SocConfig;
 
 /// Seed of the paper's default study protocol.
@@ -49,9 +50,26 @@ pub fn study_with(seed: u64, runs: usize) -> &'static Characterization {
 
 /// The k = 5 clustering used by the subsetting analyses (k-means on the
 /// normalized feature matrix; PAM and hierarchical clustering produce the
-/// identical partition — see the `fig5`/`fig6` binaries).
+/// identical partition — see the `fig5`/`fig6` binaries). Propagates a
+/// typed error instead of panicking when the feature matrix degenerates
+/// (e.g. a heavily degraded study).
+pub fn try_clustering() -> Result<Clustering, PipelineError> {
+    mwc_core::figures::fig6(study()).map_err(PipelineError::from)
+}
+
+/// Infallible wrapper around [`try_clustering`] kept for benches and tests
+/// on the known-good default study.
 pub fn clustering() -> Clustering {
-    mwc_core::figures::fig6(study()).expect("18 units cluster into 5 groups")
+    try_clustering().expect("18 units cluster into 5 groups")
+}
+
+/// Run a fallible binary body, printing the diagnostic and exiting
+/// nonzero on error instead of unwinding through a panic backtrace.
+pub fn run_or_exit(f: impl FnOnce() -> Result<(), PipelineError>) {
+    if let Err(e) = f() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
 }
 
 /// Print a section header in the style used by all binaries.

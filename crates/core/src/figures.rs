@@ -246,13 +246,13 @@ mod tests {
 
     #[test]
     fn fig5_dendrogram_has_17_merges() {
-        let d = fig5(&study()).unwrap();
+        let d = fig5(&study()).expect("fig5 on a full study");
         assert_eq!(d.merges().len(), 17);
     }
 
     #[test]
     fn fig6_produces_five_clusters() {
-        let c = fig6(&study()).unwrap();
+        let c = fig6(&study()).expect("fig6 on a full study");
         assert_eq!(c.k(), 5);
         assert_eq!(c.len(), 18);
     }
@@ -267,6 +267,6 @@ mod tests {
         for w in curve.windows(2) {
             assert!(w[1] <= w[0] + 1e-9);
         }
-        assert!(curve.last().unwrap().abs() < 1e-9);
+        assert!(curve.last().expect("non-empty curve").abs() < 1e-9);
     }
 }

@@ -32,6 +32,7 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod error;
 pub mod features;
 pub mod figures;
 pub mod observations;
@@ -39,4 +40,5 @@ pub mod pipeline;
 pub mod subsets;
 pub mod tables;
 
-pub use pipeline::{Characterization, UnitProfile};
+pub use error::PipelineError;
+pub use pipeline::{Characterization, DegradationReport, UnitProfile};

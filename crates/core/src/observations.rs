@@ -50,14 +50,28 @@ fn high_fraction(series: &mwc_profiler::timeseries::TimeSeries) -> f64 {
     series.fraction_above(0.5)
 }
 
+/// Verdict when a unit an observation needs was excluded from a degraded
+/// study: the claim can be neither confirmed nor refuted.
+fn inconclusive(id: u8, statement: &'static str, missing: &str) -> ObservationResult {
+    ObservationResult {
+        id,
+        statement,
+        holds: false,
+        evidence: format!("inconclusive: unit '{missing}' was excluded from this study"),
+    }
+}
+
 /// Observation #1: benchmarks with multi-core components show high CPU
 /// load levels — the multi-core halves of Geekbench CPU spike well above
 /// the ~30%-load single-core halves.
 fn obs1(study: &Characterization) -> ObservationResult {
+    const STATEMENT: &str = "Multi-core/multi-threaded components show high CPU load levels";
     let mut evidence = String::new();
     let mut holds = true;
     for name in ["Geekbench 5 CPU", "Geekbench 6 CPU"] {
-        let p = study.profile(name).expect("known unit");
+        let Some(p) = study.profile(name) else {
+            return inconclusive(1, STATEMENT, name);
+        };
         let values = &p.series.cpu_load.values;
         let half = values.len() / 2;
         let single: f64 = values[..half].iter().sum::<f64>() / half as f64;
@@ -69,7 +83,9 @@ fn obs1(study: &Characterization) -> ObservationResult {
         ));
     }
     // Antutu CPU's GEMM uptick at the start.
-    let antutu = study.profile("Antutu CPU").expect("known unit");
+    let Some(antutu) = study.profile("Antutu CPU") else {
+        return inconclusive(1, STATEMENT, "Antutu CPU");
+    };
     let v = &antutu.series.cpu_load.values;
     let head = &v[..v.len() / 8];
     let gemm: f64 = head.iter().sum::<f64>() / head.len() as f64;
@@ -80,7 +96,7 @@ fn obs1(study: &Characterization) -> ObservationResult {
     ));
     ObservationResult {
         id: 1,
-        statement: "Multi-core/multi-threaded components show high CPU load levels",
+        statement: STATEMENT,
         holds,
         evidence,
     }
@@ -123,11 +139,14 @@ fn obs2() -> ObservationResult {
 /// Observation #3: GPU shader use is not limited to graphics benchmarks —
 /// PCMark Work sustains periods with most shaders busy.
 fn obs3(study: &Characterization) -> ObservationResult {
-    let work = study.profile("PCMark Work").expect("known unit");
+    const STATEMENT: &str = "GPU resources are not used exclusively by GPU-related benchmarks";
+    let Some(work) = study.profile("PCMark Work") else {
+        return inconclusive(3, STATEMENT, "PCMark Work");
+    };
     let sustained = high_fraction(&work.series.shaders_busy);
     ObservationResult {
         id: 3,
-        statement: "GPU resources are not used exclusively by GPU-related benchmarks",
+        statement: STATEMENT,
         holds: sustained > 0.25,
         evidence: format!(
             "PCMark Work keeps >50% of shaders busy for {:.0}% of its runtime",
@@ -140,7 +159,10 @@ fn obs3(study: &Characterization) -> ObservationResult {
 /// intensive — Antutu GPU's CPU-load spikes fall outside Swordsman (the
 /// newest scene), and Swordsman has the lowest scene CPU load.
 fn obs4(study: &Characterization) -> ObservationResult {
-    let p = study.profile("Antutu GPU").expect("known unit");
+    const STATEMENT: &str = "Newer benchmarks are not always more computationally intensive";
+    let Some(p) = study.profile("Antutu GPU") else {
+        return inconclusive(4, STATEMENT, "Antutu GPU");
+    };
     let v = &p.series.cpu_load.values;
     let n = v.len();
     let mean_of = |a: f64, b: f64| -> f64 {
@@ -156,7 +178,7 @@ fn obs4(study: &Characterization) -> ObservationResult {
     let holds = swordsman < refinery && refinery < terracotta;
     ObservationResult {
         id: 4,
-        statement: "Newer benchmarks are not always more computationally intensive",
+        statement: STATEMENT,
         holds,
         evidence: format!(
             "Antutu GPU CPU load: Swordsman {swordsman:.2}, Refinery {refinery:.2}, \
@@ -174,17 +196,14 @@ fn obs5(study: &Characterization) -> ObservationResult {
         .map(|p| p.series.aie_load.mean())
         .sum::<f64>()
         / study.profiles().len() as f64;
-    let strongest = study
-        .profiles()
-        .iter()
-        .max_by(|a, b| {
-            a.series
-                .aie_load
-                .mean()
-                .partial_cmp(&b.series.aie_load.mean())
-                .expect("finite loads")
-        })
-        .expect("non-empty study");
+    let Some(strongest) = study.profiles().iter().max_by(|a, b| {
+        a.series
+            .aie_load
+            .mean()
+            .total_cmp(&b.series.aie_load.mean())
+    }) else {
+        return inconclusive(5, "Benchmarks make little use of AIE", "any");
+    };
     let holds = mean_aie < 0.12 && mean_aie > 0.005;
     ObservationResult {
         id: 5,
@@ -210,32 +229,26 @@ fn obs6(study: &Characterization) -> ObservationResult {
         .map(|p| p.metrics.memory_used_fraction)
         .sum::<f64>()
         / study.profiles().len() as f64;
-    let peak_unit = study
-        .profiles()
-        .iter()
-        .max_by(|a, b| {
-            a.metrics
-                .memory_peak_mib
-                .partial_cmp(&b.metrics.memory_peak_mib)
-                .expect("finite peaks")
-        })
-        .expect("non-empty study");
-    let max_avg_unit = study
-        .profiles()
-        .iter()
-        .max_by(|a, b| {
-            a.metrics
-                .memory_used_fraction
-                .partial_cmp(&b.metrics.memory_used_fraction)
-                .expect("finite fractions")
-        })
-        .expect("non-empty study");
+    const STATEMENT: &str = "The memory footprint of benchmarks is moderate";
+    let peak_unit = study.profiles().iter().max_by(|a, b| {
+        a.metrics
+            .memory_peak_mib
+            .total_cmp(&b.metrics.memory_peak_mib)
+    });
+    let max_avg_unit = study.profiles().iter().max_by(|a, b| {
+        a.metrics
+            .memory_used_fraction
+            .total_cmp(&b.metrics.memory_used_fraction)
+    });
+    let (Some(peak_unit), Some(max_avg_unit)) = (peak_unit, max_avg_unit) else {
+        return inconclusive(6, STATEMENT, "any");
+    };
     let holds = (0.12..=0.32).contains(&mean_frac)
         && peak_unit.name == "Antutu GPU"
         && max_avg_unit.name == "3DMark Wild Life Extreme";
     ObservationResult {
         id: 6,
-        statement: "The memory footprint of benchmarks is moderate",
+        statement: STATEMENT,
         holds,
         evidence: format!(
             "mean usage {:.1}% (paper: 21.6%); peak {:.2} GiB in {} (paper: 4.3 GB, Antutu GPU); \

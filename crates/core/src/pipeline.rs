@@ -1,12 +1,17 @@
 //! The characterization pipeline: run all units, average runs, collect
-//! profiles.
+//! profiles — and, when a fault model is active, retry flaky captures,
+//! quorum-merge surviving runs, and degrade gracefully instead of
+//! aborting.
 
-use mwc_profiler::capture::{Profiler, SeriesKey, PAPER_RUNS};
+use mwc_profiler::capture::{Profiler, SeriesKey, SeriesMap, PAPER_RUNS};
 use mwc_profiler::derive::BenchmarkMetrics;
+use mwc_profiler::faults::{CaptureError, CaptureHealth, FaultConfig};
 use mwc_profiler::timeseries::TimeSeries;
 use mwc_soc::config::{ClusterKind, SocConfig};
 use mwc_soc::engine::Engine;
 use mwc_workloads::registry::{all_units, BenchmarkUnit, ClusterLabel, Suite};
+
+use crate::error::PipelineError;
 
 /// The per-unit time series the temporal and heterogeneity analyses use.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,7 +43,7 @@ pub struct UnitSeries {
 }
 
 /// The profile of one characterization unit: averaged metrics plus the
-/// averaged time series.
+/// averaged time series and a record of what the capture cost.
 #[derive(Debug, Clone, PartialEq)]
 pub struct UnitProfile {
     /// Unit name as the paper's figures label it.
@@ -47,16 +52,69 @@ pub struct UnitProfile {
     pub suite: Suite,
     /// Ground-truth behavioural family (colour group in Figure 1).
     pub label: ClusterLabel,
-    /// Aggregate metrics averaged over the runs.
+    /// Aggregate metrics averaged (or quorum-merged) over the runs.
     pub metrics: BenchmarkMetrics,
     /// Run-averaged time series.
     pub series: UnitSeries,
+    /// What the retry/quorum machinery had to do for this unit.
+    pub health: CaptureHealth,
 }
 
-/// The full study: one profile per characterization unit.
+/// One unit the study had to give up on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailedUnit {
+    /// Unit name as the paper's figures label it.
+    pub name: String,
+    /// Rendered capture error.
+    pub error: String,
+}
+
+/// Pipeline-level degradation report: which units survived, which were
+/// excluded, and how much the capture layer had to intervene.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DegradationReport {
+    /// Units the study requested.
+    pub units_requested: usize,
+    /// Units whose every capture attempt failed; excluded from analysis.
+    pub failed_units: Vec<FailedUnit>,
+}
+
+impl DegradationReport {
+    /// Units that produced a usable profile.
+    pub fn units_profiled(&self) -> usize {
+        self.units_requested - self.failed_units.len()
+    }
+
+    /// Whether any unit had to be excluded.
+    pub fn is_degraded(&self) -> bool {
+        !self.failed_units.is_empty()
+    }
+
+    /// One-line human summary ("18/18 units profiled" or worse).
+    pub fn summary(&self) -> String {
+        if !self.is_degraded() {
+            return format!(
+                "{}/{} units profiled",
+                self.units_profiled(),
+                self.units_requested
+            );
+        }
+        let names: Vec<&str> = self.failed_units.iter().map(|f| f.name.as_str()).collect();
+        format!(
+            "{}/{} units profiled (excluded: {})",
+            self.units_profiled(),
+            self.units_requested,
+            names.join(", ")
+        )
+    }
+}
+
+/// The full study: one profile per characterization unit that survived,
+/// plus a degradation report for the ones that did not.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Characterization {
     profiles: Vec<UnitProfile>,
+    report: DegradationReport,
 }
 
 impl Characterization {
@@ -79,31 +137,96 @@ impl Characterization {
     /// # Panics
     /// Panics if the configuration fails validation — configurations are
     /// produced by [`SocConfig::builder`] which validates on `build`, so an
-    /// invalid one reaching this point is a programming error.
+    /// invalid one reaching this point is a programming error. Use
+    /// [`Characterization::try_run_with`] to handle the error instead.
     pub fn run(config: SocConfig, seed: u64, runs: usize) -> Self {
         Characterization::run_with_threads(config, seed, runs, mwc_parallel::configured_threads())
     }
 
     /// [`Characterization::run`] with an explicit worker count
     /// (`threads <= 1` runs serially on the calling thread).
+    ///
+    /// # Panics
+    /// As [`Characterization::run`].
     pub fn run_with_threads(config: SocConfig, seed: u64, runs: usize, threads: usize) -> Self {
+        Characterization::try_run_with(config, seed, runs, threads, &FaultConfig::default())
+            .expect("fault-free study on a validated configuration cannot fail")
+    }
+
+    /// Run the study under a fault model. Failed or truncated runs are
+    /// retried with fresh derived seeds (bounded by `faults.max_attempts`),
+    /// surviving runs are quorum-merged (median with MAD outlier
+    /// rejection), and units whose every attempt fails are excluded and
+    /// listed in the [`DegradationReport`] rather than aborting the study.
+    ///
+    /// With [`FaultConfig::default`] (faults off) the result is
+    /// bit-identical to [`Characterization::run`] for any worker count.
+    pub fn try_run_with(
+        config: SocConfig,
+        seed: u64,
+        runs: usize,
+        threads: usize,
+        faults: &FaultConfig,
+    ) -> Result<Self, PipelineError> {
+        faults.validate()?;
+        // Validate the platform once up front, so worker-side engine
+        // construction below is infallible.
+        Engine::new(config.clone(), seed)?;
         let units = all_units();
-        let profiles = mwc_parallel::ordered_map_with(
+        let results = mwc_parallel::ordered_map_with(
             &units,
             threads,
             || {
                 let engine =
-                    Engine::new(config.clone(), seed).expect("validated SoC configuration");
+                    Engine::new(config.clone(), seed).expect("configuration validated above");
                 Profiler::new(engine, seed)
             },
-            |profiler, unit, unit_index| profile_unit(profiler, unit, unit_index, runs),
+            |profiler, unit, unit_index| profile_unit(profiler, unit, unit_index, runs, faults),
         );
-        Characterization { profiles }
+
+        let units_requested = units.len();
+        let mut profiles = Vec::with_capacity(units_requested);
+        let mut failed_units = Vec::new();
+        for (unit, result) in units.iter().zip(results) {
+            match result {
+                Ok(profile) => profiles.push(profile),
+                Err(e) => failed_units.push(FailedUnit {
+                    name: unit.name.to_owned(),
+                    error: e.to_string(),
+                }),
+            }
+        }
+        if profiles.is_empty() {
+            return Err(PipelineError::StudyEmpty {
+                requested: units_requested,
+            });
+        }
+        Ok(Characterization {
+            profiles,
+            report: DegradationReport {
+                units_requested,
+                failed_units,
+            },
+        })
     }
 
-    /// The unit profiles, in the paper's fixed order.
+    /// The unit profiles, in the paper's fixed order (failed units are
+    /// absent — consult [`Characterization::report`]).
     pub fn profiles(&self) -> &[UnitProfile] {
         &self.profiles
+    }
+
+    /// The degradation report: units requested vs. profiled and why.
+    pub fn report(&self) -> &DegradationReport {
+        &self.report
+    }
+
+    /// Per-unit capture-health summaries, in profile order.
+    pub fn health_report(&self) -> Vec<(String, String)> {
+        self.profiles
+            .iter()
+            .map(|p| (p.name.clone(), p.health.summary()))
+            .collect()
     }
 
     /// Find a profile by unit name.
@@ -125,21 +248,37 @@ impl Characterization {
     }
 }
 
-/// Profile one unit: capture its runs on the worker's engine and average
-/// metrics and series across them. A pure function of
-/// `(profiler seed/config, unit, unit_index, runs)`, which is what makes
-/// the parallel fan-out reproducible.
+/// Profile one unit: capture its runs on the worker's engine (retrying
+/// under the fault model) and merge metrics and series across them. A pure
+/// function of `(profiler seed/config, unit, unit_index, runs, faults)`,
+/// which is what makes the parallel fan-out reproducible.
 fn profile_unit(
     profiler: &mut Profiler,
     unit: &BenchmarkUnit,
     unit_index: usize,
     runs: usize,
-) -> UnitProfile {
-    let captures = profiler.capture_unit_runs(&unit.workload, unit_index, runs);
-    let metrics = BenchmarkMetrics::from_captures(&captures);
+    faults: &FaultConfig,
+) -> Result<UnitProfile, CaptureError> {
+    let (captures, mut health) =
+        profiler.capture_unit_runs_resilient(&unit.workload, unit_index, runs, faults)?;
+    let maps: Vec<SeriesMap> = captures.iter().map(|c| c.series_map()).collect();
+    let metrics = if faults.enabled() {
+        let (metrics, outliers) = BenchmarkMetrics::robust_from_series_maps(&maps);
+        health.outliers_rejected = outliers;
+        metrics
+    } else {
+        BenchmarkMetrics::from_series_maps(&maps)
+    };
     let avg = |key: SeriesKey| {
-        let series: Vec<TimeSeries> = captures.iter().map(|c| c.series(key)).collect();
-        TimeSeries::average(&series)
+        let series: Vec<TimeSeries> = maps.iter().map(|m| m.get(key).clone()).collect();
+        let averaged = TimeSeries::average(&series);
+        if faults.enabled() {
+            // Ticks every surviving run dropped stay NaN after averaging;
+            // bridge them so the temporal analyses see a gapless series.
+            averaged.interpolate_gaps()
+        } else {
+            averaged
+        }
     };
     let series = UnitSeries {
         cpu_load: avg(SeriesKey::CpuLoad),
@@ -155,13 +294,14 @@ fn profile_unit(
         ipc: avg(SeriesKey::Ipc),
         storage_busy: avg(SeriesKey::StorageBusy),
     };
-    UnitProfile {
+    Ok(UnitProfile {
         name: unit.name.to_owned(),
         suite: unit.suite,
         label: unit.label,
         metrics,
         series,
-    }
+        health,
+    })
 }
 
 #[cfg(test)]
@@ -181,6 +321,8 @@ mod tests {
         assert!(study.profile("Antutu Mem").is_some());
         assert!(study.profile("GFXBench Special").is_some());
         assert!(study.profile("nonexistent").is_none());
+        assert!(!study.report().is_degraded());
+        assert_eq!(study.report().summary(), "18/18 units profiled");
     }
 
     #[test]
@@ -196,13 +338,14 @@ mod tests {
         for p in study.profiles() {
             assert!(p.metrics.instruction_count > 0.0, "{}", p.name);
             assert!(p.metrics.ipc > 0.0, "{}", p.name);
+            assert!(p.health.is_clean(), "{}", p.name);
         }
     }
 
     #[test]
     fn series_span_the_runtime() {
         let study = quick_study();
-        let p = study.profile("3DMark Wild Life").unwrap();
+        let p = study.profile("3DMark Wild Life").expect("known unit");
         assert!((p.series.cpu_load.duration_seconds() - 65.0).abs() < 0.2);
         assert_eq!(p.series.cpu_load.len(), p.series.gpu_load.len());
     }
@@ -219,5 +362,51 @@ mod tests {
         let serial = Characterization::run_with_threads(SocConfig::snapdragon_888(), 9, 1, 1);
         let parallel = Characterization::run_with_threads(SocConfig::snapdragon_888(), 9, 1, 4);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn faulty_study_is_deterministic_across_thread_counts() {
+        let faults = FaultConfig {
+            seed: 11,
+            dropout_rate: 0.05,
+            truncation_rate: 0.1,
+            ..FaultConfig::default()
+        };
+        let serial = Characterization::try_run_with(SocConfig::snapdragon_888(), 9, 1, 1, &faults)
+            .expect("faulty study still completes");
+        let parallel =
+            Characterization::try_run_with(SocConfig::snapdragon_888(), 9, 1, 4, &faults)
+                .expect("faulty study still completes");
+        // Metric aggregates are NaN-free after the robust merge, so direct
+        // equality is meaningful.
+        assert_eq!(serial.names(), parallel.names());
+        for (a, b) in serial.profiles().iter().zip(parallel.profiles()) {
+            assert_eq!(a.metrics, b.metrics, "{}", a.name);
+            assert_eq!(a.health, b.health, "{}", a.name);
+        }
+    }
+
+    #[test]
+    fn all_runs_failing_yields_study_empty() {
+        let faults = FaultConfig {
+            seed: 3,
+            run_failure_rate: 1.0,
+            max_attempts: 2,
+            ..FaultConfig::default()
+        };
+        let err = Characterization::try_run_with(SocConfig::snapdragon_888(), 9, 1, 2, &faults)
+            .expect_err("study must fail");
+        assert!(matches!(err, PipelineError::StudyEmpty { requested: 18 }));
+    }
+
+    #[test]
+    fn invalid_fault_config_is_rejected() {
+        let faults = FaultConfig {
+            dropout_rate: 2.0,
+            ..FaultConfig::default()
+        };
+        let err = Characterization::try_run_with(SocConfig::snapdragon_888(), 9, 1, 1, &faults)
+            .expect_err("study must fail");
+        assert!(matches!(err, PipelineError::Capture(_)));
     }
 }

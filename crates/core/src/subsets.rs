@@ -99,16 +99,13 @@ impl Subset {
     }
 }
 
+/// Resolve unit names to profile indices. Units absent from the study
+/// (excluded by the degradation report of a faulty run) are skipped: the
+/// subset degrades alongside the study instead of panicking.
 fn indices_of(study: &Characterization, names: &[&str]) -> Vec<usize> {
     names
         .iter()
-        .map(|name| {
-            study
-                .profiles()
-                .iter()
-                .position(|p| p.name == *name)
-                .unwrap_or_else(|| panic!("unknown unit '{name}'"))
-        })
+        .filter_map(|name| study.profiles().iter().position(|p| p.name == *name))
         .collect()
 }
 
@@ -120,8 +117,7 @@ pub fn naive_subset(study: &Characterization, clustering: &Clustering) -> Subset
         study.profiles()[a]
             .metrics
             .runtime_seconds
-            .partial_cmp(&study.profiles()[b].metrics.runtime_seconds)
-            .expect("finite runtimes")
+            .total_cmp(&study.profiles()[b].metrics.runtime_seconds)
     });
     Subset {
         kind: SubsetKind::Naive,
@@ -190,7 +186,7 @@ mod tests {
         let s = study();
         // Ground-truth labels as a clustering.
         let labels: Vec<usize> = s.profiles().iter().map(|p| p.label as usize).collect();
-        let clustering = Clustering::new(labels, 5).unwrap();
+        let clustering = Clustering::new(labels, 5).expect("18 labels, 5 clusters");
         let naive = naive_subset(&s, &clustering);
         let names = naive.names(&s);
         assert_eq!(names.len(), 5);

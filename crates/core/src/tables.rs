@@ -137,7 +137,7 @@ mod tests {
 
     fn ground_truth(study: &Characterization) -> Clustering {
         let labels: Vec<usize> = study.profiles().iter().map(|p| p.label as usize).collect();
-        Clustering::new(labels, 5).unwrap()
+        Clustering::new(labels, 5).expect("18 labels, 5 clusters")
     }
 
     #[test]

@@ -56,7 +56,7 @@ mod tests {
     fn baseline_matches_configured_os_memory() {
         let config = SocConfig::snapdragon_888();
         let os_mib = config.memory.os_baseline_mib;
-        let mut engine = Engine::new(config, 0).unwrap();
+        let mut engine = Engine::new(config, 0).expect("valid preset");
         let b = IdleBaseline::measure(&mut engine, 5.0);
         assert!((b.memory_mib - os_mib).abs() < 1.0, "got {}", b.memory_mib);
     }
@@ -64,7 +64,7 @@ mod tests {
     #[test]
     fn subtraction_isolates_workload_memory() {
         let config = SocConfig::snapdragon_888();
-        let mut engine = Engine::new(config, 0).unwrap();
+        let mut engine = Engine::new(config, 0).expect("valid preset");
         let baseline = IdleBaseline::measure(&mut engine, 2.0);
 
         let mut d = Demand::idle();

@@ -1,15 +1,18 @@
 //! Capture sessions: run workloads on an engine and extract named series.
 
+use std::collections::HashMap;
+
 use mwc_soc::config::ClusterKind;
 use mwc_soc::counters::{TickSample, Trace};
 use mwc_soc::engine::Engine;
 use mwc_soc::workload::Workload;
 
+use crate::faults::{attempt_seed, CaptureError, CaptureHealth, FaultConfig, FaultPlan};
 use crate::timeseries::TimeSeries;
 
 /// The named series the analysis consumes (the six metrics of Table IV
 /// plus the Figure-1 ingredients and a few extras).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SeriesKey {
     /// Mean CPU load across all clusters (Table IV: frequency × utilization).
     CpuLoad,
@@ -46,8 +49,37 @@ pub enum SeriesKey {
 }
 
 impl SeriesKey {
-    /// Extract this metric from one counter sample.
+    /// Every series the analysis consumes, cluster variants expanded.
+    pub const ALL: [SeriesKey; 20] = [
+        SeriesKey::CpuLoad,
+        SeriesKey::ClusterLoad(ClusterKind::Little),
+        SeriesKey::ClusterLoad(ClusterKind::Mid),
+        SeriesKey::ClusterLoad(ClusterKind::Big),
+        SeriesKey::ClusterUtilization(ClusterKind::Little),
+        SeriesKey::ClusterUtilization(ClusterKind::Mid),
+        SeriesKey::ClusterUtilization(ClusterKind::Big),
+        SeriesKey::GpuLoad,
+        SeriesKey::GpuShadersBusy,
+        SeriesKey::GpuBusBusy,
+        SeriesKey::AieLoad,
+        SeriesKey::MemoryUsedFraction,
+        SeriesKey::MemoryUsedMib,
+        SeriesKey::MemoryBandwidth,
+        SeriesKey::StorageBusy,
+        SeriesKey::Ipc,
+        SeriesKey::CacheMpki,
+        SeriesKey::BranchMpki,
+        SeriesKey::Instructions,
+        SeriesKey::GpuL1TextureMisses,
+    ];
+
+    /// Extract this metric from one counter sample. A dropped sample (lost
+    /// capture row) extracts as NaN for every key, so gaps propagate into
+    /// the series instead of masquerading as zeros.
     fn extract(self, s: &TickSample) -> f64 {
+        if s.is_dropped() {
+            return f64::NAN;
+        }
         match self {
             SeriesKey::CpuLoad => {
                 if s.clusters.is_empty() {
@@ -60,14 +92,12 @@ impl SeriesKey {
                 .clusters
                 .iter()
                 .find(|c| c.kind == kind)
-                .map(|c| c.load)
-                .unwrap_or(0.0),
+                .map_or(0.0, |c| c.load),
             SeriesKey::ClusterUtilization(kind) => s
                 .clusters
                 .iter()
                 .find(|c| c.kind == kind)
-                .map(|c| c.utilization)
-                .unwrap_or(0.0),
+                .map_or(0.0, |c| c.utilization),
             SeriesKey::GpuLoad => s.gpu_load,
             SeriesKey::GpuShadersBusy => s.gpu_shaders_busy,
             SeriesKey::GpuBusBusy => s.gpu_bus_busy,
@@ -165,6 +195,90 @@ impl Capture {
         let values = self.trace.samples.iter().map(|s| key.extract(s)).collect();
         TimeSeries::new(self.trace.tick_seconds, values)
     }
+
+    /// Extract every series in [`SeriesKey::ALL`] in one pass over the
+    /// trace. Metric derivation needs a dozen-plus series per capture;
+    /// extracting them together avoids re-walking the samples per key.
+    pub fn series_map(&self) -> SeriesMap {
+        let n = self.trace.samples.len();
+        let mut columns: HashMap<SeriesKey, Vec<f64>> = SeriesKey::ALL
+            .iter()
+            .map(|&k| (k, Vec::with_capacity(n)))
+            .collect();
+        for s in &self.trace.samples {
+            for &key in SeriesKey::ALL.iter() {
+                columns
+                    .get_mut(&key)
+                    .expect("every key pre-inserted")
+                    .push(key.extract(s));
+            }
+        }
+        // Dropped ticks remove their instructions from the raw sum, which
+        // would bias the count low by exactly the dropout rate. Ratio
+        // metrics (IPC, MPKI) are computed over the same surviving ticks
+        // and stay unbiased; the count is extrapolated from the captured
+        // fraction instead. A clean capture divides by exactly 1.0, which
+        // is a bit-exact no-op.
+        let completeness = self.trace.completeness();
+        let count_scale = if completeness > 0.0 {
+            1.0 / completeness
+        } else {
+            1.0
+        };
+        SeriesMap {
+            tick_seconds: self.trace.tick_seconds,
+            workload: self.trace.workload.clone(),
+            runtime_seconds: self.trace.duration_seconds(),
+            total_instructions: self.trace.total_instructions() * count_scale,
+            ipc: self.trace.ipc(),
+            cache_mpki: self.trace.cache_mpki(),
+            branch_mpki: self.trace.branch_mpki(),
+            series: columns
+                .into_iter()
+                .map(|(k, v)| (k, TimeSeries::new(self.trace.tick_seconds, v)))
+                .collect(),
+        }
+    }
+
+    /// Number of dropped (lost) samples in the underlying trace.
+    pub fn dropped_samples(&self) -> usize {
+        self.trace.dropped_samples()
+    }
+
+    /// Fraction of ticks actually captured (1.0 for a clean capture).
+    pub fn completeness(&self) -> f64 {
+        self.trace.completeness()
+    }
+}
+
+/// All named series of one capture, extracted in a single pass, plus the
+/// run-level aggregates the metric derivation needs.
+#[derive(Debug, Clone)]
+pub struct SeriesMap {
+    /// Sampling period in seconds.
+    pub tick_seconds: f64,
+    /// Name of the captured workload.
+    pub workload: String,
+    /// Runtime of the capture in seconds.
+    pub runtime_seconds: f64,
+    /// Run-level total instruction count.
+    pub total_instructions: f64,
+    /// Run-level IPC.
+    pub ipc: f64,
+    /// Run-level cache MPKI.
+    pub cache_mpki: f64,
+    /// Run-level branch MPKI.
+    pub branch_mpki: f64,
+    series: HashMap<SeriesKey, TimeSeries>,
+}
+
+impl SeriesMap {
+    /// Look up one extracted series.
+    pub fn get(&self, key: SeriesKey) -> &TimeSeries {
+        self.series
+            .get(&key)
+            .expect("SeriesMap holds every SeriesKey::ALL entry")
+    }
 }
 
 /// A profiler bound to an engine: runs workloads repeatedly and captures
@@ -225,6 +339,96 @@ impl Profiler {
     pub fn capture(&mut self, workload: &dyn Workload) -> Vec<Capture> {
         self.capture_runs(workload, PAPER_RUNS)
     }
+
+    /// Capture `runs` runs of a unit under a fault model, retrying failed
+    /// or too-incomplete runs with fresh derived seeds (bounded by
+    /// `faults.max_attempts` per run).
+    ///
+    /// With faults disabled this is exactly [`Profiler::capture_unit_runs`]
+    /// plus a clean health record — bit-identical captures, no plan drawn.
+    ///
+    /// Per run: attempt 0 uses the canonical `(base_seed, unit, run)`
+    /// stream so fault-free behaviour is unchanged; attempt `a > 0` uses
+    /// [`attempt_seed`]. An attempt is accepted when its completeness
+    /// reaches `faults.min_completeness`; if no attempt qualifies, the most
+    /// complete non-failed attempt is kept as a degraded fallback. The unit
+    /// errs with [`CaptureError::UnitExhausted`] only when every attempt of
+    /// every run fails outright.
+    pub fn capture_unit_runs_resilient(
+        &mut self,
+        workload: &dyn Workload,
+        unit_index: usize,
+        runs: usize,
+        faults: &FaultConfig,
+    ) -> Result<(Vec<Capture>, CaptureHealth), CaptureError> {
+        faults.validate()?;
+        if !faults.enabled() {
+            let captures = self.capture_unit_runs(workload, unit_index, runs);
+            return Ok((captures, CaptureHealth::clean(runs)));
+        }
+
+        let mut health = CaptureHealth {
+            runs_requested: runs,
+            ..CaptureHealth::default()
+        };
+        let mut captures = Vec::with_capacity(runs);
+        for run in 0..runs {
+            let mut best: Option<(Capture, crate::faults::InjectionSummary)> = None;
+            for attempt in 0..faults.max_attempts {
+                health.attempts += 1;
+                if attempt > 0 {
+                    health.retries += 1;
+                }
+                let mut plan =
+                    FaultPlan::new(faults, unit_index as u64, run as u64, attempt as u64);
+                if plan.run_fails() {
+                    health.failed_runs += 1;
+                    continue;
+                }
+                if attempt == 0 {
+                    self.engine
+                        .reset_for(self.base_seed, unit_index as u64, run as u64);
+                } else {
+                    self.engine.reset(attempt_seed(
+                        self.base_seed,
+                        unit_index as u64,
+                        run as u64,
+                        attempt as u64,
+                    ));
+                }
+                let mut trace = self.engine.run(workload);
+                let summary = plan.apply(&mut trace);
+                let capture = Capture::from_trace(trace);
+                let complete = capture.completeness();
+                let improves = best
+                    .as_ref()
+                    .is_none_or(|(b, _)| complete > b.completeness());
+                if improves {
+                    best = Some((capture, summary));
+                }
+                if complete >= faults.min_completeness {
+                    break;
+                }
+            }
+            if let Some((capture, summary)) = best {
+                health.dropped_samples += summary.dropped;
+                health.overflow_wraps += summary.wraps;
+                if summary.truncated {
+                    health.truncated_runs += 1;
+                }
+                health.runs_used += 1;
+                captures.push(capture);
+            }
+        }
+        if captures.is_empty() {
+            return Err(CaptureError::UnitExhausted {
+                workload: workload.name().to_owned(),
+                runs,
+                attempts: health.attempts,
+            });
+        }
+        Ok((captures, health))
+    }
 }
 
 #[cfg(test)]
@@ -235,7 +439,10 @@ mod tests {
     use mwc_soc::workload::{ConstantWorkload, Demand};
 
     fn profiler() -> Profiler {
-        Profiler::new(Engine::new(SocConfig::snapdragon_888(), 0).unwrap(), 100)
+        Profiler::new(
+            Engine::new(SocConfig::snapdragon_888(), 0).expect("valid preset"),
+            100,
+        )
     }
 
     fn workload() -> ConstantWorkload {

@@ -3,7 +3,8 @@
 
 use mwc_soc::config::ClusterKind;
 
-use crate::capture::{Capture, SeriesKey};
+use crate::capture::{Capture, SeriesKey, SeriesMap};
+use crate::faults::robust_merge;
 
 /// Names of the feature-vector components, aligned with
 /// [`BenchmarkMetrics::feature_vector`].
@@ -68,49 +69,78 @@ pub struct BenchmarkMetrics {
     pub storage_busy: f64,
 }
 
+/// One per-run scalar (an aggregate or a series mean) extracted from a
+/// [`SeriesMap`], as fed to a cross-run merge.
+type RunScalar<'a> = Box<dyn Fn(&SeriesMap) -> f64 + 'a>;
+
 impl BenchmarkMetrics {
     /// Derive metrics from one or more captured runs of the same workload
     /// (the paper averages three). Panics on an empty slice.
     pub fn from_captures(captures: &[Capture]) -> Self {
         assert!(!captures.is_empty(), "need at least one capture");
-        let n = captures.len() as f64;
-        let mean = |f: &dyn Fn(&Capture) -> f64| captures.iter().map(f).sum::<f64>() / n;
+        let maps: Vec<SeriesMap> = captures.iter().map(Capture::series_map).collect();
+        Self::from_series_maps(&maps)
+    }
 
+    /// Derive metrics from pre-extracted series maps by plain run
+    /// averaging (arithmetic identical to the historical per-capture
+    /// path). Panics on an empty slice.
+    pub fn from_series_maps(maps: &[SeriesMap]) -> Self {
+        assert!(!maps.is_empty(), "need at least one capture");
+        let n = maps.len() as f64;
+        let mean = |f: &dyn Fn(&SeriesMap) -> f64| maps.iter().map(f).sum::<f64>() / n;
+        Self::build(maps, &|f| mean(&f))
+    }
+
+    /// Derive metrics by median-of-N with MAD-based outlier rejection —
+    /// the quorum merge the pipeline uses when fault injection is enabled.
+    /// Returns the metrics and the total number of per-metric outliers
+    /// rejected. Panics on an empty slice.
+    pub fn robust_from_series_maps(maps: &[SeriesMap]) -> (Self, usize) {
+        assert!(!maps.is_empty(), "need at least one capture");
+        let rejected = std::cell::Cell::new(0usize);
+        let merge = |f: &dyn Fn(&SeriesMap) -> f64| {
+            let values: Vec<f64> = maps.iter().map(f).collect();
+            let (merged, n) = robust_merge(&values);
+            rejected.set(rejected.get() + n);
+            merged
+        };
+        let metrics = Self::build(maps, &|f| merge(&f));
+        (metrics, rejected.get())
+    }
+
+    /// Shared construction: every per-run scalar goes through `merge`
+    /// (plain mean or robust quorum), except the cross-run peak which is
+    /// always a max.
+    fn build(maps: &[SeriesMap], merge: &dyn Fn(RunScalar<'_>) -> f64) -> Self {
+        let series_mean =
+            |key: SeriesKey| -> RunScalar<'static> { Box::new(move |m| m.get(key).mean()) };
         BenchmarkMetrics {
-            name: captures[0].workload().to_owned(),
-            instruction_count: mean(&|c| c.trace().total_instructions()),
-            ipc: mean(&|c| c.trace().ipc()),
-            cache_mpki: mean(&|c| c.trace().cache_mpki()),
-            branch_mpki: mean(&|c| c.trace().branch_mpki()),
-            runtime_seconds: mean(&|c| c.runtime_seconds()),
-            cpu_load: mean(&|c| c.series(SeriesKey::CpuLoad).mean()),
-            cpu_little_load: mean(&|c| {
-                c.series(SeriesKey::ClusterLoad(ClusterKind::Little)).mean()
-            }),
-            cpu_mid_load: mean(&|c| c.series(SeriesKey::ClusterLoad(ClusterKind::Mid)).mean()),
-            cpu_big_load: mean(&|c| c.series(SeriesKey::ClusterLoad(ClusterKind::Big)).mean()),
-            cpu_little_util: mean(&|c| {
-                c.series(SeriesKey::ClusterUtilization(ClusterKind::Little))
-                    .mean()
-            }),
-            cpu_mid_util: mean(&|c| {
-                c.series(SeriesKey::ClusterUtilization(ClusterKind::Mid))
-                    .mean()
-            }),
-            cpu_big_util: mean(&|c| {
-                c.series(SeriesKey::ClusterUtilization(ClusterKind::Big))
-                    .mean()
-            }),
-            gpu_load: mean(&|c| c.series(SeriesKey::GpuLoad).mean()),
-            gpu_shaders_busy: mean(&|c| c.series(SeriesKey::GpuShadersBusy).mean()),
-            gpu_bus_busy: mean(&|c| c.series(SeriesKey::GpuBusBusy).mean()),
-            aie_load: mean(&|c| c.series(SeriesKey::AieLoad).mean()),
-            memory_used_fraction: mean(&|c| c.series(SeriesKey::MemoryUsedFraction).mean()),
-            memory_peak_mib: captures
+            name: maps[0].workload.clone(),
+            instruction_count: merge(Box::new(|m| m.total_instructions)),
+            ipc: merge(Box::new(|m| m.ipc)),
+            cache_mpki: merge(Box::new(|m| m.cache_mpki)),
+            branch_mpki: merge(Box::new(|m| m.branch_mpki)),
+            runtime_seconds: merge(Box::new(|m| m.runtime_seconds)),
+            cpu_load: merge(series_mean(SeriesKey::CpuLoad)),
+            cpu_little_load: merge(series_mean(SeriesKey::ClusterLoad(ClusterKind::Little))),
+            cpu_mid_load: merge(series_mean(SeriesKey::ClusterLoad(ClusterKind::Mid))),
+            cpu_big_load: merge(series_mean(SeriesKey::ClusterLoad(ClusterKind::Big))),
+            cpu_little_util: merge(series_mean(SeriesKey::ClusterUtilization(
+                ClusterKind::Little,
+            ))),
+            cpu_mid_util: merge(series_mean(SeriesKey::ClusterUtilization(ClusterKind::Mid))),
+            cpu_big_util: merge(series_mean(SeriesKey::ClusterUtilization(ClusterKind::Big))),
+            gpu_load: merge(series_mean(SeriesKey::GpuLoad)),
+            gpu_shaders_busy: merge(series_mean(SeriesKey::GpuShadersBusy)),
+            gpu_bus_busy: merge(series_mean(SeriesKey::GpuBusBusy)),
+            aie_load: merge(series_mean(SeriesKey::AieLoad)),
+            memory_used_fraction: merge(series_mean(SeriesKey::MemoryUsedFraction)),
+            memory_peak_mib: maps
                 .iter()
-                .map(|c| c.series(SeriesKey::MemoryUsedMib).max())
+                .map(|m| m.get(SeriesKey::MemoryUsedMib).max())
                 .fold(0.0, f64::max),
-            storage_busy: mean(&|c| c.series(SeriesKey::StorageBusy).mean()),
+            storage_busy: merge(series_mean(SeriesKey::StorageBusy)),
         }
     }
 
@@ -146,7 +176,7 @@ mod tests {
     use mwc_soc::workload::{ConstantWorkload, Demand};
 
     fn metrics_for(intensity: f64) -> BenchmarkMetrics {
-        let engine = Engine::new(SocConfig::snapdragon_888(), 0).unwrap();
+        let engine = Engine::new(SocConfig::snapdragon_888(), 0).expect("valid preset");
         let mut p = Profiler::new(engine, 10);
         let mut d = Demand::idle();
         d.cpu = CpuDemand::single_thread(intensity);
@@ -177,7 +207,7 @@ mod tests {
 
     #[test]
     fn averaging_across_runs_smooths_noise() {
-        let engine = Engine::new(SocConfig::snapdragon_888(), 0).unwrap();
+        let engine = Engine::new(SocConfig::snapdragon_888(), 0).expect("valid preset");
         let mut p = Profiler::new(engine, 10);
         let mut d = Demand::idle();
         d.cpu = CpuDemand::single_thread(0.8);

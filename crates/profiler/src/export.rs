@@ -13,7 +13,7 @@ pub fn series_csv(capture: &Capture, keys: &[SeriesKey]) -> String {
     }
     out.push('\n');
     let series: Vec<_> = keys.iter().map(|&k| capture.series(k)).collect();
-    let n = series.first().map(|s| s.len()).unwrap_or(0);
+    let n = series.first().map_or(0, |s| s.len());
     for i in 0..n {
         let t = i as f64 * capture.trace().tick_seconds;
         out.push_str(&format!("{t:.3}"));
@@ -66,7 +66,7 @@ mod tests {
     use mwc_soc::workload::{ConstantWorkload, Demand};
 
     fn capture() -> Capture {
-        let engine = Engine::new(SocConfig::snapdragon_888(), 0).unwrap();
+        let engine = Engine::new(SocConfig::snapdragon_888(), 0).expect("valid preset");
         let mut p = Profiler::new(engine, 1);
         let mut d = Demand::idle();
         d.cpu = CpuDemand::single_thread(0.7);
@@ -79,9 +79,9 @@ mod tests {
         let cap = capture();
         let csv = series_csv(&cap, &[SeriesKey::CpuLoad, SeriesKey::Ipc]);
         let mut lines = csv.lines();
-        assert_eq!(lines.next().unwrap(), "time_s,cpu.load,cpu.ipc");
+        assert_eq!(lines.next().expect("header"), "time_s,cpu.load,cpu.ipc");
         assert_eq!(csv.lines().count(), 11, "header + 10 ticks");
-        let first = lines.next().unwrap();
+        let first = lines.next().expect("first row");
         assert_eq!(first.split(',').count(), 3);
     }
 
@@ -90,9 +90,9 @@ mod tests {
         let cap = capture();
         let m = BenchmarkMetrics::from_captures(std::slice::from_ref(&cap));
         let csv = metrics_csv(std::slice::from_ref(&m));
-        let header = csv.lines().next().unwrap();
+        let header = csv.lines().next().expect("header");
         assert_eq!(header.split(',').count(), 1 + FEATURE_NAMES.len() + 2);
-        let row = csv.lines().nth(1).unwrap();
+        let row = csv.lines().nth(1).expect("first row");
         assert!(row.starts_with("csv-test,"));
         assert_eq!(row.split(',').count(), header.split(',').count());
     }
@@ -108,7 +108,7 @@ mod tests {
     fn empty_keys_produce_time_only() {
         let cap = capture();
         let csv = series_csv(&cap, &[]);
-        assert_eq!(csv.lines().next().unwrap(), "time_s");
+        assert_eq!(csv.lines().next().expect("header"), "time_s");
         assert_eq!(csv.lines().count(), 1, "no data columns, no rows");
     }
 }

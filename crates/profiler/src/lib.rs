@@ -14,6 +14,9 @@
 //!   (the paper's Limitations §IV-A item 3);
 //! * [`derive`] — derived benchmark-level metrics (IC, IPC, cache MPKI,
 //!   branch MPKI, runtime, per-component loads) averaged across runs;
+//! * [`faults`] — deterministic capture-fault injection (sample dropout,
+//!   counter jitter and overflow wraps, truncation, run failure) plus the
+//!   retry/quorum machinery's health records and errors;
 //! * [`export`] — CSV export of series and metric tables.
 
 #![warn(missing_docs)]
@@ -24,9 +27,11 @@ pub mod baseline;
 pub mod capture;
 pub mod derive;
 pub mod export;
+pub mod faults;
 pub mod metric;
 pub mod timeseries;
 
-pub use capture::{Capture, Profiler, SeriesKey};
+pub use capture::{Capture, Profiler, SeriesKey, SeriesMap};
 pub use derive::BenchmarkMetrics;
+pub use faults::{CaptureError, CaptureHealth, FaultConfig};
 pub use timeseries::TimeSeries;

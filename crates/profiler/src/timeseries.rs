@@ -35,25 +35,101 @@ impl TimeSeries {
         self.len() as f64 * self.tick_seconds
     }
 
-    /// Arithmetic mean (0 for an empty series).
+    /// Arithmetic mean over the finite samples — NaN gaps from dropped
+    /// capture ticks are skipped (0 for an empty or all-gap series;
+    /// identical to the plain mean for a fully finite series).
     pub fn mean(&self) -> f64 {
-        if self.values.is_empty() {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for v in self.values.iter().copied().filter(|v| v.is_finite()) {
+            sum += v;
+            n += 1;
+        }
+        if n == 0 {
             return 0.0;
         }
-        self.values.iter().sum::<f64>() / self.len() as f64
+        sum / n as f64
     }
 
-    /// Maximum (0 for an empty series).
+    /// Maximum over the finite samples (0 for an empty or all-gap series;
+    /// `f64::max` ignores NaN).
     pub fn max(&self) -> f64 {
         self.values.iter().copied().fold(0.0, f64::max)
     }
 
-    /// Minimum (0 for an empty series).
+    /// Minimum over the finite samples (0 for an empty or all-gap series).
     pub fn min(&self) -> f64 {
-        if self.values.is_empty() {
-            return 0.0;
+        let m = self
+            .values
+            .iter()
+            .copied()
+            .filter(|v| v.is_finite())
+            .fold(f64::INFINITY, f64::min);
+        if m.is_finite() {
+            m
+        } else {
+            0.0
         }
-        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Fraction of samples that are finite (1.0 for an empty series).
+    pub fn completeness(&self) -> f64 {
+        if self.values.is_empty() {
+            return 1.0;
+        }
+        self.values.iter().filter(|v| v.is_finite()).count() as f64 / self.len() as f64
+    }
+
+    /// Fill NaN gaps by linear interpolation between the nearest finite
+    /// neighbours; leading/trailing gaps are clamped to the nearest finite
+    /// value. An all-gap series fills with zeros. A fully finite series is
+    /// returned unchanged.
+    pub fn interpolate_gaps(&self) -> TimeSeries {
+        if self.values.iter().all(|v| v.is_finite()) {
+            return self.clone();
+        }
+        let n = self.len();
+        let mut out = self.values.clone();
+        let mut prev: Option<(usize, f64)> = None;
+        let mut i = 0;
+        while i < n {
+            if out[i].is_finite() {
+                prev = Some((i, out[i]));
+                i += 1;
+                continue;
+            }
+            // Find the end of this gap and the next finite sample.
+            let gap_start = i;
+            while i < n && !out[i].is_finite() {
+                i += 1;
+            }
+            let next = if i < n { Some((i, out[i])) } else { None };
+            match (prev, next) {
+                (Some((pi, pv)), Some((ni, nv))) => {
+                    let span = (ni - pi) as f64;
+                    for (j, slot) in out.iter_mut().enumerate().take(ni).skip(gap_start) {
+                        let t = (j - pi) as f64 / span;
+                        *slot = pv + t * (nv - pv);
+                    }
+                }
+                (Some((_, pv)), None) => {
+                    for slot in out.iter_mut().take(n).skip(gap_start) {
+                        *slot = pv;
+                    }
+                }
+                (None, Some((ni, nv))) => {
+                    for slot in out.iter_mut().take(ni).skip(gap_start) {
+                        *slot = nv;
+                    }
+                }
+                (None, None) => {
+                    for slot in out.iter_mut() {
+                        *slot = 0.0;
+                    }
+                }
+            }
+        }
+        TimeSeries::new(self.tick_seconds, out)
     }
 
     /// Normalize values into `[0, 1]` against external bounds — the paper
@@ -73,7 +149,9 @@ impl TimeSeries {
     }
 
     /// Resample onto `bins` equal slices of normalized execution time by
-    /// averaging the samples in each slice. Empty series resample to zeros.
+    /// averaging the finite samples in each slice. Empty series resample to
+    /// zeros; a slice containing only gaps resamples to NaN (interpolate
+    /// first when gaps are possible).
     pub fn resample(&self, bins: usize) -> TimeSeries {
         assert!(bins > 0, "bins must be positive");
         if self.values.is_empty() {
@@ -85,21 +163,35 @@ impl TimeSeries {
             let start = b * n / bins;
             let end = (((b + 1) * n).div_ceil(bins)).min(n).max(start + 1);
             let slice = &self.values[start..end.min(n)];
-            out.push(slice.iter().sum::<f64>() / slice.len() as f64);
+            let mut sum = 0.0;
+            let mut count = 0usize;
+            for v in slice.iter().copied().filter(|v| v.is_finite()) {
+                sum += v;
+                count += 1;
+            }
+            out.push(if count == 0 {
+                f64::NAN
+            } else {
+                sum / count as f64
+            });
         }
         TimeSeries::new(self.duration_seconds() / bins as f64, out)
     }
 
-    /// Fraction of samples strictly above `threshold`.
+    /// Fraction of finite samples strictly above `threshold` (gaps are
+    /// excluded from the denominator; 0 for an empty or all-gap series).
     pub fn fraction_above(&self, threshold: f64) -> f64 {
-        if self.values.is_empty() {
+        let finite = self.values.iter().filter(|v| v.is_finite()).count();
+        if finite == 0 {
             return 0.0;
         }
-        self.values.iter().filter(|&&v| v > threshold).count() as f64 / self.len() as f64
+        self.values.iter().filter(|&&v| v > threshold).count() as f64 / finite as f64
     }
 
     /// Element-wise mean of several same-length series (the paper averages
-    /// three runs of every benchmark). Panics on ragged or empty input.
+    /// three runs of every benchmark). At each index only finite samples
+    /// contribute; an index where every run has a gap stays NaN. Panics on
+    /// ragged or empty input.
     pub fn average(series: &[TimeSeries]) -> TimeSeries {
         assert!(!series.is_empty(), "need at least one series");
         let n = series[0].len();
@@ -108,7 +200,22 @@ impl TimeSeries {
             "series must have equal length"
         );
         let values = (0..n)
-            .map(|i| series.iter().map(|s| s.values[i]).sum::<f64>() / series.len() as f64)
+            .map(|i| {
+                let mut sum = 0.0;
+                let mut count = 0usize;
+                for s in series {
+                    let v = s.values[i];
+                    if v.is_finite() {
+                        sum += v;
+                        count += 1;
+                    }
+                }
+                if count == 0 {
+                    f64::NAN
+                } else {
+                    sum / count as f64
+                }
+            })
             .collect();
         TimeSeries::new(series[0].tick_seconds, values)
     }
@@ -201,6 +308,71 @@ mod tests {
         let b = ts(vec![3.0, 4.0]);
         let avg = TimeSeries::average(&[a, b]);
         assert_eq!(avg.values, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn gap_tolerant_stats() {
+        let s = ts(vec![1.0, f64::NAN, 3.0, f64::NAN]);
+        assert!((s.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(s.max(), 3.0);
+        assert_eq!(s.min(), 1.0);
+        assert!((s.completeness() - 0.5).abs() < 1e-12);
+        assert_eq!(ts(vec![]).completeness(), 1.0);
+    }
+
+    #[test]
+    fn all_gap_stats_are_zero() {
+        let s = ts(vec![f64::NAN, f64::NAN]);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.fraction_above(0.5), 0.0);
+        assert_eq!(s.completeness(), 0.0);
+    }
+
+    #[test]
+    fn interpolate_fills_interior_gap_linearly() {
+        let s = ts(vec![1.0, f64::NAN, f64::NAN, 4.0]);
+        let i = s.interpolate_gaps();
+        assert_eq!(i.values, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn interpolate_clamps_edges() {
+        let s = ts(vec![f64::NAN, 2.0, f64::NAN]);
+        let i = s.interpolate_gaps();
+        assert_eq!(i.values, vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn interpolate_all_gaps_fills_zero() {
+        let s = ts(vec![f64::NAN, f64::NAN]);
+        assert_eq!(s.interpolate_gaps().values, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn interpolate_finite_series_is_identity() {
+        let s = ts(vec![1.0, 2.0, 3.0]);
+        assert_eq!(s.interpolate_gaps(), s);
+    }
+
+    #[test]
+    fn average_skips_gaps_per_index() {
+        let a = ts(vec![1.0, f64::NAN]);
+        let b = ts(vec![3.0, 4.0]);
+        let avg = TimeSeries::average(&[a, b]);
+        assert_eq!(avg.values, vec![2.0, 4.0]);
+        let c = ts(vec![f64::NAN, 1.0]);
+        let d = ts(vec![f64::NAN, 3.0]);
+        let avg2 = TimeSeries::average(&[c, d]);
+        assert!(avg2.values[0].is_nan());
+        assert_eq!(avg2.values[1], 2.0);
+    }
+
+    #[test]
+    fn fraction_above_uses_finite_denominator() {
+        let s = ts(vec![0.8, f64::NAN, 0.2, f64::NAN]);
+        assert!((s.fraction_above(0.5) - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -75,6 +75,49 @@ pub struct TickSample {
     pub storage_write_mbps: f64,
 }
 
+impl TickSample {
+    /// Mark this sample as lost: every counter field becomes NaN (the
+    /// capture row is missing), while `time_s` and the cluster topology are
+    /// preserved so the trace keeps its uniform tick grid. This is the hook
+    /// the fault-injection layer in `mwc-profiler` uses to model dropped
+    /// Snapdragon-Profiler rows.
+    pub fn invalidate(&mut self) {
+        for c in &mut self.clusters {
+            c.utilization = f64::NAN;
+            c.frequency_mhz = f64::NAN;
+            c.load = f64::NAN;
+            c.instructions = f64::NAN;
+            c.cycles = f64::NAN;
+        }
+        self.instructions = f64::NAN;
+        self.cycles = f64::NAN;
+        self.cache_misses = f64::NAN;
+        self.branches = f64::NAN;
+        self.branch_misses = f64::NAN;
+        self.dram_accesses = f64::NAN;
+        self.gpu_utilization = f64::NAN;
+        self.gpu_frequency_mhz = f64::NAN;
+        self.gpu_load = f64::NAN;
+        self.gpu_shaders_busy = f64::NAN;
+        self.gpu_bus_busy = f64::NAN;
+        self.gpu_l1_texture_misses_m = f64::NAN;
+        self.aie_utilization = f64::NAN;
+        self.aie_frequency_mhz = f64::NAN;
+        self.aie_load = f64::NAN;
+        self.memory_used_mib = f64::NAN;
+        self.memory_used_fraction = f64::NAN;
+        self.memory_bandwidth_utilization = f64::NAN;
+        self.storage_busy = f64::NAN;
+        self.storage_read_mbps = f64::NAN;
+        self.storage_write_mbps = f64::NAN;
+    }
+
+    /// Whether this sample was lost (see [`TickSample::invalidate`]).
+    pub fn is_dropped(&self) -> bool {
+        self.instructions.is_nan()
+    }
+}
+
 /// A complete counter trace for one benchmark run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Trace {
@@ -92,14 +135,34 @@ impl Trace {
         self.samples.len() as f64 * self.tick_seconds
     }
 
-    /// Total dynamic instruction count of the run.
-    pub fn total_instructions(&self) -> f64 {
-        self.samples.iter().map(|s| s.instructions).sum()
+    /// Samples that were actually captured (dropped rows excluded).
+    pub fn valid_samples(&self) -> impl Iterator<Item = &TickSample> {
+        self.samples.iter().filter(|s| !s.is_dropped())
     }
 
-    /// Total active CPU cycles of the run.
+    /// Number of dropped (lost) samples in the trace.
+    pub fn dropped_samples(&self) -> usize {
+        self.samples.iter().filter(|s| s.is_dropped()).count()
+    }
+
+    /// Fraction of ticks that were actually captured (1.0 for an empty or
+    /// fully captured trace).
+    pub fn completeness(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 1.0;
+        }
+        1.0 - self.dropped_samples() as f64 / self.samples.len() as f64
+    }
+
+    /// Total dynamic instruction count of the run (dropped rows excluded;
+    /// identical to a plain sum for a fully captured trace).
+    pub fn total_instructions(&self) -> f64 {
+        self.valid_samples().map(|s| s.instructions).sum()
+    }
+
+    /// Total active CPU cycles of the run (dropped rows excluded).
     pub fn total_cycles(&self) -> f64 {
-        self.samples.iter().map(|s| s.cycles).sum()
+        self.valid_samples().map(|s| s.cycles).sum()
     }
 
     /// Run-level IPC: instructions over active cycles (0 for an idle run).
@@ -116,7 +179,7 @@ impl Trace {
     pub fn cache_mpki(&self) -> f64 {
         let instr = self.total_instructions();
         if instr > 0.0 {
-            self.samples.iter().map(|s| s.cache_misses).sum::<f64>() / instr * 1000.0
+            self.valid_samples().map(|s| s.cache_misses).sum::<f64>() / instr * 1000.0
         } else {
             0.0
         }
@@ -126,21 +189,29 @@ impl Trace {
     pub fn branch_mpki(&self) -> f64 {
         let instr = self.total_instructions();
         if instr > 0.0 {
-            self.samples.iter().map(|s| s.branch_misses).sum::<f64>() / instr * 1000.0
+            self.valid_samples().map(|s| s.branch_misses).sum::<f64>() / instr * 1000.0
         } else {
             0.0
         }
     }
 
-    /// Mean of an arbitrary per-sample metric (0 for an empty trace).
+    /// Mean of an arbitrary per-sample metric over the captured (finite)
+    /// values; 0 for an empty or fully dropped trace.
     pub fn mean_of(&self, f: impl Fn(&TickSample) -> f64) -> f64 {
-        if self.samples.is_empty() {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for v in self.samples.iter().map(&f).filter(|v| v.is_finite()) {
+            sum += v;
+            n += 1;
+        }
+        if n == 0 {
             return 0.0;
         }
-        self.samples.iter().map(&f).sum::<f64>() / self.samples.len() as f64
+        sum / n as f64
     }
 
-    /// Maximum of an arbitrary per-sample metric (0 for an empty trace).
+    /// Maximum of an arbitrary per-sample metric (0 for an empty trace;
+    /// NaN values from dropped samples are ignored).
     pub fn max_of(&self, f: impl Fn(&TickSample) -> f64) -> f64 {
         self.samples.iter().map(&f).fold(0.0, f64::max)
     }
@@ -210,6 +281,40 @@ mod tests {
         assert_eq!(t.ipc(), 0.0);
         assert_eq!(t.cache_mpki(), 0.0);
         assert_eq!(t.mean_of(|s| s.gpu_load), 0.0);
+    }
+
+    #[test]
+    fn invalidated_samples_are_excluded_from_aggregates() {
+        let mut t = trace(10);
+        let clean_instructions = t.total_instructions();
+        let clean_ipc = t.ipc();
+        let clean_mpki = t.cache_mpki();
+        t.samples[3].invalidate();
+        t.samples[7].invalidate();
+        assert!(t.samples[3].is_dropped());
+        assert_eq!(t.dropped_samples(), 2);
+        assert!((t.completeness() - 0.8).abs() < 1e-12);
+        // Aggregates stay finite and rates are unchanged: the remaining
+        // samples are identical, so per-instruction rates and IPC hold.
+        assert!((t.total_instructions() - clean_instructions * 0.8).abs() < 1e-6);
+        assert!((t.ipc() - clean_ipc).abs() < 1e-12);
+        assert!((t.cache_mpki() - clean_mpki).abs() < 1e-9);
+        assert!(t.mean_of(|s| s.gpu_load).is_finite());
+        assert!(t.max_of(|s| s.gpu_load).is_finite());
+        // Duration counts wall-clock ticks, including lost ones.
+        assert!((t.duration_seconds() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fully_dropped_trace_reports_zero_rates() {
+        let mut t = trace(4);
+        for s in &mut t.samples {
+            s.invalidate();
+        }
+        assert_eq!(t.completeness(), 0.0);
+        assert_eq!(t.total_instructions(), 0.0);
+        assert_eq!(t.ipc(), 0.0);
+        assert_eq!(t.mean_of(|s| s.instructions), 0.0);
     }
 
     #[test]

@@ -8,8 +8,12 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test -q --workspace"
+echo "==> cargo test -q --workspace (faults off)"
 cargo test -q --workspace
+
+echo "==> cargo test -q --workspace (fault plan: seed 7, 5% dropout, truncation)"
+MWC_FAULT_SEED=7 MWC_FAULT_DROPOUT=0.05 MWC_FAULT_TRUNCATION=0.055 \
+    cargo test -q -p mobile-workload-characterization --test fault_tolerance
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

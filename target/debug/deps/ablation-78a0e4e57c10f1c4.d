@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-78a0e4e57c10f1c4.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-78a0e4e57c10f1c4: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-85d84e5a0b2211ec.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-85d84e5a0b2211ec: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

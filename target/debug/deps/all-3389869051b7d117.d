@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all-3389869051b7d117.d: crates/bench/src/bin/all.rs
+
+/root/repo/target/debug/deps/all-3389869051b7d117: crates/bench/src/bin/all.rs
+
+crates/bench/src/bin/all.rs:

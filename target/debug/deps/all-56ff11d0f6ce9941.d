@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all-56ff11d0f6ce9941.d: crates/bench/src/bin/all.rs
+
+/root/repo/target/debug/deps/all-56ff11d0f6ce9941: crates/bench/src/bin/all.rs
+
+crates/bench/src/bin/all.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/all-f1975281b8dfdce0.d: crates/bench/src/bin/all.rs Cargo.toml
+
+/root/repo/target/debug/deps/liball-f1975281b8dfdce0.rmeta: crates/bench/src/bin/all.rs Cargo.toml
+
+crates/bench/src/bin/all.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-8672c733171fba23.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-8672c733171fba23: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-95b89f79d2c45bf0.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-95b89f79d2c45bf0: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

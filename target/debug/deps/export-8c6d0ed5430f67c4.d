@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/export-8c6d0ed5430f67c4.d: crates/bench/src/bin/export.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexport-8c6d0ed5430f67c4.rmeta: crates/bench/src/bin/export.rs Cargo.toml
+
+crates/bench/src/bin/export.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/export-981ab37cef1f8646.d: crates/bench/src/bin/export.rs
+
+/root/repo/target/debug/deps/export-981ab37cef1f8646: crates/bench/src/bin/export.rs
+
+crates/bench/src/bin/export.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/export-b62b8c53ca1a443b.d: crates/bench/src/bin/export.rs
+
+/root/repo/target/debug/deps/export-b62b8c53ca1a443b: crates/bench/src/bin/export.rs
+
+crates/bench/src/bin/export.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/export-bed8fbc200b1a156.d: crates/bench/src/bin/export.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexport-bed8fbc200b1a156.rmeta: crates/bench/src/bin/export.rs Cargo.toml
+
+crates/bench/src/bin/export.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-4dce92237ef8d641.d: tests/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-4dce92237ef8d641: tests/fault_tolerance.rs
+
+tests/fault_tolerance.rs:

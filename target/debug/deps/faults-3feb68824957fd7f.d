@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/faults-3feb68824957fd7f.d: crates/bench/src/bin/faults.rs
+
+/root/repo/target/debug/deps/faults-3feb68824957fd7f: crates/bench/src/bin/faults.rs
+
+crates/bench/src/bin/faults.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/faults-6ad6402cc12d013b.d: crates/bench/src/bin/faults.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfaults-6ad6402cc12d013b.rmeta: crates/bench/src/bin/faults.rs Cargo.toml
+
+crates/bench/src/bin/faults.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/faults-9e02699a94ace6c5.d: crates/bench/src/bin/faults.rs
+
+/root/repo/target/debug/deps/faults-9e02699a94ace6c5: crates/bench/src/bin/faults.rs
+
+crates/bench/src/bin/faults.rs:

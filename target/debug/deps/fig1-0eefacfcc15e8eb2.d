@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-0eefacfcc15e8eb2.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-0eefacfcc15e8eb2: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-f778fe1e37dbe489.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-f778fe1e37dbe489: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-40913121b36aff20.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-40913121b36aff20: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-cbbc32aae09aaed1.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-cbbc32aae09aaed1: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-354e9106b3c8d0d6.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-354e9106b3c8d0d6: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-597b9e4796ed5eb1.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-597b9e4796ed5eb1: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-6490608523e3d1f3.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-6490608523e3d1f3: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-b4eec87319cb5972.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-b4eec87319cb5972: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

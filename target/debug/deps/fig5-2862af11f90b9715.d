@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-2862af11f90b9715.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-2862af11f90b9715: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

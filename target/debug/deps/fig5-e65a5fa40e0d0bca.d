@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-e65a5fa40e0d0bca.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-e65a5fa40e0d0bca: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-8bd5407960b92415.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-8bd5407960b92415: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

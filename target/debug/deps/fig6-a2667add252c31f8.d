@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-a2667add252c31f8.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-a2667add252c31f8: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

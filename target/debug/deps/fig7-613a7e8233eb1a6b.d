@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-613a7e8233eb1a6b.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-613a7e8233eb1a6b: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

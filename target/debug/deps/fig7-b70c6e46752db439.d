@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-b70c6e46752db439.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-b70c6e46752db439: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mwc_bench-774f3c9c4c52ed4e.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmwc_bench-774f3c9c4c52ed4e.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmwc_bench-774f3c9c4c52ed4e.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mwc_bench-79927cb6520aa118.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmwc_bench-79927cb6520aa118.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mwc_bench-86ebd3a88147282e.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmwc_bench-86ebd3a88147282e.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

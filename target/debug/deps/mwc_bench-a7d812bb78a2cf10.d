@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mwc_bench-a7d812bb78a2cf10.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/mwc_bench-a7d812bb78a2cf10: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/mwc_core-2c1bcd91effe6a54.d: crates/core/src/lib.rs crates/core/src/features.rs crates/core/src/figures.rs crates/core/src/observations.rs crates/core/src/pipeline.rs crates/core/src/subsets.rs crates/core/src/tables.rs
+/root/repo/target/debug/deps/mwc_core-2c1bcd91effe6a54.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/features.rs crates/core/src/figures.rs crates/core/src/observations.rs crates/core/src/pipeline.rs crates/core/src/subsets.rs crates/core/src/tables.rs
 
-/root/repo/target/debug/deps/mwc_core-2c1bcd91effe6a54: crates/core/src/lib.rs crates/core/src/features.rs crates/core/src/figures.rs crates/core/src/observations.rs crates/core/src/pipeline.rs crates/core/src/subsets.rs crates/core/src/tables.rs
+/root/repo/target/debug/deps/mwc_core-2c1bcd91effe6a54: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/features.rs crates/core/src/figures.rs crates/core/src/observations.rs crates/core/src/pipeline.rs crates/core/src/subsets.rs crates/core/src/tables.rs
 
 crates/core/src/lib.rs:
+crates/core/src/error.rs:
 crates/core/src/features.rs:
 crates/core/src/figures.rs:
 crates/core/src/observations.rs:

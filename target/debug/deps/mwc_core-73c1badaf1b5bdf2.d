@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/mwc_core-73c1badaf1b5bdf2.d: crates/core/src/lib.rs crates/core/src/features.rs crates/core/src/figures.rs crates/core/src/observations.rs crates/core/src/pipeline.rs crates/core/src/subsets.rs crates/core/src/tables.rs Cargo.toml
+/root/repo/target/debug/deps/mwc_core-73c1badaf1b5bdf2.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/features.rs crates/core/src/figures.rs crates/core/src/observations.rs crates/core/src/pipeline.rs crates/core/src/subsets.rs crates/core/src/tables.rs Cargo.toml
 
-/root/repo/target/debug/deps/libmwc_core-73c1badaf1b5bdf2.rmeta: crates/core/src/lib.rs crates/core/src/features.rs crates/core/src/figures.rs crates/core/src/observations.rs crates/core/src/pipeline.rs crates/core/src/subsets.rs crates/core/src/tables.rs Cargo.toml
+/root/repo/target/debug/deps/libmwc_core-73c1badaf1b5bdf2.rmeta: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/features.rs crates/core/src/figures.rs crates/core/src/observations.rs crates/core/src/pipeline.rs crates/core/src/subsets.rs crates/core/src/tables.rs Cargo.toml
 
 crates/core/src/lib.rs:
+crates/core/src/error.rs:
 crates/core/src/features.rs:
 crates/core/src/figures.rs:
 crates/core/src/observations.rs:

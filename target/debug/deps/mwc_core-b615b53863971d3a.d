@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/mwc_core-b615b53863971d3a.d: crates/core/src/lib.rs crates/core/src/features.rs crates/core/src/figures.rs crates/core/src/observations.rs crates/core/src/pipeline.rs crates/core/src/subsets.rs crates/core/src/tables.rs
+/root/repo/target/debug/deps/mwc_core-b615b53863971d3a.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/features.rs crates/core/src/figures.rs crates/core/src/observations.rs crates/core/src/pipeline.rs crates/core/src/subsets.rs crates/core/src/tables.rs
 
-/root/repo/target/debug/deps/libmwc_core-b615b53863971d3a.rlib: crates/core/src/lib.rs crates/core/src/features.rs crates/core/src/figures.rs crates/core/src/observations.rs crates/core/src/pipeline.rs crates/core/src/subsets.rs crates/core/src/tables.rs
+/root/repo/target/debug/deps/libmwc_core-b615b53863971d3a.rlib: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/features.rs crates/core/src/figures.rs crates/core/src/observations.rs crates/core/src/pipeline.rs crates/core/src/subsets.rs crates/core/src/tables.rs
 
-/root/repo/target/debug/deps/libmwc_core-b615b53863971d3a.rmeta: crates/core/src/lib.rs crates/core/src/features.rs crates/core/src/figures.rs crates/core/src/observations.rs crates/core/src/pipeline.rs crates/core/src/subsets.rs crates/core/src/tables.rs
+/root/repo/target/debug/deps/libmwc_core-b615b53863971d3a.rmeta: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/features.rs crates/core/src/figures.rs crates/core/src/observations.rs crates/core/src/pipeline.rs crates/core/src/subsets.rs crates/core/src/tables.rs
 
 crates/core/src/lib.rs:
+crates/core/src/error.rs:
 crates/core/src/features.rs:
 crates/core/src/figures.rs:
 crates/core/src/observations.rs:

@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/mwc_core-e14cb672830a7eb1.d: crates/core/src/lib.rs crates/core/src/features.rs crates/core/src/figures.rs crates/core/src/observations.rs crates/core/src/pipeline.rs crates/core/src/subsets.rs crates/core/src/tables.rs Cargo.toml
+/root/repo/target/debug/deps/mwc_core-e14cb672830a7eb1.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/features.rs crates/core/src/figures.rs crates/core/src/observations.rs crates/core/src/pipeline.rs crates/core/src/subsets.rs crates/core/src/tables.rs Cargo.toml
 
-/root/repo/target/debug/deps/libmwc_core-e14cb672830a7eb1.rmeta: crates/core/src/lib.rs crates/core/src/features.rs crates/core/src/figures.rs crates/core/src/observations.rs crates/core/src/pipeline.rs crates/core/src/subsets.rs crates/core/src/tables.rs Cargo.toml
+/root/repo/target/debug/deps/libmwc_core-e14cb672830a7eb1.rmeta: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/features.rs crates/core/src/figures.rs crates/core/src/observations.rs crates/core/src/pipeline.rs crates/core/src/subsets.rs crates/core/src/tables.rs Cargo.toml
 
 crates/core/src/lib.rs:
+crates/core/src/error.rs:
 crates/core/src/features.rs:
 crates/core/src/figures.rs:
 crates/core/src/observations.rs:

@@ -1,13 +1,14 @@
-/root/repo/target/debug/deps/mwc_profiler-910d7570dcfdcbcb.d: crates/profiler/src/lib.rs crates/profiler/src/baseline.rs crates/profiler/src/capture.rs crates/profiler/src/derive.rs crates/profiler/src/export.rs crates/profiler/src/metric.rs crates/profiler/src/timeseries.rs
+/root/repo/target/debug/deps/mwc_profiler-910d7570dcfdcbcb.d: crates/profiler/src/lib.rs crates/profiler/src/baseline.rs crates/profiler/src/capture.rs crates/profiler/src/derive.rs crates/profiler/src/export.rs crates/profiler/src/faults.rs crates/profiler/src/metric.rs crates/profiler/src/timeseries.rs
 
-/root/repo/target/debug/deps/libmwc_profiler-910d7570dcfdcbcb.rlib: crates/profiler/src/lib.rs crates/profiler/src/baseline.rs crates/profiler/src/capture.rs crates/profiler/src/derive.rs crates/profiler/src/export.rs crates/profiler/src/metric.rs crates/profiler/src/timeseries.rs
+/root/repo/target/debug/deps/libmwc_profiler-910d7570dcfdcbcb.rlib: crates/profiler/src/lib.rs crates/profiler/src/baseline.rs crates/profiler/src/capture.rs crates/profiler/src/derive.rs crates/profiler/src/export.rs crates/profiler/src/faults.rs crates/profiler/src/metric.rs crates/profiler/src/timeseries.rs
 
-/root/repo/target/debug/deps/libmwc_profiler-910d7570dcfdcbcb.rmeta: crates/profiler/src/lib.rs crates/profiler/src/baseline.rs crates/profiler/src/capture.rs crates/profiler/src/derive.rs crates/profiler/src/export.rs crates/profiler/src/metric.rs crates/profiler/src/timeseries.rs
+/root/repo/target/debug/deps/libmwc_profiler-910d7570dcfdcbcb.rmeta: crates/profiler/src/lib.rs crates/profiler/src/baseline.rs crates/profiler/src/capture.rs crates/profiler/src/derive.rs crates/profiler/src/export.rs crates/profiler/src/faults.rs crates/profiler/src/metric.rs crates/profiler/src/timeseries.rs
 
 crates/profiler/src/lib.rs:
 crates/profiler/src/baseline.rs:
 crates/profiler/src/capture.rs:
 crates/profiler/src/derive.rs:
 crates/profiler/src/export.rs:
+crates/profiler/src/faults.rs:
 crates/profiler/src/metric.rs:
 crates/profiler/src/timeseries.rs:

@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/mwc_profiler-aae57d1084af7c9b.d: crates/profiler/src/lib.rs crates/profiler/src/baseline.rs crates/profiler/src/capture.rs crates/profiler/src/derive.rs crates/profiler/src/export.rs crates/profiler/src/metric.rs crates/profiler/src/timeseries.rs
+/root/repo/target/debug/deps/mwc_profiler-aae57d1084af7c9b.d: crates/profiler/src/lib.rs crates/profiler/src/baseline.rs crates/profiler/src/capture.rs crates/profiler/src/derive.rs crates/profiler/src/export.rs crates/profiler/src/faults.rs crates/profiler/src/metric.rs crates/profiler/src/timeseries.rs
 
-/root/repo/target/debug/deps/mwc_profiler-aae57d1084af7c9b: crates/profiler/src/lib.rs crates/profiler/src/baseline.rs crates/profiler/src/capture.rs crates/profiler/src/derive.rs crates/profiler/src/export.rs crates/profiler/src/metric.rs crates/profiler/src/timeseries.rs
+/root/repo/target/debug/deps/mwc_profiler-aae57d1084af7c9b: crates/profiler/src/lib.rs crates/profiler/src/baseline.rs crates/profiler/src/capture.rs crates/profiler/src/derive.rs crates/profiler/src/export.rs crates/profiler/src/faults.rs crates/profiler/src/metric.rs crates/profiler/src/timeseries.rs
 
 crates/profiler/src/lib.rs:
 crates/profiler/src/baseline.rs:
 crates/profiler/src/capture.rs:
 crates/profiler/src/derive.rs:
 crates/profiler/src/export.rs:
+crates/profiler/src/faults.rs:
 crates/profiler/src/metric.rs:
 crates/profiler/src/timeseries.rs:

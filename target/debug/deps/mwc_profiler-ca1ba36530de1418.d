@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/mwc_profiler-ca1ba36530de1418.d: crates/profiler/src/lib.rs crates/profiler/src/baseline.rs crates/profiler/src/capture.rs crates/profiler/src/derive.rs crates/profiler/src/export.rs crates/profiler/src/metric.rs crates/profiler/src/timeseries.rs Cargo.toml
+/root/repo/target/debug/deps/mwc_profiler-ca1ba36530de1418.d: crates/profiler/src/lib.rs crates/profiler/src/baseline.rs crates/profiler/src/capture.rs crates/profiler/src/derive.rs crates/profiler/src/export.rs crates/profiler/src/faults.rs crates/profiler/src/metric.rs crates/profiler/src/timeseries.rs Cargo.toml
 
-/root/repo/target/debug/deps/libmwc_profiler-ca1ba36530de1418.rmeta: crates/profiler/src/lib.rs crates/profiler/src/baseline.rs crates/profiler/src/capture.rs crates/profiler/src/derive.rs crates/profiler/src/export.rs crates/profiler/src/metric.rs crates/profiler/src/timeseries.rs Cargo.toml
+/root/repo/target/debug/deps/libmwc_profiler-ca1ba36530de1418.rmeta: crates/profiler/src/lib.rs crates/profiler/src/baseline.rs crates/profiler/src/capture.rs crates/profiler/src/derive.rs crates/profiler/src/export.rs crates/profiler/src/faults.rs crates/profiler/src/metric.rs crates/profiler/src/timeseries.rs Cargo.toml
 
 crates/profiler/src/lib.rs:
 crates/profiler/src/baseline.rs:
 crates/profiler/src/capture.rs:
 crates/profiler/src/derive.rs:
 crates/profiler/src/export.rs:
+crates/profiler/src/faults.rs:
 crates/profiler/src/metric.rs:
 crates/profiler/src/timeseries.rs:
 Cargo.toml:

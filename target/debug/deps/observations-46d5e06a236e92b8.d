@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/observations-46d5e06a236e92b8.d: crates/bench/src/bin/observations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobservations-46d5e06a236e92b8.rmeta: crates/bench/src/bin/observations.rs Cargo.toml
+
+crates/bench/src/bin/observations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

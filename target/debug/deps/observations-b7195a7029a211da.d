@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observations-b7195a7029a211da.d: crates/bench/src/bin/observations.rs
+
+/root/repo/target/debug/deps/observations-b7195a7029a211da: crates/bench/src/bin/observations.rs
+
+crates/bench/src/bin/observations.rs:

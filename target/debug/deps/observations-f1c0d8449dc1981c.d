@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observations-f1c0d8449dc1981c.d: crates/bench/src/bin/observations.rs
+
+/root/repo/target/debug/deps/observations-f1c0d8449dc1981c: crates/bench/src/bin/observations.rs
+
+crates/bench/src/bin/observations.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulation-d94d02e111124446.d: crates/bench/benches/simulation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulation-d94d02e111124446.rmeta: crates/bench/benches/simulation.rs Cargo.toml
+
+crates/bench/benches/simulation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-049b8618c526c077.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-049b8618c526c077: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

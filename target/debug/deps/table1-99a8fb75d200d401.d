@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-99a8fb75d200d401.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-99a8fb75d200d401: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-0cecc40019e95b22.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-0cecc40019e95b22: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

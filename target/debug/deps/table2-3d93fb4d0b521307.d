@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-3d93fb4d0b521307.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-3d93fb4d0b521307: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

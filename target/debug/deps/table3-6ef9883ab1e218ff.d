@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-6ef9883ab1e218ff.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-6ef9883ab1e218ff: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

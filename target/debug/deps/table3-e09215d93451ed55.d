@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-e09215d93451ed55.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-e09215d93451ed55: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-518572ee8178d8ab.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-518572ee8178d8ab: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

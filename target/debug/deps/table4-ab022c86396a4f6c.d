@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-ab022c86396a4f6c.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-ab022c86396a4f6c: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

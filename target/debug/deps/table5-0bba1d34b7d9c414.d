@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-0bba1d34b7d9c414.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-0bba1d34b7d9c414: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

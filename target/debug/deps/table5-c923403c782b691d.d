@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-c923403c782b691d.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-c923403c782b691d: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

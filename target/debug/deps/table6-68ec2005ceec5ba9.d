@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-68ec2005ceec5ba9.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-68ec2005ceec5ba9: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

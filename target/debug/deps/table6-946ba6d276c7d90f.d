@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-946ba6d276c7d90f.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-946ba6d276c7d90f: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/validation-3476084a2c31ff0d.d: crates/bench/benches/validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvalidation-3476084a2c31ff0d.rmeta: crates/bench/benches/validation.rs Cargo.toml
+
+crates/bench/benches/validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-adda642e851e824a.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-adda642e851e824a: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all-1ea5740b1fe71a76.d: crates/bench/src/bin/all.rs
+
+/root/repo/target/release/deps/all-1ea5740b1fe71a76: crates/bench/src/bin/all.rs
+
+crates/bench/src/bin/all.rs:

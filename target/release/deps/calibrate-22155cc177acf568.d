@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibrate-22155cc177acf568.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/release/deps/calibrate-22155cc177acf568: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/export-95a40000288f684d.d: crates/bench/src/bin/export.rs
+
+/root/repo/target/release/deps/export-95a40000288f684d: crates/bench/src/bin/export.rs
+
+crates/bench/src/bin/export.rs:

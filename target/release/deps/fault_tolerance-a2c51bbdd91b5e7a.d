@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_tolerance-a2c51bbdd91b5e7a.d: tests/fault_tolerance.rs
+
+/root/repo/target/release/deps/fault_tolerance-a2c51bbdd91b5e7a: tests/fault_tolerance.rs
+
+tests/fault_tolerance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/faults-3dad1ebec66d780e.d: crates/bench/src/bin/faults.rs
+
+/root/repo/target/release/deps/faults-3dad1ebec66d780e: crates/bench/src/bin/faults.rs
+
+crates/bench/src/bin/faults.rs:

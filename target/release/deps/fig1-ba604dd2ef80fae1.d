@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1-ba604dd2ef80fae1.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/release/deps/fig1-ba604dd2ef80fae1: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

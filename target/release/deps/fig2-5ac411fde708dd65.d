@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2-5ac411fde708dd65.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/release/deps/fig2-5ac411fde708dd65: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-1ca7c1e770e47a56.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-1ca7c1e770e47a56: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-8ef2c7afccb1d854.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-8ef2c7afccb1d854: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-82858fca7c1bd03b.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-82858fca7c1bd03b: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-7d64921ffbd413f0.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-7d64921ffbd413f0: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-acd4dcb6276625dd.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-acd4dcb6276625dd: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

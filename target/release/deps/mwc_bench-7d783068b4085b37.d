@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mwc_bench-7d783068b4085b37.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmwc_bench-7d783068b4085b37.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmwc_bench-7d783068b4085b37.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

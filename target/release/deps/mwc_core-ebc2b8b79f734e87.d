@@ -1,10 +1,11 @@
-/root/repo/target/release/deps/mwc_core-ebc2b8b79f734e87.d: crates/core/src/lib.rs crates/core/src/features.rs crates/core/src/figures.rs crates/core/src/observations.rs crates/core/src/pipeline.rs crates/core/src/subsets.rs crates/core/src/tables.rs
+/root/repo/target/release/deps/mwc_core-ebc2b8b79f734e87.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/features.rs crates/core/src/figures.rs crates/core/src/observations.rs crates/core/src/pipeline.rs crates/core/src/subsets.rs crates/core/src/tables.rs
 
-/root/repo/target/release/deps/libmwc_core-ebc2b8b79f734e87.rlib: crates/core/src/lib.rs crates/core/src/features.rs crates/core/src/figures.rs crates/core/src/observations.rs crates/core/src/pipeline.rs crates/core/src/subsets.rs crates/core/src/tables.rs
+/root/repo/target/release/deps/libmwc_core-ebc2b8b79f734e87.rlib: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/features.rs crates/core/src/figures.rs crates/core/src/observations.rs crates/core/src/pipeline.rs crates/core/src/subsets.rs crates/core/src/tables.rs
 
-/root/repo/target/release/deps/libmwc_core-ebc2b8b79f734e87.rmeta: crates/core/src/lib.rs crates/core/src/features.rs crates/core/src/figures.rs crates/core/src/observations.rs crates/core/src/pipeline.rs crates/core/src/subsets.rs crates/core/src/tables.rs
+/root/repo/target/release/deps/libmwc_core-ebc2b8b79f734e87.rmeta: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/features.rs crates/core/src/figures.rs crates/core/src/observations.rs crates/core/src/pipeline.rs crates/core/src/subsets.rs crates/core/src/tables.rs
 
 crates/core/src/lib.rs:
+crates/core/src/error.rs:
 crates/core/src/features.rs:
 crates/core/src/figures.rs:
 crates/core/src/observations.rs:

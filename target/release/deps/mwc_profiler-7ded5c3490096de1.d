@@ -1,13 +1,14 @@
-/root/repo/target/release/deps/mwc_profiler-7ded5c3490096de1.d: crates/profiler/src/lib.rs crates/profiler/src/baseline.rs crates/profiler/src/capture.rs crates/profiler/src/derive.rs crates/profiler/src/export.rs crates/profiler/src/metric.rs crates/profiler/src/timeseries.rs
+/root/repo/target/release/deps/mwc_profiler-7ded5c3490096de1.d: crates/profiler/src/lib.rs crates/profiler/src/baseline.rs crates/profiler/src/capture.rs crates/profiler/src/derive.rs crates/profiler/src/export.rs crates/profiler/src/faults.rs crates/profiler/src/metric.rs crates/profiler/src/timeseries.rs
 
-/root/repo/target/release/deps/libmwc_profiler-7ded5c3490096de1.rlib: crates/profiler/src/lib.rs crates/profiler/src/baseline.rs crates/profiler/src/capture.rs crates/profiler/src/derive.rs crates/profiler/src/export.rs crates/profiler/src/metric.rs crates/profiler/src/timeseries.rs
+/root/repo/target/release/deps/libmwc_profiler-7ded5c3490096de1.rlib: crates/profiler/src/lib.rs crates/profiler/src/baseline.rs crates/profiler/src/capture.rs crates/profiler/src/derive.rs crates/profiler/src/export.rs crates/profiler/src/faults.rs crates/profiler/src/metric.rs crates/profiler/src/timeseries.rs
 
-/root/repo/target/release/deps/libmwc_profiler-7ded5c3490096de1.rmeta: crates/profiler/src/lib.rs crates/profiler/src/baseline.rs crates/profiler/src/capture.rs crates/profiler/src/derive.rs crates/profiler/src/export.rs crates/profiler/src/metric.rs crates/profiler/src/timeseries.rs
+/root/repo/target/release/deps/libmwc_profiler-7ded5c3490096de1.rmeta: crates/profiler/src/lib.rs crates/profiler/src/baseline.rs crates/profiler/src/capture.rs crates/profiler/src/derive.rs crates/profiler/src/export.rs crates/profiler/src/faults.rs crates/profiler/src/metric.rs crates/profiler/src/timeseries.rs
 
 crates/profiler/src/lib.rs:
 crates/profiler/src/baseline.rs:
 crates/profiler/src/capture.rs:
 crates/profiler/src/derive.rs:
 crates/profiler/src/export.rs:
+crates/profiler/src/faults.rs:
 crates/profiler/src/metric.rs:
 crates/profiler/src/timeseries.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/observations-115b445429e91d04.d: crates/bench/src/bin/observations.rs
+
+/root/repo/target/release/deps/observations-115b445429e91d04: crates/bench/src/bin/observations.rs
+
+crates/bench/src/bin/observations.rs:

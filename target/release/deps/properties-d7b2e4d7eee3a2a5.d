@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-d7b2e4d7eee3a2a5.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-d7b2e4d7eee3a2a5: tests/properties.rs
+
+tests/properties.rs:

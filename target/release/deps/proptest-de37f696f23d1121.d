@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-de37f696f23d1121.d: crates/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-de37f696f23d1121.rlib: crates/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-de37f696f23d1121.rmeta: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-8cbcd66b4c60ed59.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-8cbcd66b4c60ed59: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

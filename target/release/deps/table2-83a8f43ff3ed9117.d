@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-83a8f43ff3ed9117.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-83a8f43ff3ed9117: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

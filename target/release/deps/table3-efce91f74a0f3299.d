@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-efce91f74a0f3299.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-efce91f74a0f3299: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-c315f455003c55f3.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-c315f455003c55f3: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

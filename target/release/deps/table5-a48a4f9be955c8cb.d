@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5-a48a4f9be955c8cb.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/release/deps/table5-a48a4f9be955c8cb: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6-1d0d73c71a5dc735.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/release/deps/table6-1d0d73c71a5dc735: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

@@ -366,3 +366,97 @@ proptest! {
         }
     }
 }
+
+/// Strategy: a counter-style series (non-negative, like loads and rates)
+/// where each sample may have been lost by a flaky profiler — the negative
+/// quarter of the sampled range maps to NaN gaps.
+fn gappy_series(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-33.0f64..100.0, 1..=max_len).prop_map(|values| {
+        values
+            .into_iter()
+            .map(|v| if v < 0.0 { f64::NAN } else { v })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---------- gap-tolerant time series ----------
+
+    #[test]
+    fn gap_tolerant_series_stats_are_finite(values in gappy_series(40)) {
+        let s = mwc_profiler::TimeSeries::new(0.1, values);
+        prop_assert!(s.mean().is_finite());
+        prop_assert!(s.min().is_finite());
+        prop_assert!(s.max().is_finite());
+        prop_assert!((0.0..=1.0).contains(&s.completeness()));
+        prop_assert!(s.min() <= s.max() + 1e-12);
+    }
+
+    #[test]
+    fn interpolated_series_is_gap_free_and_bounded(values in gappy_series(40)) {
+        let s = mwc_profiler::TimeSeries::new(0.1, values);
+        let filled = s.interpolate_gaps();
+        prop_assert_eq!(filled.len(), s.len());
+        let finite: Vec<f64> = s.values.iter().copied().filter(|v| v.is_finite()).collect();
+        let (lo, hi) = if finite.is_empty() {
+            (0.0, 0.0)
+        } else {
+            (
+                finite.iter().copied().fold(f64::INFINITY, f64::min),
+                finite.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            )
+        };
+        for v in &filled.values {
+            prop_assert!(v.is_finite(), "no gap survives interpolation");
+            // Linear interpolation between neighbours never overshoots
+            // the observed range.
+            prop_assert!((lo - 1e-9..=hi + 1e-9).contains(v));
+        }
+        let resampled = filled.resample(7);
+        prop_assert!(resampled.values.iter().all(|v| v.is_finite()));
+    }
+
+    // ---------- pairwise-complete correlations ----------
+
+    #[test]
+    fn correlations_with_gaps_stay_finite_and_bounded(
+        xs in gappy_series(30),
+        ys in gappy_series(30),
+    ) {
+        let p = pearson(&xs, &ys);
+        prop_assert!(p.is_finite());
+        prop_assert!(p.abs() <= 1.0 + 1e-9);
+        let s = mwc_analysis::stats::spearman(&xs, &ys);
+        prop_assert!(s.is_finite());
+        prop_assert!(s.abs() <= 1.0 + 1e-9);
+    }
+}
+
+proptest! {
+    // Each case runs two full (single-run) studies; keep the count low.
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn fault_off_study_is_thread_count_invariant(threads in 1usize..6, seed in 0u64..500) {
+        use mwc_core::pipeline::Characterization;
+        let serial = Characterization::try_run_with(
+            SocConfig::snapdragon_888(),
+            seed,
+            1,
+            1,
+            &mwc_profiler::FaultConfig::default(),
+        )
+        .expect("fault-free study succeeds");
+        let threaded = Characterization::try_run_with(
+            SocConfig::snapdragon_888(),
+            seed,
+            1,
+            threads,
+            &mwc_profiler::FaultConfig::default(),
+        )
+        .expect("fault-free study succeeds");
+        prop_assert!(serial == threaded, "bit-identical for {threads} workers, seed {seed}");
+    }
+}
