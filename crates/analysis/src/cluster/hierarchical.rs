@@ -104,6 +104,8 @@ impl Dendrogram {
 /// Build the dendrogram for the rows of `m` under the given linkage using
 /// the Lance–Williams update formula.
 pub fn hierarchical(m: &Matrix, linkage: Linkage) -> Result<Dendrogram, AnalysisError> {
+    let mut span = mwc_obs::span("analysis.hierarchical");
+    span.field("rows", m.rows());
     if m.rows() == 0 {
         return Err(AnalysisError::EmptyInput("matrix has no rows".into()));
     }

@@ -28,6 +28,9 @@ const PARALLEL_MIN_ROWS: usize = 64;
 /// restart order, and ties on cost resolve to the lowest restart index —
 /// exactly the serial fold.
 pub fn kmeans(m: &Matrix, k: usize, seed: u64) -> Result<Clustering, AnalysisError> {
+    let mut span = mwc_obs::span("analysis.kmeans");
+    span.field("k", k);
+    span.field("rows", m.rows());
     let threads = if m.rows() >= PARALLEL_MIN_ROWS {
         mwc_parallel::configured_threads()
     } else {
@@ -52,14 +55,14 @@ fn kmeans_with_threads(
     }
     let restarts: Vec<u64> = (0..RESTARTS).collect();
     let runs = mwc_parallel::ordered_map(&restarts, threads, |&r, _| {
-        let c = kmeans_once(m, k, seed.wrapping_add(r)).expect("k validated above");
-        let cost = inertia(m, &c);
-        (cost, c)
+        kmeans_once(m, k, seed.wrapping_add(r)).map(|c| (inertia(m, &c), c))
     });
     let best = runs
         .into_iter()
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
         .reduce(|best, run| if run.0 < best.0 { run } else { best })
-        .expect("RESTARTS >= 1");
+        .ok_or_else(|| AnalysisError::EmptyInput("no k-means restarts ran".into()))?;
     Ok(best.1)
 }
 
@@ -111,11 +114,9 @@ fn kmeans_once(m: &Matrix, k: usize, seed: u64) -> Result<Clustering, AnalysisEr
             let row = m.row(i);
             let best = (0..k)
                 .min_by(|&a, &b| {
-                    euclidean_sq(row, &centroids[a])
-                        .partial_cmp(&euclidean_sq(row, &centroids[b]))
-                        .expect("finite distances")
+                    euclidean_sq(row, &centroids[a]).total_cmp(&euclidean_sq(row, &centroids[b]))
                 })
-                .expect("k >= 1");
+                .unwrap_or(0);
             if *label != best {
                 *label = best;
                 changed = true;
@@ -139,10 +140,9 @@ fn kmeans_once(m: &Matrix, k: usize, seed: u64) -> Result<Clustering, AnalysisEr
                 let far = (0..n)
                     .max_by(|&a, &b| {
                         euclidean_sq(m.row(a), &centroids[labels[a]])
-                            .partial_cmp(&euclidean_sq(m.row(b), &centroids[labels[b]]))
-                            .expect("finite distances")
+                            .total_cmp(&euclidean_sq(m.row(b), &centroids[labels[b]]))
                     })
-                    .expect("n >= 1");
+                    .unwrap_or(0);
                 centroids[c] = m.row(far).to_vec();
                 labels[far] = c;
             } else {

@@ -12,6 +12,9 @@ use crate::matrix::Matrix;
 
 /// Cluster the rows of `m` into `k` clusters around medoids.
 pub fn pam(m: &Matrix, k: usize, _seed: u64) -> Result<Clustering, AnalysisError> {
+    let mut span = mwc_obs::span("analysis.pam");
+    span.field("k", k);
+    span.field("rows", m.rows());
     pam_with_distances(&pairwise_euclidean(m), k)
 }
 
@@ -33,12 +36,8 @@ pub fn pam_with_distances(d: &Matrix, k: usize) -> Result<Clustering, AnalysisEr
     // maximizes the decrease in total dissimilarity.
     let mut medoids: Vec<usize> = Vec::with_capacity(k);
     let first = (0..n)
-        .min_by(|&a, &b| {
-            total_dist(d, a, n)
-                .partial_cmp(&total_dist(d, b, n))
-                .expect("finite distances")
-        })
-        .expect("n >= 1");
+        .min_by(|&a, &b| total_dist(d, a, n).total_cmp(&total_dist(d, b, n)))
+        .ok_or_else(|| AnalysisError::EmptyInput("no observations to seed medoids".into()))?;
     medoids.push(first);
     while medoids.len() < k {
         let mut best_gain = f64::NEG_INFINITY;
@@ -58,7 +57,13 @@ pub fn pam_with_distances(d: &Matrix, k: usize) -> Result<Clustering, AnalysisEr
                 best = Some(cand);
             }
         }
-        medoids.push(best.expect("candidates remain while medoids < k <= n"));
+        let next = best.ok_or_else(|| {
+            AnalysisError::InvalidClusterCount(format!(
+                "no medoid candidates left at {} of {k}",
+                medoids.len()
+            ))
+        })?;
+        medoids.push(next);
     }
 
     // SWAP: steepest-descent exchange until no swap improves the cost.
@@ -93,12 +98,8 @@ pub fn pam_with_distances(d: &Matrix, k: usize) -> Result<Clustering, AnalysisEr
     let labels = (0..n)
         .map(|j| {
             (0..k)
-                .min_by(|&a, &b| {
-                    d.get(j, medoids[a])
-                        .partial_cmp(&d.get(j, medoids[b]))
-                        .expect("finite distances")
-                })
-                .expect("k >= 1")
+                .min_by(|&a, &b| d.get(j, medoids[a]).total_cmp(&d.get(j, medoids[b])))
+                .unwrap_or(0)
         })
         .collect();
     Clustering::new(labels, k)

@@ -27,16 +27,11 @@ pub fn fastest_per_cluster(clustering: &Clustering, runtimes: &[f64]) -> Vec<usi
     clustering
         .members()
         .iter()
-        .filter(|members| !members.is_empty())
-        .map(|members| {
-            *members
+        .filter_map(|members| {
+            members
                 .iter()
-                .min_by(|&&a, &&b| {
-                    runtimes[a]
-                        .partial_cmp(&runtimes[b])
-                        .expect("finite runtimes")
-                })
-                .expect("cluster is non-empty")
+                .min_by(|&&a, &&b| runtimes[a].total_cmp(&runtimes[b]))
+                .copied()
         })
         .collect()
 }

@@ -29,9 +29,7 @@ pub fn connectivity(m: &Matrix, c: &Clustering, l: usize) -> f64 {
         // Rank the other observations by distance to i.
         let mut others: Vec<usize> = (0..n).filter(|&j| j != i).collect();
         others.sort_by(|&a, &b| {
-            euclidean(m.row(i), m.row(a))
-                .partial_cmp(&euclidean(m.row(i), m.row(b)))
-                .expect("finite distances")
+            euclidean(m.row(i), m.row(a)).total_cmp(&euclidean(m.row(i), m.row(b)))
         });
         for (rank, &j) in others.iter().take(l).enumerate() {
             if labels[j] != labels[i] {

@@ -12,23 +12,29 @@
 
 use crate::cluster::Clustering;
 use crate::distance::pairwise_euclidean;
+use crate::error::AnalysisError;
 use crate::matrix::Matrix;
 
 /// A function that clusters a matrix into `k` clusters (the algorithm under
-/// validation).
-pub type Clusterer<'a> = &'a dyn Fn(&Matrix, usize) -> Clustering;
+/// validation). Fallible so validation sweeps can propagate algorithm
+/// errors instead of panicking mid-sweep.
+pub type Clusterer<'a> = &'a dyn Fn(&Matrix, usize) -> Result<Clustering, AnalysisError>;
 
 /// Average proportion of non-overlap over all leave-one-column-out
 /// reclusterings. Lower is better.
-pub fn average_proportion_non_overlap(m: &Matrix, k: usize, clusterer: Clusterer<'_>) -> f64 {
-    let full = clusterer(m, k);
+pub fn average_proportion_non_overlap(
+    m: &Matrix,
+    k: usize,
+    clusterer: Clusterer<'_>,
+) -> Result<f64, AnalysisError> {
+    let full = clusterer(m, k)?;
     if m.rows() == 0 || m.cols() == 0 {
-        return 0.0;
+        return Ok(0.0);
     }
     let reduced: Vec<Clustering> = (0..m.cols())
         .map(|col| clusterer(&m.without_col(col), k))
-        .collect();
-    apn_from(&full, &reduced)
+        .collect::<Result<_, _>>()?;
+    Ok(apn_from(&full, &reduced))
 }
 
 /// APN from precomputed clusterings: `full` over all features and
@@ -61,15 +67,19 @@ pub fn apn_from(full: &Clustering, reduced: &[Clustering]) -> f64 {
 /// full clustering and by each leave-one-column-out clustering. Lower is
 /// better; the measure decreases as k grows (clusters shrink), the bias the
 /// paper notes in Figure 4.
-pub fn average_distance(m: &Matrix, k: usize, clusterer: Clusterer<'_>) -> f64 {
-    let full = clusterer(m, k);
+pub fn average_distance(
+    m: &Matrix,
+    k: usize,
+    clusterer: Clusterer<'_>,
+) -> Result<f64, AnalysisError> {
+    let full = clusterer(m, k)?;
     if m.rows() == 0 || m.cols() == 0 {
-        return 0.0;
+        return Ok(0.0);
     }
     let reduced: Vec<Clustering> = (0..m.cols())
         .map(|col| clusterer(&m.without_col(col), k))
-        .collect();
-    ad_from(&pairwise_euclidean(m), &full, &reduced)
+        .collect::<Result<_, _>>()?;
+    Ok(ad_from(&pairwise_euclidean(m), &full, &reduced))
 }
 
 /// AD from precomputed clusterings and the full-feature-space pairwise
@@ -115,8 +125,8 @@ mod tests {
     use super::*;
     use crate::cluster::kmeans;
 
-    fn clusterer(m: &Matrix, k: usize) -> Clustering {
-        kmeans(m, k, 42).expect("valid k")
+    fn clusterer(m: &Matrix, k: usize) -> Result<Clustering, AnalysisError> {
+        kmeans(m, k, 42)
     }
 
     /// Blobs separated in *every* feature: removing a column never changes
@@ -148,7 +158,7 @@ mod tests {
 
     #[test]
     fn apn_zero_for_stable_clusters() {
-        let apn = average_proportion_non_overlap(&stable_data(), 2, &clusterer);
+        let apn = average_proportion_non_overlap(&stable_data(), 2, &clusterer).unwrap();
         assert!(
             apn < 1e-9,
             "stable data must have zero non-overlap, got {apn}"
@@ -157,7 +167,7 @@ mod tests {
 
     #[test]
     fn apn_positive_for_unstable_clusters() {
-        let apn = average_proportion_non_overlap(&unstable_data(), 2, &clusterer);
+        let apn = average_proportion_non_overlap(&unstable_data(), 2, &clusterer).unwrap();
         assert!(
             apn > 0.1,
             "column-dependent clusters must be unstable, got {apn}"
@@ -167,7 +177,7 @@ mod tests {
     #[test]
     fn apn_bounded() {
         for k in 2..=4 {
-            let apn = average_proportion_non_overlap(&unstable_data(), k, &clusterer);
+            let apn = average_proportion_non_overlap(&unstable_data(), k, &clusterer).unwrap();
             assert!((0.0..=1.0).contains(&apn));
         }
     }
@@ -175,8 +185,8 @@ mod tests {
     #[test]
     fn ad_positive_and_decreases_with_k() {
         let m = stable_data();
-        let ad2 = average_distance(&m, 2, &clusterer);
-        let ad5 = average_distance(&m, 5, &clusterer);
+        let ad2 = average_distance(&m, 2, &clusterer).unwrap();
+        let ad5 = average_distance(&m, 5, &clusterer).unwrap();
         assert!(ad2 > 0.0);
         assert!(
             ad5 < ad2,
@@ -186,8 +196,8 @@ mod tests {
 
     #[test]
     fn ad_smaller_for_tight_clusters() {
-        let tight = average_distance(&stable_data(), 2, &clusterer);
-        let loose = average_distance(&unstable_data(), 2, &clusterer);
+        let tight = average_distance(&stable_data(), 2, &clusterer).unwrap();
+        let loose = average_distance(&unstable_data(), 2, &clusterer).unwrap();
         assert!(tight < loose);
     }
 
@@ -195,13 +205,13 @@ mod tests {
     fn precomputed_cores_match_the_clusterer_driven_path() {
         for m in [stable_data(), unstable_data()] {
             let k = 2;
-            let full = clusterer(&m, k);
+            let full = clusterer(&m, k).unwrap();
             let reduced: Vec<Clustering> = (0..m.cols())
-                .map(|col| clusterer(&m.without_col(col), k))
+                .map(|col| clusterer(&m.without_col(col), k).unwrap())
                 .collect();
-            let apn = average_proportion_non_overlap(&m, k, &clusterer);
+            let apn = average_proportion_non_overlap(&m, k, &clusterer).unwrap();
             assert_eq!(apn.to_bits(), apn_from(&full, &reduced).to_bits());
-            let ad = average_distance(&m, k, &clusterer);
+            let ad = average_distance(&m, k, &clusterer).unwrap();
             assert_eq!(
                 ad.to_bits(),
                 ad_from(&pairwise_euclidean(&m), &full, &reduced).to_bits()

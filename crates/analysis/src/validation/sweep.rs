@@ -157,6 +157,9 @@ struct SweepContext<'a> {
 
 impl SweepContext<'_> {
     fn new(m: &Matrix) -> Result<SweepContext<'_>, AnalysisError> {
+        let mut span = mwc_obs::span("analysis.sweep_context");
+        span.field("rows", m.rows());
+        span.field("cols", m.cols());
         let d_full = pairwise_euclidean(m);
         let reduced: Vec<Matrix> = (0..m.cols()).map(|col| m.without_col(col)).collect();
         let d_reduced: Vec<Matrix> = reduced.iter().map(pairwise_euclidean).collect();
@@ -175,42 +178,63 @@ impl SweepContext<'_> {
         })
     }
 
-    /// Cluster the full data. `k` was validated by [`sweep`] up front, and
-    /// none of the algorithms can fail for a valid `k`.
-    fn cluster_full(&self, algorithm: Algorithm, k: usize) -> Clustering {
+    /// Cluster the full data over the shared distance matrix / dendrogram.
+    /// `k` was validated by [`sweep`] up front, so failures here indicate a
+    /// bug — they are propagated as typed errors rather than panics.
+    fn cluster_full(&self, algorithm: Algorithm, k: usize) -> Result<Clustering, AnalysisError> {
         match algorithm {
             Algorithm::KMeans => kmeans(self.m, k, SWEEP_SEED),
-            Algorithm::Pam => pam_with_distances(&self.d_full, k),
-            Algorithm::Hierarchical => self.dend_full.cut(k),
+            Algorithm::Pam => {
+                mwc_obs::metrics::counter_add("analysis.distance_reuse_hits", 1);
+                pam_with_distances(&self.d_full, k)
+            }
+            Algorithm::Hierarchical => {
+                mwc_obs::metrics::counter_add("analysis.distance_reuse_hits", 1);
+                self.dend_full.cut(k)
+            }
         }
-        .expect("k validated by sweep")
     }
 
     /// Cluster the data with feature `col` removed (same row count, so the
     /// up-front `k` validation still covers it).
-    fn cluster_reduced(&self, algorithm: Algorithm, k: usize, col: usize) -> Clustering {
+    fn cluster_reduced(
+        &self,
+        algorithm: Algorithm,
+        k: usize,
+        col: usize,
+    ) -> Result<Clustering, AnalysisError> {
         match algorithm {
             Algorithm::KMeans => kmeans(&self.reduced[col], k, SWEEP_SEED),
-            Algorithm::Pam => pam_with_distances(&self.d_reduced[col], k),
-            Algorithm::Hierarchical => self.dend_reduced[col].cut(k),
+            Algorithm::Pam => {
+                mwc_obs::metrics::counter_add("analysis.distance_reuse_hits", 1);
+                pam_with_distances(&self.d_reduced[col], k)
+            }
+            Algorithm::Hierarchical => {
+                mwc_obs::metrics::counter_add("analysis.distance_reuse_hits", 1);
+                self.dend_reduced[col].cut(k)
+            }
         }
-        .expect("k validated by sweep")
     }
 
     /// All four measures for one grid cell, entirely from shared state.
-    fn evaluate(&self, algorithm: Algorithm, k: usize) -> SweepPoint {
-        let full = self.cluster_full(algorithm, k);
+    fn evaluate(&self, algorithm: Algorithm, k: usize) -> Result<SweepPoint, AnalysisError> {
+        let mut span = mwc_obs::span("analysis.cell");
+        span.field("algorithm", algorithm.name());
+        span.field("k", k);
+        let full = self.cluster_full(algorithm, k)?;
         let reduced: Vec<Clustering> = (0..self.reduced.len())
             .map(|col| self.cluster_reduced(algorithm, k, col))
-            .collect();
-        SweepPoint {
+            .collect::<Result<_, _>>()?;
+        // The three distance-based measures all read the shared matrix.
+        mwc_obs::metrics::counter_add("analysis.distance_reuse_hits", 3);
+        Ok(SweepPoint {
             algorithm,
             k,
             dunn: dunn_index_with_distances(&self.d_full, &full),
             silhouette: silhouette_width_with_distances(&self.d_full, &full),
             apn: apn_from(&full, &reduced),
             ad: ad_from(&self.d_full, &full, &reduced),
-        }
+        })
     }
 }
 
@@ -222,6 +246,8 @@ impl SweepContext<'_> {
 /// `MWC_THREADS`, see `mwc-parallel`). The result is identical to
 /// [`sweep_unshared`].
 pub fn sweep(m: &Matrix, ks: &[usize]) -> Result<ValidationSweep, AnalysisError> {
+    let mut span = mwc_obs::span("analysis.sweep");
+    span.field("ks", ks.len());
     if ks.is_empty() {
         return Ok(ValidationSweep { points: Vec::new() });
     }
@@ -236,11 +262,14 @@ pub fn sweep(m: &Matrix, ks: &[usize]) -> Result<ValidationSweep, AnalysisError>
         .iter()
         .flat_map(|&algorithm| ks.iter().map(move |&k| (algorithm, k)))
         .collect();
+    span.field("cells", cells.len());
     let points = mwc_parallel::ordered_map(
         &cells,
         mwc_parallel::configured_threads(),
         |&(algorithm, k), _| ctx.evaluate(algorithm, k),
-    );
+    )
+    .into_iter()
+    .collect::<Result<Vec<_>, _>>()?;
     Ok(ValidationSweep { points })
 }
 
@@ -253,16 +282,14 @@ pub fn sweep_unshared(m: &Matrix, ks: &[usize]) -> Result<ValidationSweep, Analy
     for &algorithm in &Algorithm::ALL {
         for &k in ks {
             let clustering = algorithm.run(m, k)?;
-            let clusterer = move |mm: &Matrix, kk: usize| {
-                algorithm.run(mm, kk).expect("k validated by outer call")
-            };
+            let clusterer = move |mm: &Matrix, kk: usize| algorithm.run(mm, kk);
             points.push(SweepPoint {
                 algorithm,
                 k,
                 dunn: dunn_index(m, &clustering),
                 silhouette: silhouette_width(m, &clustering),
-                apn: average_proportion_non_overlap(m, k, &clusterer),
-                ad: average_distance(m, k, &clusterer),
+                apn: average_proportion_non_overlap(m, k, &clusterer)?,
+                ad: average_distance(m, k, &clusterer)?,
             });
         }
     }

@@ -1,0 +1,123 @@
+//! Self-profiling run of the full characterization pipeline.
+//!
+//! Runs the default study (18 units, 3 runs, seed 2024), the k = 5
+//! clustering and the Figure 4 validation sweep with observability
+//! collection forced on, then reports where the wall time went:
+//!
+//! * per-stage wall time (count / total / self / max per span name);
+//! * the slowest per-unit simulations (top-k `pipeline.unit` spans);
+//! * capture-health counters (retries, drops, overflow wraps, …);
+//! * the full metrics registry.
+//!
+//! The printed `study digest:` line fingerprints every value the study
+//! produced; `scripts/verify.sh` compares it between traced and untraced
+//! runs to assert that observability never perturbs results. When
+//! `MWC_TRACE=<path>` is set the collected spans are also written as a
+//! Chrome `trace_event` file (or a JSONL log if the path ends in
+//! `.jsonl`) loadable in `chrome://tracing` / Perfetto.
+
+use mwc_core::PipelineError;
+use mwc_obs::export;
+use mwc_obs::metrics::Metric;
+use mwc_obs::summary::{fmt_ns, top_spans_by_field, Summary};
+use mwc_report::table::Table;
+
+/// How many of the slowest units to show.
+const TOP_K_UNITS: usize = 8;
+
+fn main() {
+    mwc_bench::run_or_exit(run);
+}
+
+fn run() -> Result<(), PipelineError> {
+    // This binary exists to profile the pipeline, so collection is on
+    // regardless of MWC_TRACE / MWC_PROFILE.
+    mwc_obs::set_enabled(true);
+
+    mwc_bench::header("Self-profile: study + clustering + validation sweep");
+    let study = mwc_bench::study();
+    let clustering = mwc_bench::try_clustering()?;
+    let sweep = mwc_core::figures::fig4(study)?;
+
+    println!("study digest: {:016x}", study.digest());
+    println!(
+        "units profiled: {} of {} requested; clustering k = {}; sweep points = {}",
+        study.report().units_profiled(),
+        study.report().units_requested,
+        clustering.k(),
+        sweep.points.len(),
+    );
+
+    let data = mwc_obs::trace::drain();
+    let metrics = mwc_obs::metrics::snapshot();
+
+    mwc_bench::header("Per-stage wall time");
+    let stage_summary = Summary::from_trace(&data);
+    let mut stages = Table::new(vec!["span", "count", "total", "self", "max"]);
+    for s in stage_summary.stats() {
+        stages.row(vec![
+            s.name.clone(),
+            s.count.to_string(),
+            fmt_ns(s.total_ns),
+            fmt_ns(s.self_ns),
+            fmt_ns(s.max_ns),
+        ]);
+    }
+    println!("{}", stages.render());
+
+    mwc_bench::header(&format!("Slowest units (top {TOP_K_UNITS})"));
+    let mut units = Table::new(vec!["unit", "sim time"]);
+    for (name, ns) in top_spans_by_field(&data, "pipeline.unit", "name", TOP_K_UNITS) {
+        units.row(vec![name, fmt_ns(ns)]);
+    }
+    println!("{}", units.render());
+
+    mwc_bench::header("Capture health");
+    let mut health = Table::new(vec!["metric", "value"]);
+    for (name, metric) in &metrics {
+        if let (true, Metric::Counter(v)) = (name.starts_with("capture."), metric) {
+            health.row(vec![name.clone(), v.to_string()]);
+        }
+    }
+    if health.is_empty() {
+        health.row(vec!["(no capture metrics)".into(), "-".into()]);
+    }
+    println!("{}", health.render());
+
+    mwc_bench::header("Metrics registry");
+    let mut dump = Table::new(vec!["metric", "kind", "value"]);
+    for (name, metric) in &metrics {
+        let (kind, value) = match metric {
+            Metric::Counter(v) => ("counter", v.to_string()),
+            Metric::Gauge(v) => ("gauge", format!("{v}")),
+            Metric::Histogram(h) => (
+                "histogram",
+                format!(
+                    "n = {}, mean = {}, max = {}",
+                    h.count(),
+                    fmt_ns(h.mean() as u64),
+                    fmt_ns(h.max() as u64),
+                ),
+            ),
+        };
+        dump.row(vec![name.clone(), kind.into(), value]);
+    }
+    println!("{}", dump.render());
+
+    if let Some(path) = mwc_obs::trace_path() {
+        let body = if export::wants_jsonl(&path) {
+            export::jsonl(&data, &metrics)
+        } else {
+            export::chrome_trace_json(&data)
+        };
+        std::fs::write(&path, body)?;
+        println!(
+            "trace written to {} ({} spans, {} events)",
+            path.display(),
+            data.spans.len(),
+            data.events.len(),
+        );
+    }
+
+    Ok(())
+}

@@ -168,45 +168,66 @@ impl Characterization {
         threads: usize,
         faults: &FaultConfig,
     ) -> Result<Self, PipelineError> {
-        faults.validate()?;
-        // Validate the platform once up front, so worker-side engine
-        // construction below is infallible.
-        Engine::new(config.clone(), seed)?;
-        let units = all_units();
-        let results = mwc_parallel::ordered_map_with(
-            &units,
-            threads,
-            || {
-                let engine =
-                    Engine::new(config.clone(), seed).expect("configuration validated above");
-                Profiler::new(engine, seed)
-            },
-            |profiler, unit, unit_index| profile_unit(profiler, unit, unit_index, runs, faults),
-        );
+        let mut study_span = mwc_obs::span("pipeline.study");
+        study_span.field("seed", seed);
+        study_span.field("runs", runs);
+        study_span.field("threads", threads);
+        mwc_obs::metrics::gauge_set("pipeline.threads", threads as f64);
 
-        let units_requested = units.len();
-        let mut profiles = Vec::with_capacity(units_requested);
-        let mut failed_units = Vec::new();
-        for (unit, result) in units.iter().zip(results) {
-            match result {
-                Ok(profile) => profiles.push(profile),
-                Err(e) => failed_units.push(FailedUnit {
-                    name: unit.name.to_owned(),
-                    error: e.to_string(),
-                }),
+        stage("pipeline.validate", || {
+            faults.validate()?;
+            // Validate the platform once up front, so worker-side engine
+            // construction below is infallible.
+            Engine::new(config.clone(), seed)?;
+            Ok::<(), PipelineError>(())
+        })?;
+        let units = all_units();
+        study_span.field("units", units.len());
+        let results = stage("pipeline.capture", || {
+            mwc_parallel::ordered_map_with(
+                &units,
+                threads,
+                || {
+                    let engine =
+                        Engine::new(config.clone(), seed).expect("configuration validated above");
+                    Profiler::new(engine, seed)
+                },
+                |profiler, unit, unit_index| profile_unit(profiler, unit, unit_index, runs, faults),
+            )
+        });
+
+        stage("pipeline.collect", || {
+            let units_requested = units.len();
+            let mut profiles = Vec::with_capacity(units_requested);
+            let mut failed_units = Vec::new();
+            for (unit, result) in units.iter().zip(results) {
+                match result {
+                    Ok(profile) => {
+                        profile.health.record_metrics();
+                        profiles.push(profile);
+                    }
+                    Err(e) => {
+                        mwc_obs::metrics::counter_add("pipeline.failed_units", 1);
+                        failed_units.push(FailedUnit {
+                            name: unit.name.to_owned(),
+                            error: e.to_string(),
+                        });
+                    }
+                }
             }
-        }
-        if profiles.is_empty() {
-            return Err(PipelineError::StudyEmpty {
-                requested: units_requested,
-            });
-        }
-        Ok(Characterization {
-            profiles,
-            report: DegradationReport {
-                units_requested,
-                failed_units,
-            },
+            if profiles.is_empty() {
+                return Err(PipelineError::StudyEmpty {
+                    requested: units_requested,
+                });
+            }
+            mwc_obs::metrics::counter_add("pipeline.units_profiled", profiles.len() as u64);
+            Ok(Characterization {
+                profiles,
+                report: DegradationReport {
+                    units_requested,
+                    failed_units,
+                },
+            })
         })
     }
 
@@ -246,6 +267,132 @@ impl Characterization {
             .map(|p| p.metrics.runtime_seconds)
             .collect()
     }
+
+    /// An order-sensitive FNV-1a fingerprint of everything the study
+    /// produced: unit names/suites/labels, every derived metric, every
+    /// sample of every time series, capture health, and the degradation
+    /// report. Two studies are bit-identical iff their digests match —
+    /// which is how the observability-neutrality checks compare a traced
+    /// run against an untraced one without serializing whole studies.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_usize(self.profiles.len());
+        for p in &self.profiles {
+            h.write_str(&p.name);
+            h.write_str(p.suite.name());
+            h.write_str(p.label.name());
+            let m = &p.metrics;
+            h.write_str(&m.name);
+            for v in [
+                m.instruction_count,
+                m.ipc,
+                m.cache_mpki,
+                m.branch_mpki,
+                m.runtime_seconds,
+                m.cpu_load,
+                m.cpu_little_load,
+                m.cpu_mid_load,
+                m.cpu_big_load,
+                m.cpu_little_util,
+                m.cpu_mid_util,
+                m.cpu_big_util,
+                m.gpu_load,
+                m.gpu_shaders_busy,
+                m.gpu_bus_busy,
+                m.aie_load,
+                m.memory_used_fraction,
+                m.memory_peak_mib,
+                m.storage_busy,
+            ] {
+                h.write_f64(v);
+            }
+            let s = &p.series;
+            for series in [
+                &s.cpu_load,
+                &s.little_load,
+                &s.mid_load,
+                &s.big_load,
+                &s.gpu_load,
+                &s.shaders_busy,
+                &s.bus_busy,
+                &s.aie_load,
+                &s.memory_fraction,
+                &s.memory_mib,
+                &s.ipc,
+                &s.storage_busy,
+            ] {
+                h.write_f64(series.tick_seconds);
+                h.write_usize(series.values.len());
+                for &v in &series.values {
+                    h.write_f64(v);
+                }
+            }
+            for v in [
+                p.health.runs_requested,
+                p.health.runs_used,
+                p.health.attempts,
+                p.health.retries,
+                p.health.failed_runs,
+                p.health.truncated_runs,
+                p.health.dropped_samples,
+                p.health.overflow_wraps,
+                p.health.outliers_rejected,
+            ] {
+                h.write_usize(v);
+            }
+        }
+        h.write_usize(self.report.units_requested);
+        for f in &self.report.failed_units {
+            h.write_str(&f.name);
+            h.write_str(&f.error);
+        }
+        h.finish()
+    }
+}
+
+/// Minimal 64-bit FNV-1a accumulator backing [`Characterization::digest`].
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write_bytes(s.as_bytes());
+    }
+
+    fn write_f64(&mut self, v: f64) {
+        self.write_bytes(&v.to_bits().to_le_bytes());
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.write_bytes(&(v as u64).to_le_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Run `f` inside a named pipeline-stage span, feeding its wall time into
+/// the `pipeline.stage_ns` histogram. Pure pass-through when observability
+/// is disabled.
+fn stage<R>(name: &str, f: impl FnOnce() -> R) -> R {
+    let stage_span = mwc_obs::span(name);
+    let result = f();
+    if let Some(ns) = stage_span.elapsed_ns() {
+        mwc_obs::metrics::observe_duration_ns("pipeline.stage_ns", ns);
+    }
+    result
 }
 
 /// Profile one unit: capture its runs on the worker's engine (retrying
@@ -259,6 +406,9 @@ fn profile_unit(
     runs: usize,
     faults: &FaultConfig,
 ) -> Result<UnitProfile, CaptureError> {
+    let mut unit_span = mwc_obs::span("pipeline.unit");
+    unit_span.field("name", unit.name);
+    unit_span.field("index", unit_index);
     let (captures, mut health) =
         profiler.capture_unit_runs_resilient(&unit.workload, unit_index, runs, faults)?;
     let maps: Vec<SeriesMap> = captures.iter().map(|c| c.series_map()).collect();

@@ -1,0 +1,294 @@
+//! The metrics registry: named counters, gauges and fixed-bucket
+//! histograms.
+//!
+//! Names follow the `<crate>.<noun>[_<unit>]` convention (DESIGN.md §9):
+//! `capture.retries`, `pipeline.stage_ns`, `soc.ticks`,
+//! `analysis.distance_reuse_hits`. The registry is a single mutex-guarded
+//! ordered map — metric updates happen at stage granularity (per run, per
+//! unit, per sweep cell), never per simulated tick, so contention is not a
+//! concern; when collection is disabled every update is a no-op atomic
+//! check.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Default histogram bucket upper bounds for durations in nanoseconds:
+/// 10 µs … 60 s, roughly logarithmic.
+pub const DURATION_NS_BOUNDS: [f64; 10] = [
+    1.0e4, 1.0e5, 1.0e6, 1.0e7, 1.0e8, 5.0e8, 1.0e9, 5.0e9, 1.0e10, 6.0e10,
+];
+
+/// A fixed-bucket histogram: `bounds[i]` is the inclusive upper bound of
+/// bucket `i`; one extra overflow bucket catches everything above the last
+/// bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// An empty histogram with the given bucket upper bounds (must be
+    /// ascending; enforced by debug assertion).
+    pub fn new(bounds: &[f64]) -> Self {
+        debug_assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one observation. A value exactly on a bound lands in that
+    /// bound's bucket (bounds are inclusive upper edges); values above the
+    /// last bound land in the overflow bucket; NaN is ignored.
+    pub fn observe(&mut self, value: f64) {
+        if value.is_nan() {
+            return;
+        }
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Bucket upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts; the last entry is the overflow bucket.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// One registered metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// Monotonically increasing count.
+    Counter(u64),
+    /// Last-write-wins value.
+    Gauge(f64),
+    /// Fixed-bucket distribution.
+    Histogram(Histogram),
+}
+
+static REGISTRY: OnceLock<Mutex<BTreeMap<String, Metric>>> = OnceLock::new();
+
+fn with_registry<R>(f: impl FnOnce(&mut BTreeMap<String, Metric>) -> R) -> R {
+    let mut map = REGISTRY
+        .get_or_init(|| Mutex::new(BTreeMap::new()))
+        .lock()
+        .expect("metrics registry poisoned");
+    f(&mut map)
+}
+
+/// Add `delta` to the counter `name` (created at 0 on first use). A no-op
+/// when collection is disabled, or when `name` is already registered as a
+/// different metric kind.
+pub fn counter_add(name: &str, delta: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    with_registry(|map| {
+        if let Metric::Counter(v) = map.entry(name.to_owned()).or_insert(Metric::Counter(0)) {
+            *v += delta;
+        }
+    });
+}
+
+/// Set the gauge `name` to `value`. Disabled/kind-mismatch semantics as
+/// [`counter_add`].
+pub fn gauge_set(name: &str, value: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    with_registry(|map| {
+        if let Metric::Gauge(v) = map.entry(name.to_owned()).or_insert(Metric::Gauge(value)) {
+            *v = value;
+        }
+    });
+}
+
+/// Record `value` into the histogram `name`, creating it with `bounds` on
+/// first use (later calls keep the original bounds). Disabled /
+/// kind-mismatch semantics as [`counter_add`].
+pub fn observe(name: &str, bounds: &[f64], value: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    with_registry(|map| {
+        if let Metric::Histogram(h) = map
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Histogram(Histogram::new(bounds)))
+        {
+            h.observe(value);
+        }
+    });
+}
+
+/// Record a duration in nanoseconds into histogram `name` with the
+/// standard [`DURATION_NS_BOUNDS`] buckets.
+pub fn observe_duration_ns(name: &str, ns: u64) {
+    observe(name, &DURATION_NS_BOUNDS, ns as f64);
+}
+
+/// A point-in-time copy of the whole registry, sorted by metric name.
+pub fn snapshot() -> Vec<(String, Metric)> {
+    if REGISTRY.get().is_none() {
+        return Vec::new();
+    }
+    with_registry(|map| map.iter().map(|(k, v)| (k.clone(), v.clone())).collect())
+}
+
+/// Look up one metric by name.
+pub fn get(name: &str) -> Option<Metric> {
+    REGISTRY.get()?;
+    with_registry(|map| map.get(name).cloned())
+}
+
+/// Clear the registry (used by [`crate::reset`]).
+pub(crate) fn reset() {
+    if REGISTRY.get().is_some() {
+        with_registry(|map| map.clear());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as StdMutex;
+
+    static TEST_LOCK: StdMutex<()> = StdMutex::new(());
+
+    fn with_metrics<R>(f: impl FnOnce() -> R) -> R {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        crate::set_enabled(true);
+        reset();
+        let r = f();
+        crate::set_enabled(false);
+        reset();
+        r
+    }
+
+    #[test]
+    fn counters_and_gauges_register() {
+        with_metrics(|| {
+            counter_add("t.count", 2);
+            counter_add("t.count", 3);
+            gauge_set("t.gauge", 1.5);
+            gauge_set("t.gauge", 2.5);
+            assert_eq!(get("t.count"), Some(Metric::Counter(5)));
+            assert_eq!(get("t.gauge"), Some(Metric::Gauge(2.5)));
+        });
+    }
+
+    #[test]
+    fn kind_mismatch_is_ignored() {
+        with_metrics(|| {
+            counter_add("t.kind", 1);
+            gauge_set("t.kind", 9.0);
+            observe("t.kind", &[1.0], 0.5);
+            assert_eq!(get("t.kind"), Some(Metric::Counter(1)));
+        });
+    }
+
+    #[test]
+    fn histogram_bucket_edges() {
+        let mut h = Histogram::new(&[1.0, 10.0, 100.0]);
+        // Exactly on a bound → that bound's bucket (inclusive upper edge).
+        h.observe(1.0);
+        h.observe(10.0);
+        h.observe(100.0);
+        // Strictly inside a bucket.
+        h.observe(5.0);
+        // Below the first bound.
+        h.observe(0.0);
+        h.observe(-3.0);
+        // Above the last bound → overflow.
+        h.observe(100.1);
+        h.observe(f64::INFINITY);
+        // NaN → dropped entirely.
+        h.observe(f64::NAN);
+        assert_eq!(h.counts(), &[3, 2, 1, 2]);
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.min(), -3.0);
+        assert_eq!(h.max(), f64::INFINITY);
+    }
+
+    #[test]
+    fn empty_histogram_stats() {
+        let h = Histogram::new(&DURATION_NS_BOUNDS);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.counts().len(), DURATION_NS_BOUNDS.len() + 1);
+    }
+
+    #[test]
+    fn disabled_updates_are_no_ops() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        crate::set_enabled(false);
+        reset();
+        counter_add("t.off", 1);
+        gauge_set("t.off2", 1.0);
+        observe_duration_ns("t.off3", 5);
+        assert!(snapshot().is_empty());
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_name() {
+        with_metrics(|| {
+            counter_add("z.last", 1);
+            counter_add("a.first", 1);
+            counter_add("m.mid", 1);
+            let names: Vec<String> = snapshot().into_iter().map(|(n, _)| n).collect();
+            assert_eq!(names, vec!["a.first", "m.mid", "z.last"]);
+        });
+    }
+}

@@ -22,6 +22,7 @@
 //! is sufficient at this scale (tens of items, each milliseconds or more).
 
 #![warn(missing_docs)]
+#![warn(clippy::print_stdout, clippy::print_stderr)]
 #![forbid(unsafe_code)]
 
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -55,6 +56,13 @@ pub fn configured_threads() -> usize {
 /// result into its item's slot, so the returned `Vec` is always ordered by
 /// item index, never by completion order.
 ///
+/// When `mwc-obs` collection is enabled the whole map is wrapped in a
+/// `parallel.map` span and every item runs inside a `parallel.task` span
+/// explicitly parented under it, so spans nest correctly across worker
+/// threads; spans opened inside `f` hang off the task span of whichever
+/// worker ran that item. Disabled, the instrumentation is a no-op atomic
+/// check and the map is byte-for-byte the uninstrumented loop.
+///
 /// Panics in `init` or `f` propagate to the caller when the scope joins.
 pub fn ordered_map_with<T, S, R, I, F>(items: &[T], threads: usize, init: I, f: F) -> Vec<R>
 where
@@ -63,16 +71,28 @@ where
     I: Fn() -> S + Sync,
     F: Fn(&mut S, &T, usize) -> R + Sync,
 {
+    let mut map_span = mwc_obs::span("parallel.map");
+    map_span.field("items", items.len());
+    let map_handle = map_span.handle();
+    let run_task = |state: &mut S, item: &T, index: usize| {
+        let mut task_span = mwc_obs::span_with_parent("parallel.task", map_handle);
+        task_span.field("index", index);
+        mwc_obs::metrics::counter_add("parallel.tasks", 1);
+        f(state, item, index)
+    };
+
     if threads <= 1 || items.len() < 2 {
+        map_span.field("workers", 1usize);
         let mut state = init();
         return items
             .iter()
             .enumerate()
-            .map(|(index, item)| f(&mut state, item, index))
+            .map(|(index, item)| run_task(&mut state, item, index))
             .collect();
     }
 
     let workers = threads.min(items.len());
+    map_span.field("workers", workers);
     let next = AtomicUsize::new(0);
     let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
 
@@ -85,7 +105,7 @@ where
                     let Some(item) = items.get(index) else {
                         break;
                     };
-                    let result = f(&mut state, item, index);
+                    let result = run_task(&mut state, item, index);
                     slots.lock().expect("worker panicked holding results lock")[index] =
                         Some(result);
                 }

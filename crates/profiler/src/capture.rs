@@ -322,6 +322,8 @@ impl Profiler {
     ) -> Vec<Capture> {
         (0..runs)
             .map(|r| {
+                let mut run_span = mwc_obs::span("capture.run");
+                run_span.field("run", r);
                 self.engine
                     .reset_for(self.base_seed, unit_index as u64, r as u64);
                 Capture::from_trace(self.engine.run(workload))
@@ -375,14 +377,19 @@ impl Profiler {
         for run in 0..runs {
             let mut best: Option<(Capture, crate::faults::InjectionSummary)> = None;
             for attempt in 0..faults.max_attempts {
+                let mut attempt_span = mwc_obs::span("capture.attempt");
+                attempt_span.field("run", run);
+                attempt_span.field("attempt", attempt);
                 health.attempts += 1;
                 if attempt > 0 {
                     health.retries += 1;
+                    mwc_obs::event("capture.retry");
                 }
                 let mut plan =
                     FaultPlan::new(faults, unit_index as u64, run as u64, attempt as u64);
                 if plan.run_fails() {
                     health.failed_runs += 1;
+                    attempt_span.field("failed", true);
                     continue;
                 }
                 if attempt == 0 {

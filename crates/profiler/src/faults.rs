@@ -358,6 +358,23 @@ impl CaptureHealth {
             && self.outliers_rejected == 0
     }
 
+    /// Feed this health record into the `mwc-obs` metrics registry
+    /// (`capture.*` counters). A no-op when observability collection is
+    /// disabled; never mutates the health record itself, so traced and
+    /// untraced studies stay bit-identical.
+    pub fn record_metrics(&self) {
+        use mwc_obs::metrics::counter_add;
+        counter_add("capture.runs_requested", self.runs_requested as u64);
+        counter_add("capture.runs_used", self.runs_used as u64);
+        counter_add("capture.attempts", self.attempts as u64);
+        counter_add("capture.retries", self.retries as u64);
+        counter_add("capture.failed_runs", self.failed_runs as u64);
+        counter_add("capture.truncated_runs", self.truncated_runs as u64);
+        counter_add("capture.dropped_samples", self.dropped_samples as u64);
+        counter_add("capture.overflow_wraps", self.overflow_wraps as u64);
+        counter_add("capture.outliers_rejected", self.outliers_rejected as u64);
+    }
+
     /// Mean completeness of the accepted captures: fraction of requested
     /// runs used, discounted by dropped samples (1.0 when clean).
     pub fn completeness(&self, total_samples: usize) -> f64 {

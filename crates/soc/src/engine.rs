@@ -149,9 +149,20 @@ impl Engine {
     /// Run a workload to completion and return the counter trace.
     ///
     /// Workloads with a non-positive duration yield an empty trace.
+    ///
+    /// When `mwc-obs` collection is enabled the run is wrapped in a
+    /// `soc.run` span (fields: workload name, tick count) and the tick
+    /// count feeds the `soc.ticks` counter; the simulation itself never
+    /// reads any observability state, so traced and untraced runs are
+    /// bit-identical.
     pub fn run(&mut self, workload: &dyn Workload) -> Trace {
         let duration = workload.duration_seconds();
         let ticks = (duration / TICK_SECONDS).round() as usize;
+        let mut run_span = mwc_obs::span("soc.run");
+        run_span.field("workload", workload.name());
+        run_span.field("ticks", ticks);
+        mwc_obs::metrics::counter_add("soc.ticks", ticks as u64);
+        mwc_obs::metrics::counter_add("soc.runs", 1);
         let mut samples = Vec::with_capacity(ticks);
 
         for tick_idx in 0..ticks {
@@ -162,6 +173,9 @@ impl Engine {
             samples.push(self.step(t, demand));
         }
 
+        if let Some(ns) = run_span.elapsed_ns() {
+            mwc_obs::metrics::observe_duration_ns("soc.run_ns", ns);
+        }
         Trace {
             workload: workload.name().to_owned(),
             tick_seconds: TICK_SECONDS,

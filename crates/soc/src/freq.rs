@@ -38,9 +38,10 @@ impl OppTable {
         self.points[0]
     }
 
-    /// Highest OPP.
+    /// Highest OPP. [`OppTable::linear`] guarantees at least two points,
+    /// so the fallback is unreachable; it exists to keep this panic-free.
     pub fn max(&self) -> f64 {
-        *self.points.last().expect("OPP table is never empty")
+        self.points.last().copied().unwrap_or(0.0)
     }
 
     /// Snap a requested frequency up to the next available OPP (clamped to

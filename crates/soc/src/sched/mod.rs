@@ -123,11 +123,7 @@ impl Scheduler {
             .iter()
             .filter(|t| t.intensity > 0.0)
             .collect();
-        threads.sort_by(|a, b| {
-            b.intensity
-                .partial_cmp(&a.intensity)
-                .expect("intensities are finite")
-        });
+        threads.sort_by(|a, b| b.intensity.total_cmp(&a.intensity));
 
         for thread in threads {
             let preference: &[ClusterKind] = match self.policy {

@@ -1,24 +1,63 @@
 #!/bin/sh
-# Full verification gate: release build, complete test suite, lints, formatting.
+# Full verification gate: release build, complete test suite (faults off
+# and on), observability neutrality, lints, formatting.
 # Run from anywhere; operates on the repository this script lives in.
-set -eu
+set -u
 
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release"
-cargo build --release
+if ! command -v cargo >/dev/null 2>&1; then
+    echo "error: cargo not found in PATH — install a Rust toolchain (https://rustup.rs) to verify" >&2
+    exit 127
+fi
 
+echo "==> cargo build --release"
+cargo build --release || exit $?
+
+# Run both test passes to completion even if the first fails, then
+# propagate: a fault-model regression should not mask (or be masked by)
+# a fault-free one.
 echo "==> cargo test -q --workspace (faults off)"
 cargo test -q --workspace
+tests_off=$?
 
 echo "==> cargo test -q --workspace (fault plan: seed 7, 5% dropout, truncation)"
 MWC_FAULT_SEED=7 MWC_FAULT_DROPOUT=0.05 MWC_FAULT_TRUNCATION=0.055 \
     cargo test -q -p mobile-workload-characterization --test fault_tolerance
+tests_faulted=$?
+
+if [ "$tests_off" -ne 0 ]; then
+    echo "error: fault-free test pass failed (exit $tests_off)" >&2
+    exit "$tests_off"
+fi
+if [ "$tests_faulted" -ne 0 ]; then
+    echo "error: fault-injected test pass failed (exit $tests_faulted)" >&2
+    exit "$tests_faulted"
+fi
+
+echo "==> observability neutrality (traced vs untraced study digest)"
+trace_tmp="target/verify-trace.json"
+digest_off=$(./target/release/profile | awk '/^study digest:/ { print $3 }') || exit 1
+digest_on=$(MWC_TRACE="$trace_tmp" ./target/release/profile | awk '/^study digest:/ { print $3 }') || exit 1
+if [ -z "$digest_off" ] || [ -z "$digest_on" ]; then
+    echo "error: profile binary printed no study digest" >&2
+    exit 1
+fi
+if [ "$digest_off" != "$digest_on" ]; then
+    echo "error: tracing perturbed the study: digest $digest_off (off) vs $digest_on (MWC_TRACE on)" >&2
+    exit 1
+fi
+if [ ! -s "$trace_tmp" ]; then
+    echo "error: MWC_TRACE=$trace_tmp produced no trace file" >&2
+    exit 1
+fi
+rm -f "$trace_tmp"
+echo "    digests match: $digest_off"
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings || exit $?
 
 echo "==> cargo fmt --check"
-cargo fmt --all --check
+cargo fmt --all --check || exit $?
 
 echo "==> all checks passed"
