@@ -116,6 +116,26 @@ impl Matrix {
         }
     }
 
+    /// An order-sensitive FNV-1a fingerprint of the shape and every value
+    /// (by bit pattern, so the digest is exact — no rounding, and NaN
+    /// payloads are distinguished). Used as the content address of
+    /// analysis results derived from this matrix.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut write = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        write(&(self.rows as u64).to_le_bytes());
+        write(&(self.cols as u64).to_le_bytes());
+        for v in &self.data {
+            write(&v.to_bits().to_le_bytes());
+        }
+        h
+    }
+
     /// A new matrix containing only the given rows, in the given order.
     pub fn select_rows(&self, indices: &[usize]) -> Matrix {
         let mut data = Vec::with_capacity(indices.len() * self.cols);
@@ -169,6 +189,19 @@ mod tests {
     #[test]
     fn wrong_data_length_rejected() {
         assert!(Matrix::from_rows_data(2, 2, vec![1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn digest_is_value_and_shape_sensitive() {
+        let a = m();
+        assert_eq!(a.digest(), m().digest());
+        let mut b = m();
+        b.set(1, 2, 6.0 + 1e-12);
+        assert_ne!(a.digest(), b.digest());
+        // Same data, transposed shape — the digest must tell them apart.
+        let tall = Matrix::from_rows_data(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let wide = Matrix::from_rows_data(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert_ne!(tall.digest(), wide.digest());
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //!
 //! * per-stage wall time (count / total / self / max per span name);
 //! * the slowest per-unit simulations (top-k `pipeline.unit` spans);
+//! * result-cache statistics (memory/disk hits, misses, stores,
+//!   corrupt entries, evictions);
 //! * capture-health counters (retries, drops, overflow wraps, …);
 //! * the full metrics registry.
 //!
@@ -71,6 +73,26 @@ fn run() -> Result<(), PipelineError> {
         units.row(vec![name, fmt_ns(ns)]);
     }
     println!("{}", units.render());
+
+    mwc_bench::header("Result cache");
+    let cache = mwc_core::cache::StudyCache::global();
+    let stats = cache.stats();
+    println!("cache location: {}", cache.describe());
+    // Machine-parseable one-liner consumed by scripts/verify.sh.
+    println!("cache stats: {}", stats.summary());
+    let mut cache_table = Table::new(vec!["event", "count"]);
+    for (event, count) in [
+        ("memory hits", stats.mem_hits),
+        ("disk hits", stats.disk_hits),
+        ("misses", stats.misses),
+        ("stores", stats.stores),
+        ("corrupt entries", stats.corrupt_entries),
+        ("evictions", stats.evictions),
+        ("store failures", stats.store_failures),
+    ] {
+        cache_table.row(vec![event.into(), count.to_string()]);
+    }
+    println!("{}", cache_table.render());
 
     mwc_bench::header("Capture health");
     let mut health = Table::new(vec!["metric", "value"]);

@@ -3,9 +3,10 @@
 use mwc_analysis::cluster::{hierarchical, Clustering, Dendrogram, Linkage};
 use mwc_analysis::error::AnalysisError;
 use mwc_analysis::subset::incremental_distances;
-use mwc_analysis::validation::{sweep, ValidationSweep};
+use mwc_analysis::validation::ValidationSweep;
 use mwc_profiler::timeseries::TimeSeries;
 
+use crate::cache::StudyCache;
 use crate::features::{clustering_matrix, representativeness_matrix};
 use crate::pipeline::Characterization;
 use crate::subsets::Subset;
@@ -165,7 +166,9 @@ pub fn fig4(study: &Characterization) -> Result<ValidationSweep, AnalysisError> 
     fig4_range(study, 2, 6)
 }
 
-/// Figure 4 over a custom cluster-count range (inclusive).
+/// Figure 4 over a custom cluster-count range (inclusive). Served from
+/// the process-wide [`StudyCache`] keyed by the feature matrix digest, so
+/// repeated sweeps over the same study warm-start.
 pub fn fig4_range(
     study: &Characterization,
     k_min: usize,
@@ -173,7 +176,7 @@ pub fn fig4_range(
 ) -> Result<ValidationSweep, AnalysisError> {
     let m = clustering_matrix(study);
     let ks: Vec<usize> = (k_min..=k_max).collect();
-    sweep(&m, &ks)
+    StudyCache::global().sweep(&m, &ks)
 }
 
 /// Figure 5: the hierarchical clustering dendrogram (Ward linkage) over

@@ -14,7 +14,9 @@
 //!   residency) and VI (subset running times);
 //! * [`figures`] — the data series behind Figures 1–7;
 //! * [`subsets`] — the Naive, Select and Select + GPU reduced benchmark
-//!   sets and their representativeness evaluation.
+//!   sets and their representativeness evaluation;
+//! * [`cache`] — a persistent, content-addressed cache of study and
+//!   sweep results so warm runs skip simulation entirely.
 //!
 //! ## Quickstart
 //!
@@ -33,6 +35,7 @@
 #![warn(clippy::print_stdout, clippy::print_stderr)]
 #![forbid(unsafe_code)]
 
+pub mod cache;
 pub mod error;
 pub mod features;
 pub mod figures;
@@ -41,5 +44,6 @@ pub mod pipeline;
 pub mod subsets;
 pub mod tables;
 
+pub use cache::{CacheStats, StudyCache};
 pub use error::PipelineError;
 pub use pipeline::{Characterization, DegradationReport, UnitProfile};

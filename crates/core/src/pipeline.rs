@@ -113,8 +113,8 @@ impl DegradationReport {
 /// plus a degradation report for the ones that did not.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Characterization {
-    profiles: Vec<UnitProfile>,
-    report: DegradationReport,
+    pub(crate) profiles: Vec<UnitProfile>,
+    pub(crate) report: DegradationReport,
 }
 
 impl Characterization {
@@ -350,35 +350,40 @@ impl Characterization {
     }
 }
 
-/// Minimal 64-bit FNV-1a accumulator backing [`Characterization::digest`].
-struct Fnv1a(u64);
+/// Minimal 64-bit FNV-1a accumulator backing [`Characterization::digest`]
+/// and the content-addressed cache keys in [`crate::cache`].
+pub(crate) struct Fnv1a(u64);
 
 impl Fnv1a {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Fnv1a(0xcbf2_9ce4_8422_2325)
     }
 
-    fn write_bytes(&mut self, bytes: &[u8]) {
+    pub(crate) fn write_bytes(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.0 ^= b as u64;
             self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
         }
     }
 
-    fn write_str(&mut self, s: &str) {
+    pub(crate) fn write_str(&mut self, s: &str) {
         self.write_usize(s.len());
         self.write_bytes(s.as_bytes());
     }
 
-    fn write_f64(&mut self, v: f64) {
+    pub(crate) fn write_f64(&mut self, v: f64) {
         self.write_bytes(&v.to_bits().to_le_bytes());
     }
 
-    fn write_usize(&mut self, v: usize) {
+    pub(crate) fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    pub(crate) fn write_usize(&mut self, v: usize) {
         self.write_bytes(&(v as u64).to_le_bytes());
     }
 
-    fn finish(&self) -> u64 {
+    pub(crate) fn finish(&self) -> u64 {
         self.0
     }
 }

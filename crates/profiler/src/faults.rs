@@ -158,6 +158,27 @@ impl FaultConfig {
         Ok(())
     }
 
+    /// A stable fingerprint of the fault model for content-addressed
+    /// result caching: FNV-1a over the canonical debug rendering, which
+    /// covers every field (a new knob automatically flows into the
+    /// digest). A disabled config digests to one fixed value regardless of
+    /// seed, retry budget or completeness floor — none of those can
+    /// influence a fault-free capture, so they must not fragment the
+    /// cache key space.
+    pub fn content_digest(&self) -> u64 {
+        let repr = if self.enabled() {
+            format!("{self:?}")
+        } else {
+            "FaultConfig(disabled)".to_owned()
+        };
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in repr.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
     /// Build a config from `MWC_FAULT_*` environment variables. Returns the
     /// default (faults off) unless [`FAULT_SEED_ENV`] is set. Unset knobs
     /// fall back to a mild default profile (5% dropout, 1% jitter).
@@ -256,9 +277,14 @@ impl FaultPlan {
     pub fn apply(&mut self, trace: &mut Trace) -> InjectionSummary {
         let mut summary = InjectionSummary::default();
         let n = trace.samples.len();
-        let cut = self
-            .truncate_at
-            .map(|frac| ((n as f64 * frac) as usize).clamp(1, n));
+        // An empty trace has nothing to truncate — and `clamp(1, 0)` would
+        // panic with `min > max`.
+        let cut = if n == 0 {
+            None
+        } else {
+            self.truncate_at
+                .map(|frac| ((n as f64 * frac) as usize).clamp(1, n))
+        };
 
         for s in &mut trace.samples {
             if s.is_dropped() {
@@ -293,13 +319,17 @@ impl FaultPlan {
         }
 
         if let Some(cut) = cut {
-            summary.truncated = true;
+            // Only report a truncation that actually invalidated a tick:
+            // a cut at (or past) the last live sample dropped nothing.
+            let mut cut_drops = 0usize;
             for s in &mut trace.samples[cut..] {
                 if !s.is_dropped() {
                     s.invalidate();
-                    summary.dropped += 1;
+                    cut_drops += 1;
                 }
             }
+            summary.dropped += cut_drops;
+            summary.truncated = cut_drops > 0;
         }
         summary
     }
@@ -589,6 +619,66 @@ mod tests {
         assert_eq!(t.samples.len(), n, "truncation keeps the tick grid");
         assert!(t.samples[n - 1].is_dropped());
         assert!(!t.samples[0].is_dropped());
+    }
+
+    #[test]
+    fn truncation_on_empty_trace_is_a_noop() {
+        // Regression: `((0 as f64 * frac) as usize).clamp(1, 0)` used to
+        // panic with `min > max` on a zero-sample trace.
+        let cfg = FaultConfig {
+            seed: 1,
+            truncation_rate: 1.0,
+            ..FaultConfig::default()
+        };
+        let mut t = trace();
+        t.samples.clear();
+        let summary = FaultPlan::new(&cfg, 0, 0, 0).apply(&mut t);
+        assert!(!summary.truncated, "nothing was dropped");
+        assert_eq!(summary.dropped, 0);
+        assert!(t.samples.is_empty());
+    }
+
+    #[test]
+    fn truncation_on_single_sample_trace_drops_nothing() {
+        // With one sample the cut clamps to 1 == n, so the tail is empty:
+        // the summary must not claim a truncation that dropped nothing.
+        let cfg = FaultConfig {
+            seed: 1,
+            truncation_rate: 1.0,
+            ..FaultConfig::default()
+        };
+        let mut t = trace();
+        t.samples.truncate(1);
+        let summary = FaultPlan::new(&cfg, 0, 0, 0).apply(&mut t);
+        assert!(!summary.truncated);
+        assert_eq!(summary.dropped, 0);
+        assert!(!t.samples[0].is_dropped());
+    }
+
+    #[test]
+    fn content_digest_ignores_inert_knobs_when_disabled() {
+        let a = FaultConfig::default();
+        let b = FaultConfig {
+            seed: 99,
+            max_attempts: 7,
+            min_completeness: 0.9,
+            ..FaultConfig::default()
+        };
+        assert_eq!(a.content_digest(), b.content_digest());
+        let enabled = FaultConfig {
+            dropout_rate: 0.05,
+            ..FaultConfig::default()
+        };
+        assert_ne!(a.content_digest(), enabled.content_digest());
+        let enabled_other_seed = FaultConfig {
+            seed: 1,
+            dropout_rate: 0.05,
+            ..FaultConfig::default()
+        };
+        assert_ne!(
+            enabled.content_digest(),
+            enabled_other_seed.content_digest()
+        );
     }
 
     #[test]

@@ -51,10 +51,19 @@ impl TimeSeries {
         sum / n as f64
     }
 
-    /// Maximum over the finite samples (0 for an empty or all-gap series;
-    /// `f64::max` ignores NaN).
+    /// Maximum over the finite samples (0 for an empty or all-gap series).
     pub fn max(&self) -> f64 {
-        self.values.iter().copied().fold(0.0, f64::max)
+        let m = self
+            .values
+            .iter()
+            .copied()
+            .filter(|v| v.is_finite())
+            .fold(f64::NEG_INFINITY, f64::max);
+        if m.is_finite() {
+            m
+        } else {
+            0.0
+        }
     }
 
     /// Minimum over the finite samples (0 for an empty or all-gap series).
@@ -308,6 +317,17 @@ mod tests {
         let b = ts(vec![3.0, 4.0]);
         let avg = TimeSeries::average(&[a, b]);
         assert_eq!(avg.values, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn all_negative_series_max_is_the_largest_sample() {
+        // Regression: max() used to seed its fold with 0.0, so a series of
+        // all-negative samples reported max = 0.0.
+        let s = ts(vec![-3.0, -1.0, -2.0]);
+        assert_eq!(s.max(), -1.0);
+        assert_eq!(s.min(), -3.0);
+        let gappy = ts(vec![-5.0, f64::NAN, -7.0]);
+        assert_eq!(gappy.max(), -5.0);
     }
 
     #[test]

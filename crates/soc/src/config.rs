@@ -406,6 +406,22 @@ impl SocConfig {
         self.clusters.iter().find(|c| c.kind == kind)
     }
 
+    /// A stable fingerprint of the whole platform for content-addressed
+    /// result caching: FNV-1a over the canonical debug rendering of every
+    /// field. Any change to any knob — a frequency, a cache size, adding
+    /// or removing a component — yields a different digest, and a field
+    /// added to the model in a future revision flows into the digest
+    /// automatically.
+    pub fn content_digest(&self) -> u64 {
+        let repr = format!("{self:?}");
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in repr.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
     /// Validate all fields; [`crate::engine::Engine::new`] calls this.
     pub fn validate(&self) -> Result<(), SocError> {
         if self.clusters.is_empty() {

@@ -14,6 +14,9 @@ fi
 echo "==> cargo build --release"
 cargo build --release || exit $?
 
+echo "==> cargo build --release -p mwc-bench --bins"
+cargo build --release -p mwc-bench --bins || exit $?
+
 # Run both test passes to completion even if the first fails, then
 # propagate: a fault-model regression should not mask (or be masked by)
 # a fault-free one.
@@ -36,9 +39,11 @@ if [ "$tests_faulted" -ne 0 ]; then
 fi
 
 echo "==> observability neutrality (traced vs untraced study digest)"
+# MWC_CACHE=off so both digests come from real computations — the cache
+# path has its own gate below.
 trace_tmp="target/verify-trace.json"
-digest_off=$(./target/release/profile | awk '/^study digest:/ { print $3 }') || exit 1
-digest_on=$(MWC_TRACE="$trace_tmp" ./target/release/profile | awk '/^study digest:/ { print $3 }') || exit 1
+digest_off=$(MWC_CACHE=off ./target/release/profile | awk '/^study digest:/ { print $3 }') || exit 1
+digest_on=$(MWC_CACHE=off MWC_TRACE="$trace_tmp" ./target/release/profile | awk '/^study digest:/ { print $3 }') || exit 1
 if [ -z "$digest_off" ] || [ -z "$digest_on" ]; then
     echo "error: profile binary printed no study digest" >&2
     exit 1
@@ -53,6 +58,60 @@ if [ ! -s "$trace_tmp" ]; then
 fi
 rm -f "$trace_tmp"
 echo "    digests match: $digest_off"
+
+echo "==> result cache (cold vs warm digest, corruption degradation)"
+cache_dir="target/verify-cache"
+rm -rf "$cache_dir"
+
+cold_out=$(MWC_CACHE_DIR="$cache_dir" ./target/release/profile) || exit 1
+digest_cold=$(printf '%s\n' "$cold_out" | awk '/^study digest:/ { print $3 }')
+warm_out=$(MWC_CACHE_DIR="$cache_dir" ./target/release/profile) || exit 1
+digest_warm=$(printf '%s\n' "$warm_out" | awk '/^study digest:/ { print $3 }')
+warm_hits=$(printf '%s\n' "$warm_out" \
+    | awk '/^cache stats:/ { for (i = 1; i <= NF; i++) if (sub("^disk_hits=", "", $i)) print $i }')
+
+if [ -z "$digest_cold" ] || [ -z "$digest_warm" ]; then
+    echo "error: cache passes printed no study digest" >&2
+    exit 1
+fi
+if [ "$digest_cold" != "$digest_warm" ]; then
+    echo "error: warm cache run is not bit-identical: $digest_cold (cold) vs $digest_warm (warm)" >&2
+    exit 1
+fi
+if [ -z "$warm_hits" ] || [ "$warm_hits" -eq 0 ]; then
+    echo "error: warm run served no entries from the disk cache (disk_hits=${warm_hits:-?})" >&2
+    exit 1
+fi
+
+# Scribble over every entry: the next run must still succeed, count the
+# corruption, and reproduce the digest by recomputing.
+found_entry=0
+for f in "$cache_dir"/*.mwcc; do
+    [ -e "$f" ] || break
+    found_entry=1
+    printf 'garbage' > "$f"
+done
+if [ "$found_entry" -eq 0 ]; then
+    echo "error: cold run left no cache entries in $cache_dir" >&2
+    exit 1
+fi
+corrupt_out=$(MWC_CACHE_DIR="$cache_dir" ./target/release/profile) || {
+    echo "error: corrupted cache entries broke the run instead of degrading" >&2
+    exit 1
+}
+digest_corrupt=$(printf '%s\n' "$corrupt_out" | awk '/^study digest:/ { print $3 }')
+corrupt_count=$(printf '%s\n' "$corrupt_out" \
+    | awk '/^cache stats:/ { for (i = 1; i <= NF; i++) if (sub("^corrupt=", "", $i)) print $i }')
+if [ "$digest_corrupt" != "$digest_cold" ]; then
+    echo "error: recompute after corruption diverged: $digest_cold vs $digest_corrupt" >&2
+    exit 1
+fi
+if [ -z "$corrupt_count" ] || [ "$corrupt_count" -eq 0 ]; then
+    echo "error: corrupted entries were not detected (corrupt=${corrupt_count:-?})" >&2
+    exit 1
+fi
+rm -rf "$cache_dir"
+echo "    cold/warm digests match ($digest_cold); warm disk hits: $warm_hits; corruption degraded to recompute ($corrupt_count entries)"
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings || exit $?

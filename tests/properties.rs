@@ -460,3 +460,50 @@ proptest! {
         prop_assert!(serial == threaded, "bit-identical for {threads} workers, seed {seed}");
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---------- result-cache keys (pure digests: cheap, no simulation) ----------
+
+    #[test]
+    fn cache_key_is_deterministic_and_input_sensitive(
+        seed in 0u64..10_000,
+        runs in 1usize..8,
+    ) {
+        use mwc_core::cache::study_key;
+        use mwc_profiler::FaultConfig;
+
+        let cfg = SocConfig::snapdragon_888();
+        let faults = FaultConfig::default();
+        let key = study_key(&cfg, seed, runs, &faults);
+        // Stable: recomputing from identical inputs yields the same key —
+        // and the inputs are hashed by content, so the key survives
+        // process boundaries (nothing address- or time-dependent).
+        prop_assert_eq!(key, study_key(&cfg, seed, runs, &faults));
+        prop_assert_eq!(key, study_key(&SocConfig::snapdragon_888(), seed, runs, &faults));
+        // Sensitive: every keyed input moves the key.
+        prop_assert_ne!(key, study_key(&cfg, seed ^ 1, runs, &faults));
+        prop_assert_ne!(key, study_key(&cfg, seed, runs + 1, &faults));
+        let mut grown = SocConfig::snapdragon_888();
+        grown.memory.capacity_mib += 1.0;
+        prop_assert_ne!(key, study_key(&grown, seed, runs, &faults));
+        let flaky = FaultConfig { dropout_rate: 0.01, ..FaultConfig::default() };
+        prop_assert_ne!(key, study_key(&cfg, seed, runs, &flaky));
+    }
+
+    #[test]
+    fn sweep_key_is_deterministic_and_input_sensitive(
+        digest in 0u64..u64::MAX,
+        ks in prop::collection::vec(2usize..12, 1..6),
+    ) {
+        use mwc_core::cache::sweep_key;
+
+        let key = sweep_key(digest, &ks);
+        prop_assert_eq!(key, sweep_key(digest, &ks));
+        prop_assert_ne!(key, sweep_key(digest ^ 1, &ks));
+        let mut longer = ks.clone();
+        longer.push(99);
+        prop_assert_ne!(key, sweep_key(digest, &longer));
+    }
+}
