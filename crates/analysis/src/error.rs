@@ -13,6 +13,9 @@ pub enum AnalysisError {
     InvalidClusterCount(String),
     /// The input data is empty where data is required.
     EmptyInput(String),
+    /// A study produced no usable unit profiles to featurize (every unit
+    /// failed to capture).
+    EmptyStudy,
 }
 
 impl fmt::Display for AnalysisError {
@@ -23,6 +26,9 @@ impl fmt::Display for AnalysisError {
                 write!(f, "invalid cluster count: {what}")
             }
             AnalysisError::EmptyInput(what) => write!(f, "empty input: {what}"),
+            AnalysisError::EmptyStudy => {
+                write!(f, "empty study: no unit produced a usable profile")
+            }
         }
     }
 }
@@ -44,5 +50,8 @@ mod tests {
         assert!(AnalysisError::EmptyInput("matrix".into())
             .to_string()
             .contains("matrix"));
+        assert!(AnalysisError::EmptyStudy
+            .to_string()
+            .contains("empty study"));
     }
 }

@@ -48,7 +48,7 @@ fn bench_analysis_over_study(c: &mut Criterion) {
     // One single-run study, reused across iterations.
     let study = Characterization::run(SocConfig::snapdragon_888(), 7, 1);
     c.bench_function("table3_correlations", |b| b.iter(|| table3_matrix(&study)));
-    let m = representativeness_matrix(&study);
+    let m = representativeness_matrix(&study).expect("full study");
     c.bench_function("representativeness_subset7", |b| {
         b.iter(|| total_min_euclidean(&m, &[4, 5, 6, 7, 15, 9, 12]))
     });

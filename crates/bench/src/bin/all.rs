@@ -57,7 +57,7 @@ fn run() -> Result<(), mwc_core::PipelineError> {
     print!("{}", t.render());
 
     mwc_bench::header("Table III");
-    print!("{}", tables::table3_text(study));
+    print!("{}", tables::table3_text(study)?);
 
     mwc_bench::header("Figure 2 (sparklines)");
     let f2 = figures::fig2(study, 50);
@@ -106,7 +106,7 @@ fn run() -> Result<(), mwc_core::PipelineError> {
     let naive = subsets::naive_subset(study, &clustering);
     let select = subsets::select_subset(study);
     let plus = subsets::select_plus_gpu_subset(study);
-    for (name, curve) in figures::fig7(study, &[naive, select, plus]) {
+    for (name, curve) in figures::fig7(study, &[naive, select, plus])? {
         let pts: Vec<String> = curve.iter().map(|v| format!("{v:.2}")).collect();
         println!("{name}: {}", pts.join(" "));
     }

@@ -21,7 +21,7 @@ fn run() -> Result<(), mwc_core::PipelineError> {
     }
     println!("\nfeatures: {CLUSTERING_FEATURES:?}");
     {
-        let m = clustering_matrix(study);
+        let m = clustering_matrix(study)?;
         println!("normalized feature rows:");
         for (i, p) in study.profiles().iter().enumerate() {
             let row: Vec<String> = m.row(i).iter().map(|v| format!("{v:.2}")).collect();
@@ -32,7 +32,7 @@ fn run() -> Result<(), mwc_core::PipelineError> {
         study.profiles().iter().map(|p| p.label as usize).collect(),
         5,
     )?;
-    let m = clustering_matrix(study);
+    let m = clustering_matrix(study)?;
     for (name, c) in [
         ("kmeans", mwc_analysis::cluster::kmeans(&m, 5, 42)?),
         ("pam", mwc_analysis::cluster::pam(&m, 5, 42)?),
@@ -103,7 +103,7 @@ fn run() -> Result<(), mwc_core::PipelineError> {
         );
     }
     println!("\nTable III (correlations):");
-    println!("{}", mwc_core::tables::table3_text(study));
+    println!("{}", mwc_core::tables::table3_text(study)?);
     println!("Table V:");
     println!("{}", mwc_core::tables::table5_text(study));
     println!("Table VI:");
@@ -112,15 +112,15 @@ fn run() -> Result<(), mwc_core::PipelineError> {
     let naive = mwc_core::subsets::naive_subset(study, &truth);
     let select = mwc_core::subsets::select_subset(study);
     let plus = mwc_core::subsets::select_plus_gpu_subset(study);
-    let curves = figures::fig7(study, &[naive.clone(), select, plus.clone()]);
+    let curves = figures::fig7(study, &[naive.clone(), select, plus.clone()])?;
     for (name, curve) in &curves {
         let pts: Vec<String> = curve.iter().map(|v| format!("{v:.2}")).collect();
         println!("fig7 {name}: {}", pts.join(" "));
     }
     println!(
         "Select+GPU(7) dist = {:.3}; Naive(5) = {:.3}; Naive-curve(7) = {:.3}",
-        plus.representativeness(study),
-        naive.representativeness(study),
+        plus.representativeness(study)?,
+        naive.representativeness(study)?,
         curves[0].1[6]
     );
     println!("\nobservations:");

@@ -14,11 +14,9 @@
 //! Without `MWC_FAULT_SEED` set, a representative demo plan is used
 //! (seed 7, 5% dropout, 1% jitter, ~1-in-18 truncated runs).
 use mwc_core::pipeline::Characterization;
-use mwc_core::PipelineError;
-use mwc_profiler::capture::PAPER_RUNS;
+use mwc_core::{PipelineError, StudySpec};
 use mwc_profiler::faults::FaultConfig;
 use mwc_report::table::{fmt, Table};
-use mwc_soc::config::SocConfig;
 
 /// The five Figure-1 aggregates drift is measured over.
 const METRICS: [&str; 5] = ["IC", "IPC", "cMPKI", "bMPKI", "Runtime"];
@@ -66,13 +64,8 @@ fn drift(reference: &Characterization, faulty: &Characterization) -> ([f64; 5], 
 }
 
 fn run_faulty(faults: &FaultConfig) -> Result<Characterization, PipelineError> {
-    Characterization::try_run_with(
-        SocConfig::snapdragon_888(),
-        mwc_bench::DEFAULT_SEED,
-        PAPER_RUNS,
-        mwc_parallel::configured_threads(),
-        faults,
-    )
+    let spec = StudySpec::paper_default().with_faults(faults.clone());
+    Characterization::try_run_spec(&spec)
 }
 
 fn single_study(faults: &FaultConfig) -> Result<(), PipelineError> {

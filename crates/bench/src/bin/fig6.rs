@@ -14,7 +14,7 @@ fn run() -> Result<(), mwc_core::PipelineError> {
         let names: Vec<&str> = members.iter().map(|&j| study.names()[j]).collect();
         println!("  cluster {}: {}", i + 1, names.join(", "));
     }
-    let pam_result = pam(&clustering_matrix(study), 5, 42)?;
+    let pam_result = pam(&clustering_matrix(study)?, 5, 42)?;
     println!(
         "\nPAM produces the same partition: {} (the paper omits its figure for the same reason)",
         pam_result.same_partition(&kmeans)

@@ -18,7 +18,7 @@ fn run() -> Result<(), mwc_core::PipelineError> {
         select.indices.len(),
         plus.indices.len(),
     ];
-    let curves = mwc_core::figures::fig7(study, &[naive, select, plus]);
+    let curves = mwc_core::figures::fig7(study, &[naive, select, plus])?;
     for ((name, curve), own) in curves.iter().zip(sizes) {
         println!("{name} (dashed line at n = {own}: {:.2}):", curve[own - 1]);
         let pts: Vec<String> = curve

@@ -37,8 +37,13 @@ fn run() -> Result<(), PipelineError> {
     mwc_obs::set_enabled(true);
 
     mwc_bench::header("Self-profile: study + clustering + validation sweep");
-    let study = mwc_bench::study();
-    let clustering = mwc_bench::try_clustering()?;
+    // Paper-default spec with the MWC_FAULT_* environment layered on —
+    // including per-unit overrides via MWC_FAULT_UNITS, which is what the
+    // incremental-recompute gate in scripts/verify.sh exercises.
+    let spec = mwc_core::StudySpec::paper_default().with_env_faults()?;
+    let study = mwc_core::cache::StudyCache::global().study_spec(&spec)?;
+    let study = &*study;
+    let clustering = mwc_core::figures::fig6(study)?;
     let sweep = mwc_core::figures::fig4(study)?;
 
     println!("study digest: {:016x}", study.digest());
@@ -93,6 +98,43 @@ fn run() -> Result<(), PipelineError> {
         cache_table.row(vec![event.into(), count.to_string()]);
     }
     println!("{}", cache_table.render());
+
+    mwc_bench::header("Per-stage cache");
+    println!(
+        "stage entries: {}",
+        if cache.stage_entries_enabled() {
+            "on"
+        } else {
+            "off (MWC_CACHE_STAGES)"
+        }
+    );
+    // Machine-parseable one-liner consumed by scripts/verify.sh's
+    // incremental gate (sims = units simulated, reused = units replayed).
+    println!("stage stats: {}", cache.stage_summary());
+    let mut stage_table = Table::new(vec![
+        "stage",
+        "mem hits",
+        "disk hits",
+        "misses",
+        "stores",
+        "corrupt",
+        "read",
+        "written",
+    ]);
+    for kind in mwc_core::StageKind::ALL {
+        let s = cache.stage(kind);
+        stage_table.row(vec![
+            kind.name().into(),
+            s.mem_hits.to_string(),
+            s.disk_hits.to_string(),
+            s.misses.to_string(),
+            s.stores.to_string(),
+            s.corrupt_entries.to_string(),
+            format!("{} B", s.bytes_read),
+            format!("{} B", s.bytes_written),
+        ]);
+    }
+    println!("{}", stage_table.render());
 
     mwc_bench::header("Capture health");
     let mut health = Table::new(vec!["metric", "value"]);

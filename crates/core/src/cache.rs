@@ -51,9 +51,12 @@ use mwc_soc::config::SocConfig;
 use mwc_workloads::registry::{all_units, ClusterLabel, Suite};
 
 use crate::error::PipelineError;
+use crate::features::FeatureSet;
 use crate::pipeline::{
     Characterization, DegradationReport, FailedUnit, Fnv1a, UnitProfile, UnitSeries,
 };
+use crate::spec::StudySpec;
+use crate::stages::UnitArtifact;
 
 /// Set to `off` / `0` / `false` to disable both cache layers.
 pub const CACHE_MODE_ENV: &str = "MWC_CACHE";
@@ -61,6 +64,11 @@ pub const CACHE_MODE_ENV: &str = "MWC_CACHE";
 pub const CACHE_DIR_ENV: &str = "MWC_CACHE_DIR";
 /// Overrides the maximum number of on-disk entries before eviction.
 pub const CACHE_MAX_ENV: &str = "MWC_CACHE_MAX";
+/// Set to `off` / `0` / `false` to disable the per-unit stage-artifact
+/// layer (the whole-study and sweep layers stay active). With stage
+/// entries off a one-knob change re-simulates the full study, as the
+/// pre-stage-graph pipeline did.
+pub const CACHE_STAGES_ENV: &str = "MWC_CACHE_STAGES";
 
 /// Version of the serialized entry format *and* of the data model it
 /// memoizes. Bump on any change to the simulation, capture, merge or
@@ -73,6 +81,7 @@ const DEFAULT_MAX_ENTRIES: usize = 64;
 
 const STUDY_MAGIC: &[u8; 4] = b"MWCC";
 const SWEEP_MAGIC: &[u8; 4] = b"MWCS";
+const UNIT_MAGIC: &[u8; 4] = b"MWCU";
 
 /// The content-addressed key of a study: a stable digest of everything
 /// that can change a [`Characterization`]. Stable across processes and
@@ -151,28 +160,110 @@ impl CacheStats {
     }
 }
 
+/// A stage of the study graph whose artifacts the cache tracks
+/// separately from the legacy study/sweep entries (whose [`CacheStats`]
+/// keep their historical meaning).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageKind {
+    /// Per-unit simulation + capture. Owns no entries of its own — it
+    /// mirrors the derive hits/misses, so a hit reads as "simulation
+    /// skipped" and a miss as "simulation executed".
+    Capture,
+    /// Per-unit metric/series derivation; owns the stored unit artifact
+    /// (a fused capture+derive result — raw captures are never
+    /// serialized).
+    Derive,
+    /// Study-level feature-matrix extraction (memory layer only, keyed
+    /// by the study digest).
+    Featurize,
+    /// Cluster-validation sweeps; mirrors the legacy sweep entries.
+    Analyze,
+}
+
+impl StageKind {
+    /// Every stage, in pipeline order (also the [`StudyCache::stage_stats`]
+    /// index order).
+    pub const ALL: [StageKind; 4] = [
+        StageKind::Capture,
+        StageKind::Derive,
+        StageKind::Featurize,
+        StageKind::Analyze,
+    ];
+
+    /// Stable lowercase name, used in the `cache.stage.<name>.*`
+    /// observability counters.
+    pub fn name(self) -> &'static str {
+        match self {
+            StageKind::Capture => "capture",
+            StageKind::Derive => "derive",
+            StageKind::Featurize => "featurize",
+            StageKind::Analyze => "analyze",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Per-stage cache counters. Unit-artifact traffic lands here — never in
+/// [`CacheStats`] — so the legacy study/sweep numbers stay comparable
+/// across versions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageStats {
+    /// Artifacts served from the in-process memory layer.
+    pub mem_hits: u64,
+    /// Artifacts deserialized from disk.
+    pub disk_hits: u64,
+    /// Lookups that had to recompute.
+    pub misses: u64,
+    /// Artifacts written to disk.
+    pub stores: u64,
+    /// Disk artifacts that failed validation and were discarded.
+    pub corrupt_entries: u64,
+    /// Bytes deserialized from disk.
+    pub bytes_read: u64,
+    /// Bytes written to disk.
+    pub bytes_written: u64,
+}
+
+impl StageStats {
+    /// Total hits across both layers.
+    pub fn hits(&self) -> u64 {
+        self.mem_hits + self.disk_hits
+    }
+}
+
 /// The two-layer study/sweep cache. Most callers use [`StudyCache::global`]
 /// (configured from the environment once per process); tests construct
 /// isolated instances with [`StudyCache::with_dir`].
 #[derive(Debug)]
 pub struct StudyCache {
     enabled: bool,
+    stage_entries: bool,
     dir: Option<PathBuf>,
     max_entries: usize,
     studies: Mutex<HashMap<u64, Arc<Characterization>>>,
+    units: Mutex<HashMap<u64, UnitArtifact>>,
+    features: Mutex<HashMap<u64, Arc<FeatureSet>>>,
     sweeps: Mutex<HashMap<u64, ValidationSweep>>,
     stats: Mutex<CacheStats>,
+    stage_stats: Mutex<[StageStats; 4]>,
 }
 
 impl StudyCache {
     fn new(enabled: bool, dir: Option<PathBuf>, max_entries: usize) -> Self {
         StudyCache {
             enabled,
+            stage_entries: enabled,
             dir,
             max_entries,
             studies: Mutex::new(HashMap::new()),
+            units: Mutex::new(HashMap::new()),
+            features: Mutex::new(HashMap::new()),
             sweeps: Mutex::new(HashMap::new()),
             stats: Mutex::new(CacheStats::default()),
+            stage_stats: Mutex::new([StageStats::default(); 4]),
         }
     }
 
@@ -201,7 +292,15 @@ impl StudyCache {
             .and_then(|v| v.parse().ok())
             .filter(|&n| n > 0)
             .unwrap_or(DEFAULT_MAX_ENTRIES);
-        StudyCache::new(true, Some(dir), max_entries)
+        let stages_off = env::var(CACHE_STAGES_ENV)
+            .map(|v| {
+                let v = v.to_ascii_lowercase();
+                v == "off" || v == "0" || v == "false"
+            })
+            .unwrap_or(false);
+        let mut cache = StudyCache::new(true, Some(dir), max_entries);
+        cache.stage_entries = !stages_off;
+        cache
     }
 
     /// An enabled cache persisting to an explicit directory (tests).
@@ -236,9 +335,43 @@ impl StudyCache {
         self.dir.as_deref()
     }
 
+    /// Whether the per-unit stage-artifact layer is active (see
+    /// [`CACHE_STAGES_ENV`]).
+    pub fn stage_entries_enabled(&self) -> bool {
+        self.enabled && self.stage_entries
+    }
+
     /// A snapshot of the counters.
     pub fn stats(&self) -> CacheStats {
         *self.stats.lock().expect("cache stats lock poisoned")
+    }
+
+    /// A snapshot of the per-stage counters, indexed as [`StageKind::ALL`].
+    pub fn stage_stats(&self) -> [StageStats; 4] {
+        *self.stage_stats.lock().expect("stage stats lock poisoned")
+    }
+
+    /// The counters of one stage.
+    pub fn stage(&self, kind: StageKind) -> StageStats {
+        self.stage_stats()[kind.index()]
+    }
+
+    /// One-line machine-greppable per-stage rendering (used by
+    /// `scripts/verify.sh`'s incremental gate): `sims=` counts units whose
+    /// simulation actually executed this process, `reused=` counts units
+    /// replayed from stage artifacts.
+    pub fn stage_summary(&self) -> String {
+        let capture = self.stage(StageKind::Capture);
+        let derive = self.stage(StageKind::Derive);
+        let featurize = self.stage(StageKind::Featurize);
+        format!(
+            "sims={} reused={} derive_stores={} featurize_hits={} featurize_misses={}",
+            capture.misses,
+            capture.hits(),
+            derive.stores,
+            featurize.hits(),
+            featurize.misses
+        )
     }
 
     /// Human-readable description of the configuration.
@@ -279,16 +412,23 @@ impl StudyCache {
         threads: usize,
         faults: &FaultConfig,
     ) -> Result<Arc<Characterization>, PipelineError> {
+        let spec = StudySpec::new(config.clone(), seed, runs)
+            .with_faults(faults.clone())
+            .with_threads(threads);
+        self.study_spec(&spec)
+    }
+
+    /// The study described by `spec`, served from the cache when warm.
+    /// On a miss the staged executor runs *through* this cache, so
+    /// per-unit artifacts persisted by earlier, differently-keyed studies
+    /// are replayed: after a warm capture, changing one unit's fault
+    /// override re-simulates exactly that unit, and an analysis-only
+    /// change simulates nothing.
+    pub fn study_spec(&self, spec: &StudySpec) -> Result<Arc<Characterization>, PipelineError> {
         if !self.enabled {
-            return Ok(Arc::new(Characterization::try_run_with(
-                config.clone(),
-                seed,
-                runs,
-                threads,
-                faults,
-            )?));
+            return Ok(Arc::new(Characterization::try_run_spec(spec)?));
         }
-        let key = study_key(config, seed, runs, faults);
+        let key = spec.study_key();
         let mut span = mwc_obs::span("cache.study");
         span.field("key", key);
         if let Some(hit) = self
@@ -310,19 +450,44 @@ impl StudyCache {
             return Ok(study);
         }
         self.bump("cache.misses", |s| s.misses += 1);
-        let study = Arc::new(Characterization::try_run_with(
-            config.clone(),
-            seed,
-            runs,
-            threads,
-            faults,
-        )?);
+        let study = Arc::new(crate::stages::execute(spec, Some(self))?);
         self.persist("study", key, &encode_study(key, &study));
         self.studies
             .lock()
             .expect("study cache lock poisoned")
             .insert(key, Arc::clone(&study));
         Ok(study)
+    }
+
+    /// The feature matrices derived from `study`, memoized in memory and
+    /// keyed by [`Characterization::digest`] — the featurize stage's
+    /// content address. Matrices are cheap relative to simulation, so no
+    /// disk layer; the memo collapses the many per-figure/table
+    /// extractions of one study into a single computation.
+    pub fn features(&self, study: &Characterization) -> Result<Arc<FeatureSet>, AnalysisError> {
+        if !self.enabled {
+            return Ok(Arc::new(crate::features::featurize(study)?));
+        }
+        let digest = study.digest();
+        if let Some(hit) = self
+            .features
+            .lock()
+            .expect("feature cache lock poisoned")
+            .get(&digest)
+            .cloned()
+        {
+            self.stage_bump(StageKind::Featurize, "mem_hits", 1, |s| s.mem_hits += 1);
+            return Ok(hit);
+        }
+        self.stage_bump(StageKind::Featurize, "misses", 1, |s| s.misses += 1);
+        let mut span = mwc_obs::span("stage.featurize");
+        span.field("study", digest);
+        let set = Arc::new(crate::features::featurize(study)?);
+        self.features
+            .lock()
+            .expect("feature cache lock poisoned")
+            .insert(digest, Arc::clone(&set));
+        Ok(set)
     }
 
     /// The Fig-4 validation sweep over `m` and `ks`, served from the cache
@@ -343,12 +508,16 @@ impl StudyCache {
             .cloned()
         {
             self.bump("cache.mem_hits", |s| s.mem_hits += 1);
+            self.stage_bump(StageKind::Analyze, "mem_hits", 1, |s| s.mem_hits += 1);
             return Ok(hit);
         }
         if let Some(path) = self.entry_path("sweep", key) {
             if let Ok(bytes) = fs::read(&path) {
                 if let Some(s) = decode_sweep(key, &bytes) {
+                    let n = bytes.len() as u64;
                     self.bump("cache.disk_hits", |st| st.disk_hits += 1);
+                    self.stage_bump(StageKind::Analyze, "disk_hits", 1, |st| st.disk_hits += 1);
+                    self.stage_bump(StageKind::Analyze, "bytes_read", n, |st| st.bytes_read += n);
                     self.sweeps
                         .lock()
                         .expect("sweep cache lock poisoned")
@@ -356,12 +525,23 @@ impl StudyCache {
                     return Ok(s);
                 }
                 self.bump("cache.corrupt_entries", |st| st.corrupt_entries += 1);
+                self.stage_bump(StageKind::Analyze, "corrupt_entries", 1, |st| {
+                    st.corrupt_entries += 1
+                });
                 let _ = fs::remove_file(&path);
             }
         }
         self.bump("cache.misses", |s| s.misses += 1);
+        self.stage_bump(StageKind::Analyze, "misses", 1, |s| s.misses += 1);
         let s = run_sweep(m, ks)?;
-        self.persist("sweep", key, &encode_sweep(key, &s));
+        let bytes = encode_sweep(key, &s);
+        if self.persist("sweep", key, &bytes) {
+            let n = bytes.len() as u64;
+            self.stage_bump(StageKind::Analyze, "stores", 1, |st| st.stores += 1);
+            self.stage_bump(StageKind::Analyze, "bytes_written", n, |st| {
+                st.bytes_written += n
+            });
+        }
         self.sweeps
             .lock()
             .expect("sweep cache lock poisoned")
@@ -393,11 +573,90 @@ impl StudyCache {
         }
     }
 
-    /// Atomically write an entry (temp file + rename). Failure degrades to
-    /// "not cached" — the computed result is unaffected.
-    fn persist(&self, kind: &str, key: u64, bytes: &[u8]) {
-        let Some(path) = self.entry_path(kind, key) else {
+    /// Look up a per-unit capture+derive artifact (memory, then disk).
+    /// Capture-stage counters mirror the derive ones: a hit means the
+    /// unit's simulation was skipped, a miss means it executed.
+    pub(crate) fn unit_artifact(&self, key: u64) -> Option<UnitArtifact> {
+        if !self.stage_entries_enabled() {
+            return None;
+        }
+        if let Some(hit) = self
+            .units
+            .lock()
+            .expect("unit cache lock poisoned")
+            .get(&key)
+            .cloned()
+        {
+            self.stage_bump(StageKind::Derive, "mem_hits", 1, |s| s.mem_hits += 1);
+            self.stage_bump(StageKind::Capture, "mem_hits", 1, |s| s.mem_hits += 1);
+            return Some(hit);
+        }
+        if let Some(path) = self.entry_path("unit", key) {
+            if let Ok(bytes) = fs::read(&path) {
+                if let Some(artifact) = decode_unit(key, &bytes) {
+                    let n = bytes.len() as u64;
+                    self.stage_bump(StageKind::Derive, "disk_hits", 1, |s| s.disk_hits += 1);
+                    self.stage_bump(StageKind::Derive, "bytes_read", n, |s| s.bytes_read += n);
+                    self.stage_bump(StageKind::Capture, "disk_hits", 1, |s| s.disk_hits += 1);
+                    self.units
+                        .lock()
+                        .expect("unit cache lock poisoned")
+                        .insert(key, artifact.clone());
+                    return Some(artifact);
+                }
+                self.stage_bump(StageKind::Derive, "corrupt_entries", 1, |s| {
+                    s.corrupt_entries += 1
+                });
+                let _ = fs::remove_file(&path);
+            }
+        }
+        self.stage_bump(StageKind::Derive, "misses", 1, |s| s.misses += 1);
+        self.stage_bump(StageKind::Capture, "misses", 1, |s| s.misses += 1);
+        None
+    }
+
+    /// Store a freshly computed unit artifact in both layers. Unit-entry
+    /// disk traffic is accounted to the derive [`StageStats`] only — the
+    /// legacy [`CacheStats`] keep counting whole-study entries.
+    pub(crate) fn store_unit_artifact(&self, key: u64, artifact: &UnitArtifact) {
+        if !self.stage_entries_enabled() {
             return;
+        }
+        let bytes = encode_unit(key, artifact);
+        let n = bytes.len() as u64;
+        if self.write_entry("unit", key, &bytes) {
+            self.stage_bump(StageKind::Derive, "stores", 1, |s| s.stores += 1);
+            self.stage_bump(StageKind::Derive, "bytes_written", n, |s| {
+                s.bytes_written += n
+            });
+        }
+        self.units
+            .lock()
+            .expect("unit cache lock poisoned")
+            .insert(key, artifact.clone());
+    }
+
+    /// Atomically write an entry (temp file + rename) and bump the legacy
+    /// counters. Failure degrades to "not cached" — the computed result is
+    /// unaffected. Returns whether the entry landed on disk.
+    fn persist(&self, kind: &str, key: u64, bytes: &[u8]) -> bool {
+        if self.dir.is_none() {
+            return false;
+        }
+        if self.write_entry(kind, key, bytes) {
+            self.bump("cache.stores", |s| s.stores += 1);
+            true
+        } else {
+            self.bump("cache.store_failures", |s| s.store_failures += 1);
+            false
+        }
+    }
+
+    /// The raw atomic write (temp file + rename), shared by the legacy
+    /// entries and the stage artifacts; bumps no counters itself.
+    fn write_entry(&self, kind: &str, key: u64, bytes: &[u8]) -> bool {
+        let Some(path) = self.entry_path(kind, key) else {
+            return false;
         };
         let write = || -> std::io::Result<()> {
             let dir = path.parent().expect("cache entry path has a parent");
@@ -408,10 +667,10 @@ impl StudyCache {
             Ok(())
         };
         if write().is_ok() {
-            self.bump("cache.stores", |s| s.stores += 1);
             self.evict_excess();
+            true
         } else {
-            self.bump("cache.store_failures", |s| s.store_failures += 1);
+            false
         }
     }
 
@@ -450,6 +709,14 @@ impl StudyCache {
     fn bump(&self, counter: &str, f: impl FnOnce(&mut CacheStats)) {
         f(&mut self.stats.lock().expect("cache stats lock poisoned"));
         mwc_obs::metrics::counter_add(counter, 1);
+    }
+
+    /// Bump one per-stage counter and its `cache.stage.<stage>.<counter>`
+    /// observability twin by `n` (the closure applies the same delta to
+    /// the [`StageStats`] slot).
+    fn stage_bump(&self, kind: StageKind, counter: &str, n: u64, f: impl FnOnce(&mut StageStats)) {
+        f(&mut self.stage_stats.lock().expect("stage stats lock poisoned")[kind.index()]);
+        mwc_obs::metrics::counter_add(&format!("cache.stage.{}.{counter}", kind.name()), n);
     }
 }
 
@@ -633,6 +900,26 @@ fn health_values(h: &CaptureHealth) -> [usize; 9] {
     ]
 }
 
+fn encode_profile(e: &mut Enc, p: &UnitProfile) {
+    e.str(&p.name);
+    e.u32(suite_index(p.suite));
+    e.u32(label_index(p.label));
+    e.str(&p.metrics.name);
+    for v in metric_values(&p.metrics) {
+        e.f64(v);
+    }
+    for s in series_refs(&p.series) {
+        e.f64(s.tick_seconds);
+        e.usize(s.values.len());
+        for &v in &s.values {
+            e.f64(v);
+        }
+    }
+    for v in health_values(&p.health) {
+        e.usize(v);
+    }
+}
+
 pub(crate) fn encode_study(key: u64, study: &Characterization) -> Vec<u8> {
     let mut e = Enc(Vec::new());
     e.raw(STUDY_MAGIC);
@@ -641,23 +928,7 @@ pub(crate) fn encode_study(key: u64, study: &Characterization) -> Vec<u8> {
     e.u64(study.digest());
     e.usize(study.profiles.len());
     for p in &study.profiles {
-        e.str(&p.name);
-        e.u32(suite_index(p.suite));
-        e.u32(label_index(p.label));
-        e.str(&p.metrics.name);
-        for v in metric_values(&p.metrics) {
-            e.f64(v);
-        }
-        for s in series_refs(&p.series) {
-            e.f64(s.tick_seconds);
-            e.usize(s.values.len());
-            for &v in &s.values {
-                e.f64(v);
-            }
-        }
-        for v in health_values(&p.health) {
-            e.usize(v);
-        }
+        encode_profile(&mut e, p);
     }
     e.usize(study.report.units_requested);
     e.usize(study.report.failed_units.len());
@@ -794,6 +1065,78 @@ pub(crate) fn decode_study(expected_key: u64, bytes: &[u8]) -> Option<Characteri
         },
     };
     (study.digest() == stored_digest).then_some(study)
+}
+
+/// Artifact payload tags (after magic/version/key): a failed capture
+/// stores its rendered error, a profiled unit stores its digest-verified
+/// profile.
+const UNIT_TAG_FAILED: u32 = 0;
+const UNIT_TAG_PROFILED: u32 = 1;
+
+pub(crate) fn encode_unit(key: u64, artifact: &UnitArtifact) -> Vec<u8> {
+    let mut e = Enc(Vec::new());
+    e.raw(UNIT_MAGIC);
+    e.u32(CACHE_SCHEMA_VERSION);
+    e.u64(key);
+    match artifact {
+        UnitArtifact::Failed(error) => {
+            e.u32(UNIT_TAG_FAILED);
+            e.str(error);
+        }
+        UnitArtifact::Profiled(p) => {
+            e.u32(UNIT_TAG_PROFILED);
+            e.u64(p.digest());
+            encode_profile(&mut e, p);
+        }
+    }
+    // Failed artifacts carry no semantic digest, so integrity comes from a
+    // trailing checksum over the whole payload (profiles get both).
+    let mut h = Fnv1a::new();
+    h.write_bytes(&e.0);
+    let checksum = h.finish();
+    e.u64(checksum);
+    e.0
+}
+
+/// Decode a unit artifact. Returns `None` — never an error, never a
+/// panic — unless the checksum, key, and (for profiles) the stored
+/// profile digest all verify.
+pub(crate) fn decode_unit(expected_key: u64, bytes: &[u8]) -> Option<UnitArtifact> {
+    if bytes.len() < 8 {
+        return None;
+    }
+    let (payload, tail) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().ok()?);
+    let mut h = Fnv1a::new();
+    h.write_bytes(payload);
+    if h.finish() != stored {
+        return None;
+    }
+    let mut d = Dec::new(payload);
+    if d.take(4)? != UNIT_MAGIC {
+        return None;
+    }
+    if d.u32()? != CACHE_SCHEMA_VERSION {
+        return None;
+    }
+    if d.u64()? != expected_key {
+        return None;
+    }
+    match d.u32()? {
+        UNIT_TAG_FAILED => {
+            let error = d.str()?;
+            d.done().then_some(UnitArtifact::Failed(error))
+        }
+        UNIT_TAG_PROFILED => {
+            let stored_digest = d.u64()?;
+            let profile = decode_profile(&mut d)?;
+            if !d.done() || profile.digest() != stored_digest {
+                return None;
+            }
+            Some(UnitArtifact::Profiled(Arc::new(profile)))
+        }
+        _ => None,
+    }
 }
 
 pub(crate) fn encode_sweep(key: u64, s: &ValidationSweep) -> Vec<u8> {
@@ -1131,5 +1474,106 @@ mod tests {
     fn stats_summary_is_greppable() {
         let cache = StudyCache::in_memory();
         assert!(cache.stats().summary().contains("disk_hits=0"));
+        assert!(cache.stage_summary().contains("sims=0"));
+        assert!(cache.stage_summary().contains("reused=0"));
+    }
+
+    #[test]
+    fn unit_artifact_roundtrip_both_variants() {
+        let study = tiny_study();
+        let key = 0xabcd;
+        let profiled = UnitArtifact::Profiled(Arc::new(study.profiles[0].clone()));
+        let bytes = encode_unit(key, &profiled);
+        match decode_unit(key, &bytes).expect("profiled artifact decodes") {
+            UnitArtifact::Profiled(p) => assert_eq!(p.digest(), study.profiles[0].digest()),
+            UnitArtifact::Failed(e) => panic!("decoded as failure: {e}"),
+        }
+        let failed = UnitArtifact::Failed("capture of 'Unit A' exhausted".to_owned());
+        let bytes = encode_unit(key, &failed);
+        match decode_unit(key, &bytes).expect("failed artifact decodes") {
+            UnitArtifact::Failed(e) => assert_eq!(e, "capture of 'Unit A' exhausted"),
+            UnitArtifact::Profiled(_) => panic!("decoded as profile"),
+        }
+        assert!(decode_unit(key + 1, &bytes).is_none(), "wrong key accepted");
+    }
+
+    #[test]
+    fn every_unit_entry_byte_corruption_is_detected() {
+        let study = tiny_study();
+        let key = 17;
+        for artifact in [
+            UnitArtifact::Profiled(Arc::new(study.profiles[1].clone())),
+            UnitArtifact::Failed("boom".to_owned()),
+        ] {
+            let bytes = encode_unit(key, &artifact);
+            for i in 0..bytes.len() {
+                let mut bad = bytes.clone();
+                bad[i] ^= 0x01;
+                assert!(decode_unit(key, &bad).is_none(), "flip at byte {i}");
+            }
+            for len in [0, 1, 4, bytes.len() / 2, bytes.len() - 1] {
+                assert!(decode_unit(key, &bytes[..len]).is_none(), "prefix {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn unit_artifact_layer_counts_into_stage_stats_not_legacy_stats() {
+        let tmp = TempDir::new();
+        let cache = StudyCache::with_dir(&tmp.0);
+        let study = tiny_study();
+        let key = 0xbeef;
+        assert!(cache.unit_artifact(key).is_none(), "cold lookup misses");
+        let artifact = UnitArtifact::Profiled(Arc::new(study.profiles[0].clone()));
+        cache.store_unit_artifact(key, &artifact);
+        assert!(cache.unit_artifact(key).is_some(), "memory hit");
+
+        let derive = cache.stage(StageKind::Derive);
+        assert_eq!(derive.misses, 1);
+        assert_eq!(derive.stores, 1);
+        assert_eq!(derive.mem_hits, 1);
+        assert!(derive.bytes_written > 0);
+        let capture = cache.stage(StageKind::Capture);
+        assert_eq!(capture.misses, 1, "capture mirrors the miss (sim ran)");
+        assert_eq!(capture.mem_hits, 1, "capture mirrors the hit (sim skipped)");
+        assert_eq!(capture.stores, 0, "capture owns no entries");
+        assert_eq!(
+            cache.stats(),
+            CacheStats::default(),
+            "legacy counters never see unit-entry traffic"
+        );
+
+        // A fresh instance over the same directory replays from disk.
+        let warm = StudyCache::with_dir(&tmp.0);
+        assert!(warm.unit_artifact(key).is_some(), "disk hit");
+        let derive = warm.stage(StageKind::Derive);
+        assert_eq!(derive.disk_hits, 1);
+        assert!(derive.bytes_read > 0);
+
+        // Corruption degrades to a miss and drops the entry.
+        let path = warm.entry_path("unit", key).expect("disk layer");
+        fs::write(&path, b"junk").expect("overwrite");
+        let corrupt = StudyCache::with_dir(&tmp.0);
+        assert!(corrupt.unit_artifact(key).is_none());
+        assert_eq!(corrupt.stage(StageKind::Derive).corrupt_entries, 1);
+        assert!(!path.exists(), "corrupt unit entry is dropped");
+    }
+
+    #[test]
+    fn stage_entry_layer_can_be_disabled_independently() {
+        let tmp = TempDir::new();
+        let mut cache = StudyCache::with_dir(&tmp.0);
+        cache.stage_entries = false;
+        assert!(cache.is_enabled());
+        assert!(!cache.stage_entries_enabled());
+        let artifact = UnitArtifact::Failed("x".to_owned());
+        cache.store_unit_artifact(1, &artifact);
+        assert!(cache.unit_artifact(1).is_none(), "layer is inert when off");
+        assert_eq!(cache.stage(StageKind::Derive), StageStats::default());
+        assert_eq!(
+            fs::read_dir(&tmp.0).expect("cache dir").count(),
+            0,
+            "nothing written"
+        );
     }
 }

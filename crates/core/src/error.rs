@@ -25,6 +25,8 @@ pub enum PipelineError {
         /// Number of units the study requested.
         requested: usize,
     },
+    /// A study spec selected a unit name absent from the registry.
+    UnknownUnit(String),
     /// Writing results to disk failed.
     Io(std::io::Error),
 }
@@ -38,6 +40,9 @@ impl fmt::Display for PipelineError {
             PipelineError::StudyEmpty { requested } => {
                 write!(f, "study empty: all {requested} units failed to capture")
             }
+            PipelineError::UnknownUnit(name) => {
+                write!(f, "unknown unit: {name:?} is not in the registry")
+            }
             PipelineError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -50,6 +55,7 @@ impl std::error::Error for PipelineError {
             PipelineError::Capture(e) => Some(e),
             PipelineError::Analysis(e) => Some(e),
             PipelineError::StudyEmpty { .. } => None,
+            PipelineError::UnknownUnit(_) => None,
             PipelineError::Io(e) => Some(e),
         }
     }

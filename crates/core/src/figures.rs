@@ -7,7 +7,6 @@ use mwc_analysis::validation::ValidationSweep;
 use mwc_profiler::timeseries::TimeSeries;
 
 use crate::cache::StudyCache;
-use crate::features::{clustering_matrix, representativeness_matrix};
 use crate::pipeline::Characterization;
 use crate::subsets::Subset;
 
@@ -174,37 +173,43 @@ pub fn fig4_range(
     k_min: usize,
     k_max: usize,
 ) -> Result<ValidationSweep, AnalysisError> {
-    let m = clustering_matrix(study);
+    let features = StudyCache::global().features(study)?;
     let ks: Vec<usize> = (k_min..=k_max).collect();
-    StudyCache::global().sweep(&m, &ks)
+    StudyCache::global().sweep(&features.clustering, &ks)
 }
 
 /// Figure 5: the hierarchical clustering dendrogram (Ward linkage) over
 /// the normalized feature matrix.
 pub fn fig5(study: &Characterization) -> Result<Dendrogram, AnalysisError> {
-    hierarchical(&clustering_matrix(study), Linkage::Ward)
+    let features = StudyCache::global().features(study)?;
+    hierarchical(&features.clustering, Linkage::Ward)
 }
 
 /// Figure 6: the k-means clustering at k = 5 (PAM produces the same
 /// partition; see the paper's §VI-A).
 pub fn fig6(study: &Characterization) -> Result<Clustering, AnalysisError> {
-    mwc_analysis::cluster::kmeans(&clustering_matrix(study), 5, 42)
+    let features = StudyCache::global().features(study)?;
+    mwc_analysis::cluster::kmeans(&features.clustering, 5, 42)
 }
 
 /// Figure 7: the incremental total-minimum-Euclidean-distance curves for
 /// the given subsets (one curve per subset, each of length 18 — subset
-/// members first, then the greedy tail).
-pub fn fig7(study: &Characterization, subsets: &[Subset]) -> Vec<(String, Vec<f64>)> {
-    let m = representativeness_matrix(study);
-    subsets
+/// members first, then the greedy tail). Fails with
+/// [`AnalysisError::EmptyStudy`] on a fully degraded study.
+pub fn fig7(
+    study: &Characterization,
+    subsets: &[Subset],
+) -> Result<Vec<(String, Vec<f64>)>, AnalysisError> {
+    let features = StudyCache::global().features(study)?;
+    Ok(subsets
         .iter()
         .map(|s| {
             (
                 s.kind.name().to_owned(),
-                incremental_distances(&m, &s.indices),
+                incremental_distances(&features.representativeness, &s.indices),
             )
         })
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -263,7 +268,7 @@ mod tests {
     #[test]
     fn fig7_curves_are_monotone_nonincreasing() {
         let s = study();
-        let curves = fig7(&s, &[select_subset(&s)]);
+        let curves = fig7(&s, &[select_subset(&s)]).expect("fig7 on a full study");
         assert_eq!(curves.len(), 1);
         let curve = &curves[0].1;
         assert_eq!(curve.len(), 18);

@@ -15,8 +15,12 @@
 //! * [`figures`] — the data series behind Figures 1–7;
 //! * [`subsets`] — the Naive, Select and Select + GPU reduced benchmark
 //!   sets and their representativeness evaluation;
-//! * [`cache`] — a persistent, content-addressed cache of study and
-//!   sweep results so warm runs skip simulation entirely.
+//! * [`spec`] — the typed [`StudySpec`] driving the staged pipeline:
+//!   seed, runs, platform, fault model (with per-unit overrides) and
+//!   unit selection;
+//! * [`cache`] — a persistent, content-addressed cache of study, per-unit
+//!   stage and sweep results, so warm runs skip simulation entirely and a
+//!   one-unit change re-simulates only that unit.
 //!
 //! ## Quickstart
 //!
@@ -41,9 +45,13 @@ pub mod features;
 pub mod figures;
 pub mod observations;
 pub mod pipeline;
+pub mod spec;
+mod stages;
 pub mod subsets;
 pub mod tables;
 
-pub use cache::{CacheStats, StudyCache};
+pub use cache::{CacheStats, StageKind, StageStats, StudyCache};
 pub use error::PipelineError;
+pub use features::FeatureSet;
 pub use pipeline::{Characterization, DegradationReport, UnitProfile};
+pub use spec::{StudySpec, UnitSelection};

@@ -8,10 +8,10 @@ use mwc_profiler::derive::BenchmarkMetrics;
 use mwc_profiler::faults::{CaptureError, CaptureHealth, FaultConfig};
 use mwc_profiler::timeseries::TimeSeries;
 use mwc_soc::config::{ClusterKind, SocConfig};
-use mwc_soc::engine::Engine;
-use mwc_workloads::registry::{all_units, BenchmarkUnit, ClusterLabel, Suite};
+use mwc_workloads::registry::{BenchmarkUnit, ClusterLabel, Suite};
 
 use crate::error::PipelineError;
+use crate::spec::StudySpec;
 
 /// The per-unit time series the temporal and heterogeneity analyses use.
 #[derive(Debug, Clone, PartialEq)]
@@ -168,67 +168,19 @@ impl Characterization {
         threads: usize,
         faults: &FaultConfig,
     ) -> Result<Self, PipelineError> {
-        let mut study_span = mwc_obs::span("pipeline.study");
-        study_span.field("seed", seed);
-        study_span.field("runs", runs);
-        study_span.field("threads", threads);
-        mwc_obs::metrics::gauge_set("pipeline.threads", threads as f64);
+        let spec = StudySpec::new(config, seed, runs)
+            .with_faults(faults.clone())
+            .with_threads(threads);
+        Characterization::try_run_spec(&spec)
+    }
 
-        stage("pipeline.validate", || {
-            faults.validate()?;
-            // Validate the platform once up front, so worker-side engine
-            // construction below is infallible.
-            Engine::new(config.clone(), seed)?;
-            Ok::<(), PipelineError>(())
-        })?;
-        let units = all_units();
-        study_span.field("units", units.len());
-        let results = stage("pipeline.capture", || {
-            mwc_parallel::ordered_map_with(
-                &units,
-                threads,
-                || {
-                    let engine =
-                        Engine::new(config.clone(), seed).expect("configuration validated above");
-                    Profiler::new(engine, seed)
-                },
-                |profiler, unit, unit_index| profile_unit(profiler, unit, unit_index, runs, faults),
-            )
-        });
-
-        stage("pipeline.collect", || {
-            let units_requested = units.len();
-            let mut profiles = Vec::with_capacity(units_requested);
-            let mut failed_units = Vec::new();
-            for (unit, result) in units.iter().zip(results) {
-                match result {
-                    Ok(profile) => {
-                        profile.health.record_metrics();
-                        profiles.push(profile);
-                    }
-                    Err(e) => {
-                        mwc_obs::metrics::counter_add("pipeline.failed_units", 1);
-                        failed_units.push(FailedUnit {
-                            name: unit.name.to_owned(),
-                            error: e.to_string(),
-                        });
-                    }
-                }
-            }
-            if profiles.is_empty() {
-                return Err(PipelineError::StudyEmpty {
-                    requested: units_requested,
-                });
-            }
-            mwc_obs::metrics::counter_add("pipeline.units_profiled", profiles.len() as u64);
-            Ok(Characterization {
-                profiles,
-                report: DegradationReport {
-                    units_requested,
-                    failed_units,
-                },
-            })
-        })
+    /// Run the study described by a [`StudySpec`] through the stage graph,
+    /// without any cache: every stage computes. For a full-registry spec
+    /// this is bit-identical to [`Characterization::try_run_with`] — the
+    /// spec API additionally supports per-unit fault overrides and unit
+    /// selection.
+    pub fn try_run_spec(spec: &StudySpec) -> Result<Self, PipelineError> {
+        crate::stages::execute(spec, None)
     }
 
     /// The unit profiles, in the paper's fixed order (failed units are
@@ -278,68 +230,7 @@ impl Characterization {
         let mut h = Fnv1a::new();
         h.write_usize(self.profiles.len());
         for p in &self.profiles {
-            h.write_str(&p.name);
-            h.write_str(p.suite.name());
-            h.write_str(p.label.name());
-            let m = &p.metrics;
-            h.write_str(&m.name);
-            for v in [
-                m.instruction_count,
-                m.ipc,
-                m.cache_mpki,
-                m.branch_mpki,
-                m.runtime_seconds,
-                m.cpu_load,
-                m.cpu_little_load,
-                m.cpu_mid_load,
-                m.cpu_big_load,
-                m.cpu_little_util,
-                m.cpu_mid_util,
-                m.cpu_big_util,
-                m.gpu_load,
-                m.gpu_shaders_busy,
-                m.gpu_bus_busy,
-                m.aie_load,
-                m.memory_used_fraction,
-                m.memory_peak_mib,
-                m.storage_busy,
-            ] {
-                h.write_f64(v);
-            }
-            let s = &p.series;
-            for series in [
-                &s.cpu_load,
-                &s.little_load,
-                &s.mid_load,
-                &s.big_load,
-                &s.gpu_load,
-                &s.shaders_busy,
-                &s.bus_busy,
-                &s.aie_load,
-                &s.memory_fraction,
-                &s.memory_mib,
-                &s.ipc,
-                &s.storage_busy,
-            ] {
-                h.write_f64(series.tick_seconds);
-                h.write_usize(series.values.len());
-                for &v in &series.values {
-                    h.write_f64(v);
-                }
-            }
-            for v in [
-                p.health.runs_requested,
-                p.health.runs_used,
-                p.health.attempts,
-                p.health.retries,
-                p.health.failed_runs,
-                p.health.truncated_runs,
-                p.health.dropped_samples,
-                p.health.overflow_wraps,
-                p.health.outliers_rejected,
-            ] {
-                h.write_usize(v);
-            }
+            digest_profile_into(&mut h, p);
         }
         h.write_usize(self.report.units_requested);
         for f in &self.report.failed_units {
@@ -347,6 +238,85 @@ impl Characterization {
             h.write_str(&f.error);
         }
         h.finish()
+    }
+}
+
+impl UnitProfile {
+    /// An order-sensitive FNV-1a fingerprint of one unit's profile — the
+    /// per-profile slice of [`Characterization::digest`], used to verify
+    /// cached unit artifacts on load.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        digest_profile_into(&mut h, self);
+        h.finish()
+    }
+}
+
+/// Feed one profile into a digest, in the byte order
+/// [`Characterization::digest`] has always used (identity, 19 metrics,
+/// 12 series, 9 health counters).
+fn digest_profile_into(h: &mut Fnv1a, p: &UnitProfile) {
+    h.write_str(&p.name);
+    h.write_str(p.suite.name());
+    h.write_str(p.label.name());
+    let m = &p.metrics;
+    h.write_str(&m.name);
+    for v in [
+        m.instruction_count,
+        m.ipc,
+        m.cache_mpki,
+        m.branch_mpki,
+        m.runtime_seconds,
+        m.cpu_load,
+        m.cpu_little_load,
+        m.cpu_mid_load,
+        m.cpu_big_load,
+        m.cpu_little_util,
+        m.cpu_mid_util,
+        m.cpu_big_util,
+        m.gpu_load,
+        m.gpu_shaders_busy,
+        m.gpu_bus_busy,
+        m.aie_load,
+        m.memory_used_fraction,
+        m.memory_peak_mib,
+        m.storage_busy,
+    ] {
+        h.write_f64(v);
+    }
+    let s = &p.series;
+    for series in [
+        &s.cpu_load,
+        &s.little_load,
+        &s.mid_load,
+        &s.big_load,
+        &s.gpu_load,
+        &s.shaders_busy,
+        &s.bus_busy,
+        &s.aie_load,
+        &s.memory_fraction,
+        &s.memory_mib,
+        &s.ipc,
+        &s.storage_busy,
+    ] {
+        h.write_f64(series.tick_seconds);
+        h.write_usize(series.values.len());
+        for &v in &series.values {
+            h.write_f64(v);
+        }
+    }
+    for v in [
+        p.health.runs_requested,
+        p.health.runs_used,
+        p.health.attempts,
+        p.health.retries,
+        p.health.failed_runs,
+        p.health.truncated_runs,
+        p.health.dropped_samples,
+        p.health.overflow_wraps,
+        p.health.outliers_rejected,
+    ] {
+        h.write_usize(v);
     }
 }
 
@@ -391,7 +361,7 @@ impl Fnv1a {
 /// Run `f` inside a named pipeline-stage span, feeding its wall time into
 /// the `pipeline.stage_ns` histogram. Pure pass-through when observability
 /// is disabled.
-fn stage<R>(name: &str, f: impl FnOnce() -> R) -> R {
+pub(crate) fn stage<R>(name: &str, f: impl FnOnce() -> R) -> R {
     let stage_span = mwc_obs::span(name);
     let result = f();
     if let Some(ns) = stage_span.elapsed_ns() {
@@ -400,29 +370,42 @@ fn stage<R>(name: &str, f: impl FnOnce() -> R) -> R {
     result
 }
 
-/// Profile one unit: capture its runs on the worker's engine (retrying
-/// under the fault model) and merge metrics and series across them. A pure
-/// function of `(profiler seed/config, unit, unit_index, runs, faults)`,
-/// which is what makes the parallel fan-out reproducible.
-fn profile_unit(
+/// The capture stage of one unit: run it on the worker's engine (retrying
+/// under the fault model) and hand back the per-run series maps plus the
+/// capture-health record. A pure function of `(profiler seed/config, unit,
+/// unit_index, runs, faults)`, which is what makes the parallel fan-out —
+/// and the content-addressed unit artifacts — reproducible.
+pub(crate) fn capture_stage(
     profiler: &mut Profiler,
     unit: &BenchmarkUnit,
     unit_index: usize,
     runs: usize,
     faults: &FaultConfig,
-) -> Result<UnitProfile, CaptureError> {
-    let mut unit_span = mwc_obs::span("pipeline.unit");
-    unit_span.field("name", unit.name);
-    unit_span.field("index", unit_index);
-    let (captures, mut health) =
+) -> Result<(Vec<SeriesMap>, CaptureHealth), CaptureError> {
+    let mut span = mwc_obs::span("stage.capture");
+    span.field("unit", unit.name);
+    let (captures, health) =
         profiler.capture_unit_runs_resilient(&unit.workload, unit_index, runs, faults)?;
-    let maps: Vec<SeriesMap> = captures.iter().map(|c| c.series_map()).collect();
+    Ok((captures.iter().map(|c| c.series_map()).collect(), health))
+}
+
+/// The derive stage of one unit: merge the captured runs into averaged
+/// (or quorum-merged) metrics and gap-bridged time series. Deterministic
+/// given the capture stage's output.
+pub(crate) fn derive_stage(
+    unit: &BenchmarkUnit,
+    maps: &[SeriesMap],
+    mut health: CaptureHealth,
+    faults: &FaultConfig,
+) -> UnitProfile {
+    let mut span = mwc_obs::span("stage.derive");
+    span.field("unit", unit.name);
     let metrics = if faults.enabled() {
-        let (metrics, outliers) = BenchmarkMetrics::robust_from_series_maps(&maps);
+        let (metrics, outliers) = BenchmarkMetrics::robust_from_series_maps(maps);
         health.outliers_rejected = outliers;
         metrics
     } else {
-        BenchmarkMetrics::from_series_maps(&maps)
+        BenchmarkMetrics::from_series_maps(maps)
     };
     let avg = |key: SeriesKey| {
         let series: Vec<TimeSeries> = maps.iter().map(|m| m.get(key).clone()).collect();
@@ -449,14 +432,14 @@ fn profile_unit(
         ipc: avg(SeriesKey::Ipc),
         storage_busy: avg(SeriesKey::StorageBusy),
     };
-    Ok(UnitProfile {
+    UnitProfile {
         name: unit.name.to_owned(),
         suite: unit.suite,
         label: unit.label,
         metrics,
         series,
         health,
-    })
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,151 @@
+//! The staged execution graph behind every study.
+//!
+//! A study is an explicit pipeline of typed stages:
+//!
+//! ```text
+//! StudySpec ─▶ validate ─▶ per-unit { capture ─▶ derive } ─▶ collect
+//!                               │                               │
+//!                          unit artifacts                 Characterization
+//!                       (content-addressed,                     │
+//!                        keyed by unit_key)              featurize ─▶ analyze
+//! ```
+//!
+//! [`execute`] runs the graph. When handed a [`StudyCache`], each unit's
+//! capture+derive work is memoized as a content-addressed *unit artifact*
+//! keyed by [`StudySpec::unit_key`] — so changing one unit's fault config
+//! re-simulates exactly that unit, and the other artifacts are replayed
+//! from cache. Failed captures are cached too (as their rendered error),
+//! which keeps a warm degraded study bit-identical to its cold run.
+//!
+//! Without a cache the executor is the plain pipeline: bit-identical to
+//! the pre-stage-graph implementation (the digest tests are the oracle).
+
+use std::sync::Arc;
+
+use mwc_profiler::capture::Profiler;
+use mwc_soc::engine::Engine;
+use mwc_workloads::registry::BenchmarkUnit;
+
+use crate::cache::StudyCache;
+use crate::error::PipelineError;
+use crate::pipeline::{
+    capture_stage, derive_stage, stage, Characterization, DegradationReport, FailedUnit,
+    UnitProfile,
+};
+use crate::spec::StudySpec;
+
+/// The cached outcome of one unit's capture+derive stages. Failures are
+/// first-class artifacts: a warm replay of a degraded study must rebuild
+/// the same [`DegradationReport`] without re-simulating.
+#[derive(Debug, Clone)]
+pub(crate) enum UnitArtifact {
+    /// The unit produced a usable profile.
+    Profiled(Arc<UnitProfile>),
+    /// Every capture attempt failed; the rendered error.
+    Failed(String),
+}
+
+/// Run the stage graph for `spec`. With `cache` set, per-unit artifacts
+/// are consulted and stored; without it every stage computes.
+pub(crate) fn execute(
+    spec: &StudySpec,
+    cache: Option<&StudyCache>,
+) -> Result<Characterization, PipelineError> {
+    let mut study_span = mwc_obs::span("pipeline.study");
+    study_span.field("seed", spec.seed);
+    study_span.field("runs", spec.runs);
+    study_span.field("threads", spec.threads);
+    mwc_obs::metrics::gauge_set("pipeline.threads", spec.threads as f64);
+
+    let selected = stage("pipeline.validate", || {
+        spec.validate()?;
+        // Validate the platform once up front, so worker-side engine
+        // construction below is infallible.
+        Engine::new(spec.config.clone(), spec.seed)?;
+        spec.selected()
+    })?;
+    study_span.field("units", selected.len());
+
+    let results = stage("pipeline.capture", || {
+        mwc_parallel::ordered_map_with(
+            &selected,
+            spec.threads,
+            || {
+                let engine = Engine::new(spec.config.clone(), spec.seed)
+                    .expect("configuration validated above");
+                Profiler::new(engine, spec.seed)
+            },
+            |profiler, (unit_index, unit), _| unit_task(profiler, *unit_index, unit, spec, cache),
+        )
+    });
+
+    stage("pipeline.collect", || {
+        let units_requested = selected.len();
+        let mut profiles = Vec::with_capacity(units_requested);
+        let mut failed_units = Vec::new();
+        for ((_, unit), (artifact, computed)) in selected.iter().zip(results) {
+            match artifact {
+                UnitArtifact::Profiled(p) => {
+                    // Capture-health counters describe work *done* this
+                    // process; artifacts replayed from cache did none.
+                    if computed {
+                        p.health.record_metrics();
+                    }
+                    profiles.push((*p).clone());
+                }
+                UnitArtifact::Failed(error) => {
+                    mwc_obs::metrics::counter_add("pipeline.failed_units", 1);
+                    failed_units.push(FailedUnit {
+                        name: unit.name.to_owned(),
+                        error,
+                    });
+                }
+            }
+        }
+        if profiles.is_empty() {
+            return Err(PipelineError::StudyEmpty {
+                requested: units_requested,
+            });
+        }
+        mwc_obs::metrics::counter_add("pipeline.units_profiled", profiles.len() as u64);
+        Ok(Characterization {
+            profiles,
+            report: DegradationReport {
+                units_requested,
+                failed_units,
+            },
+        })
+    })
+}
+
+/// One unit through the capture → derive stages, artifact-cache first.
+/// Returns the artifact plus whether it was computed here (vs. replayed).
+fn unit_task(
+    profiler: &mut Profiler,
+    unit_index: usize,
+    unit: &BenchmarkUnit,
+    spec: &StudySpec,
+    cache: Option<&StudyCache>,
+) -> (UnitArtifact, bool) {
+    let mut unit_span = mwc_obs::span("pipeline.unit");
+    unit_span.field("name", unit.name);
+    unit_span.field("index", unit_index);
+    let key = spec.unit_key(unit_index, unit);
+    if let Some(cache) = cache {
+        if let Some(artifact) = cache.unit_artifact(key) {
+            unit_span.field("cached", 1u64);
+            return (artifact, false);
+        }
+    }
+    let faults = spec.effective_faults(unit.name);
+    let artifact = match capture_stage(profiler, unit, unit_index, spec.runs, faults) {
+        Ok((maps, health)) => {
+            UnitArtifact::Profiled(Arc::new(derive_stage(unit, &maps, health, faults)))
+        }
+        Err(e) => UnitArtifact::Failed(e.to_string()),
+    };
+    if let Some(cache) = cache {
+        cache.store_unit_artifact(key, &artifact);
+    }
+    (artifact, true)
+}

@@ -1,9 +1,10 @@
 //! The reduced benchmark sets of §VI-B and their evaluation.
 
 use mwc_analysis::cluster::Clustering;
+use mwc_analysis::error::AnalysisError;
 use mwc_analysis::subset::{fastest_per_cluster, runtime_reduction, total_min_euclidean};
 
-use crate::features::representativeness_matrix;
+use crate::cache::StudyCache;
 use crate::pipeline::Characterization;
 
 /// The three reduced sets the paper proposes.
@@ -93,9 +94,14 @@ impl Subset {
     }
 
     /// Total minimum Euclidean distance of the subset on the
-    /// max-normalized representativeness matrix (Figure 7).
-    pub fn representativeness(&self, study: &Characterization) -> f64 {
-        total_min_euclidean(&representativeness_matrix(study), &self.indices)
+    /// max-normalized representativeness matrix (Figure 7). Fails with
+    /// [`AnalysisError::EmptyStudy`] on a fully degraded study.
+    pub fn representativeness(&self, study: &Characterization) -> Result<f64, AnalysisError> {
+        let features = StudyCache::global().features(study)?;
+        Ok(total_min_euclidean(
+            &features.representativeness,
+            &self.indices,
+        ))
     }
 }
 
@@ -178,7 +184,10 @@ mod tests {
             assert!(plus.indices.contains(idx));
         }
         // Adding a member can only improve (lower) representativeness.
-        assert!(plus.representativeness(&s) <= select.representativeness(&s));
+        assert!(
+            plus.representativeness(&s).expect("full study")
+                <= select.representativeness(&s).expect("full study")
+        );
     }
 
     #[test]

@@ -1,23 +1,27 @@
 //! Tables III, V and VI of the paper.
 
 use mwc_analysis::cluster::Clustering;
+use mwc_analysis::error::AnalysisError;
 use mwc_analysis::matrix::Matrix;
 use mwc_analysis::stats::correlation_matrix;
 use mwc_report::heat::level_histogram;
 use mwc_report::table::{fmt, Table};
 
-use crate::features::{fig1_matrix, FIG1_METRICS};
+use crate::cache::StudyCache;
+use crate::features::FIG1_METRICS;
 use crate::pipeline::Characterization;
 use crate::subsets::{naive_subset, select_plus_gpu_subset, select_subset, Subset};
 
 /// Table III: the Pearson correlation matrix of the five Figure-1 metrics.
-pub fn table3_matrix(study: &Characterization) -> Matrix {
-    correlation_matrix(&fig1_matrix(study))
+/// Fails with [`AnalysisError::EmptyStudy`] on a fully degraded study.
+pub fn table3_matrix(study: &Characterization) -> Result<Matrix, AnalysisError> {
+    let features = StudyCache::global().features(study)?;
+    Ok(correlation_matrix(&features.fig1))
 }
 
 /// Render Table III as text (lower triangle, as the paper prints it).
-pub fn table3_text(study: &Characterization) -> String {
-    let c = table3_matrix(study);
+pub fn table3_text(study: &Characterization) -> Result<String, AnalysisError> {
+    let c = table3_matrix(study)?;
     let mut headers: Vec<String> = vec![String::new()];
     headers.extend(FIG1_METRICS.iter().map(|s| s.to_string()));
     let mut t = Table::new(headers);
@@ -28,7 +32,7 @@ pub fn table3_text(study: &Characterization) -> String {
         }
         t.row(row);
     }
-    t.render()
+    Ok(t.render())
 }
 
 /// Table V data: for each cluster (little, mid, big), the average fraction
@@ -142,7 +146,7 @@ mod tests {
 
     #[test]
     fn table3_is_a_correlation_matrix() {
-        let c = table3_matrix(&study());
+        let c = table3_matrix(&study()).expect("table3 on a full study");
         assert_eq!(c.rows(), 5);
         for i in 0..5 {
             assert!((c.get(i, i) - 1.0).abs() < 1e-12);
@@ -154,7 +158,7 @@ mod tests {
 
     #[test]
     fn table3_text_prints_lower_triangle() {
-        let s = table3_text(&study());
+        let s = table3_text(&study()).expect("table3 on a full study");
         assert!(s.contains("IC"));
         assert!(s.contains("Runtime"));
         assert!(s.lines().count() >= 7);

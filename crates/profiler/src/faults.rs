@@ -41,6 +41,11 @@ pub const FAULT_TRUNCATION_ENV: &str = "MWC_FAULT_TRUNCATION";
 pub const FAULT_RUN_FAILURE_ENV: &str = "MWC_FAULT_RUN_FAILURE";
 /// Environment variable for the retry budget per run.
 pub const FAULT_ATTEMPTS_ENV: &str = "MWC_FAULT_ATTEMPTS";
+/// Environment variable listing comma-separated unit names the fault plan
+/// applies to. When unset the plan covers every unit; when set, only the
+/// named units capture under the plan and all others stay fault-free
+/// (consumed by `StudySpec::with_env_faults` in `mwc-core`).
+pub const FAULT_UNITS_ENV: &str = "MWC_FAULT_UNITS";
 
 /// SplitMix64 — the same generator family the engine's stream chain uses;
 /// local copy so the profiler stays dependency-light.

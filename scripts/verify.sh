@@ -11,6 +11,11 @@ if ! command -v cargo >/dev/null 2>&1; then
     exit 127
 fi
 
+# Formatting first: it is the cheapest gate, so a style failure surfaces
+# before the minutes-long build and test passes.
+echo "==> cargo fmt --check"
+cargo fmt --all --check || exit $?
+
 echo "==> cargo build --release"
 cargo build --release || exit $?
 
@@ -113,10 +118,43 @@ fi
 rm -rf "$cache_dir"
 echo "    cold/warm digests match ($digest_cold); warm disk hits: $warm_hits; corruption degraded to recompute ($corrupt_count entries)"
 
+echo "==> incremental stage graph (one-knob change after warm capture)"
+# Warm the per-unit artifact layer, then flip one unit's fault config:
+# exactly that unit must re-simulate (sims=1, reused=17), and the stitched
+# study must be bit-identical to a cold run of the same flipped spec.
+incr_dir="target/verify-incr"
+incr_cold_dir="target/verify-incr-cold"
+rm -rf "$incr_dir" "$incr_cold_dir"
+
+MWC_CACHE_DIR="$incr_dir" ./target/release/profile >/dev/null || exit 1
+flip_out=$(MWC_CACHE_DIR="$incr_dir" MWC_FAULT_SEED=7 MWC_FAULT_JITTER=0.01 \
+    MWC_FAULT_UNITS="Antutu CPU" ./target/release/profile) || exit 1
+digest_flip=$(printf '%s\n' "$flip_out" | awk '/^study digest:/ { print $3 }')
+flip_sims=$(printf '%s\n' "$flip_out" \
+    | awk '/^stage stats:/ { for (i = 1; i <= NF; i++) if (sub("^sims=", "", $i)) print $i }')
+flip_reused=$(printf '%s\n' "$flip_out" \
+    | awk '/^stage stats:/ { for (i = 1; i <= NF; i++) if (sub("^reused=", "", $i)) print $i }')
+
+if [ -z "$digest_flip" ] || [ -z "$flip_sims" ] || [ -z "$flip_reused" ]; then
+    echo "error: flipped run printed no digest or stage stats" >&2
+    exit 1
+fi
+if [ "$flip_sims" -ne 1 ] || [ "$flip_reused" -ne 17 ]; then
+    echo "error: one-knob change re-simulated $flip_sims units and reused $flip_reused (want 1 and 17)" >&2
+    exit 1
+fi
+
+cold_flip_out=$(MWC_CACHE_DIR="$incr_cold_dir" MWC_FAULT_SEED=7 MWC_FAULT_JITTER=0.01 \
+    MWC_FAULT_UNITS="Antutu CPU" ./target/release/profile) || exit 1
+digest_cold_flip=$(printf '%s\n' "$cold_flip_out" | awk '/^study digest:/ { print $3 }')
+if [ "$digest_flip" != "$digest_cold_flip" ]; then
+    echo "error: incremental study diverged from cold recompute: $digest_flip vs $digest_cold_flip" >&2
+    exit 1
+fi
+rm -rf "$incr_dir" "$incr_cold_dir"
+echo "    one-knob change: sims=$flip_sims reused=$flip_reused; digest matches cold run ($digest_flip)"
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings || exit $?
-
-echo "==> cargo fmt --check"
-cargo fmt --all --check || exit $?
 
 echo "==> all checks passed"

@@ -19,8 +19,8 @@ fn spearman_confirms_the_pearson_sign_pattern() {
     // The rank-based coefficient is scale-free, so it cross-checks that
     // Table III's sign pattern is not an artifact of the simulator's
     // magnitudes (EXPERIMENTS.md, Figure-1 note).
-    let raw = fig1_matrix(study());
-    let pearson = table3_matrix(study());
+    let raw = fig1_matrix(study()).expect("full study");
+    let pearson = table3_matrix(study()).expect("full study");
     let rank = spearman_matrix(&raw);
     // IPC <-> cache MPKI: strongly negative under both.
     assert!(pearson.get(1, 2) < -0.8);
@@ -45,7 +45,7 @@ fn spearman_confirms_the_pearson_sign_pattern() {
 
 #[test]
 fn spearman_is_monotone_invariant_on_study_columns() {
-    let raw = fig1_matrix(study());
+    let raw = fig1_matrix(study()).expect("full study");
     let ic = raw.col(0);
     let runtime = raw.col(4);
     let r = spearman(&ic, &runtime);
@@ -57,7 +57,7 @@ fn spearman_is_monotone_invariant_on_study_columns() {
 #[test]
 fn ground_truth_partition_minimizes_connectivity_among_rivals() {
     let s = study();
-    let m = clustering_matrix(s);
+    let m = clustering_matrix(s).expect("full study");
     let truth = Clustering::new(s.profiles().iter().map(|p| p.label as usize).collect(), 5)
         .expect("5 labels");
     let truth_conn = connectivity(&m, &truth, 5);
@@ -103,7 +103,7 @@ fn ground_truth_partition_minimizes_connectivity_among_rivals() {
 fn connectivity_grows_with_k_on_study_data() {
     // Finer hierarchical cuts can only cut nearest-neighbour links, so
     // connectivity is non-decreasing in k — the behaviour clValid plots.
-    let m = clustering_matrix(study());
+    let m = clustering_matrix(study()).expect("full study");
     let dendro = mwc_analysis::cluster::hierarchical(&m, Linkage::Ward).expect("data");
     let mut last = -1.0;
     for k in 2..=8 {

@@ -69,8 +69,8 @@ fn moderate_faults_complete_the_study_within_tolerance() {
     );
 
     // Figure-1 aggregates stay within 2% of the fault-free study.
-    let r = fig1_matrix(&reference);
-    let f = fig1_matrix(&faulty);
+    let r = fig1_matrix(&reference).expect("full study");
+    let f = fig1_matrix(&faulty).expect("profiled units remain");
     for i in 0..r.rows() {
         for j in 0..r.cols() {
             let rv = r.get(i, j);

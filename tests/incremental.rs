@@ -1,0 +1,204 @@
+//! Integration tests of the incremental stage graph: after a warm capture,
+//! flipping one unit's fault configuration must re-simulate exactly that
+//! unit (all others replay from their capture/derive artifacts), and an
+//! analysis-only request must run with zero simulation. Both paths must be
+//! bit-identical to a cold computation — the whole point of the artifact
+//! keys is that incrementality never changes the numbers.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use mwc_core::cache::{StageKind, StageStats, StudyCache};
+use mwc_core::pipeline::Characterization;
+use mwc_core::StudySpec;
+use mwc_obs::metrics::Metric;
+use mwc_obs::Value;
+use mwc_profiler::FaultConfig;
+use mwc_soc::config::SocConfig;
+
+/// Single-run protocol on the observability seed: short, but still all
+/// 18 units wide so "one of 18" is a meaningful fraction.
+const SEED: u64 = 77;
+const RUNS: usize = 1;
+
+/// The unit whose fault configuration gets flipped between passes.
+const FLIPPED_UNIT: &str = "Antutu CPU";
+
+/// A unique throwaway directory per test (removed on drop).
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new() -> Self {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "mwc-incr-it-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&dir).expect("temp dir creation");
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Collection state is process-global, so tests that flip it must not
+/// interleave.
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+fn base_spec() -> StudySpec {
+    StudySpec::new(SocConfig::snapdragon_888(), SEED, RUNS).with_threads(2)
+}
+
+/// A jitter-only override: it changes the unit's artifact key (jitter is an
+/// enabled fault) without ever failing or truncating a run, so the
+/// re-simulated unit performs exactly `RUNS` engine runs — which makes the
+/// `soc.runs` counter an exact oracle for "how many units simulated".
+fn jitter_only() -> FaultConfig {
+    FaultConfig {
+        seed: 7,
+        jitter_amplitude: 0.01,
+        ..FaultConfig::default()
+    }
+}
+
+#[test]
+fn one_unit_fault_flip_resimulates_exactly_that_unit() {
+    let tmp = TempDir::new();
+    let base = base_spec();
+    let patched = base.clone().with_unit_faults(FLIPPED_UNIT, jitter_only());
+
+    // Cold pass populates the per-unit artifact layer.
+    {
+        let cold = StudyCache::with_dir(&tmp.0);
+        cold.study_spec(&base).expect("cold study");
+        let derive = cold.stage(StageKind::Derive);
+        assert_eq!(derive.stores, 18, "cold pass persists every unit artifact");
+        assert_eq!(derive.misses, 18);
+    }
+
+    // Incremental pass in a fresh instance (models a new process), traced
+    // so the simulation counters are visible.
+    let warm = StudyCache::with_dir(&tmp.0);
+    let (study, data, metrics) = {
+        let _g = lock();
+        mwc_obs::reset();
+        mwc_obs::set_enabled(true);
+        let study = warm.study_spec(&patched).expect("incremental study");
+        let data = mwc_obs::trace::drain();
+        let metrics = mwc_obs::metrics::snapshot();
+        mwc_obs::set_enabled(false);
+        mwc_obs::reset();
+        (study, data, metrics)
+    };
+
+    // Cache's own accounting: 17 units replayed from disk, 1 recomputed.
+    let derive = warm.stage(StageKind::Derive);
+    assert_eq!(derive.disk_hits, 17, "unchanged units replay from disk");
+    assert_eq!(derive.misses, 1, "exactly the flipped unit recomputes");
+    assert_eq!(derive.stores, 1, "the recomputed artifact is persisted");
+    let capture = warm.stage(StageKind::Capture);
+    assert_eq!(
+        capture.hits(),
+        17,
+        "capture mirrors: 17 simulations skipped"
+    );
+    assert_eq!(capture.misses, 1, "capture mirrors: 1 simulation executed");
+
+    // Engine's own accounting: exactly RUNS engine runs happened in the
+    // whole incremental pass — i.e. one unit simulated.
+    let runs = metrics
+        .iter()
+        .find(|(n, _)| n == "soc.runs")
+        .map(|(_, m)| m);
+    match runs {
+        Some(Metric::Counter(n)) => {
+            assert_eq!(*n as usize, RUNS, "exactly one unit re-simulated");
+        }
+        other => panic!("soc.runs must be a counter, got {other:?}"),
+    }
+    assert_eq!(data.spans_named("soc.run").len(), RUNS);
+
+    // The one `pipeline.unit` span that actually computed is the flipped
+    // unit; all others carry the cached marker.
+    let unit_spans = data.spans_named("pipeline.unit");
+    assert_eq!(unit_spans.len(), 18);
+    let computed: Vec<&str> = unit_spans
+        .iter()
+        .filter(|s| s.field("cached") != Some(&Value::UInt(1)))
+        .map(|s| match s.field("name") {
+            Some(Value::Str(name)) => name.as_str(),
+            other => panic!("pipeline.unit span has no name, got {other:?}"),
+        })
+        .collect();
+    assert_eq!(computed, vec![FLIPPED_UNIT]);
+
+    // Bit-identity: the stitched study equals an uncached cold run of the
+    // patched spec.
+    let cold = Characterization::try_run_spec(&patched).expect("cold patched study");
+    assert_eq!(
+        study.digest(),
+        cold.digest(),
+        "incremental study is bit-identical to the cold computation"
+    );
+}
+
+#[test]
+fn analysis_only_change_runs_with_zero_simulation() {
+    let tmp = TempDir::new();
+    let base = base_spec();
+
+    // Cold pass.
+    {
+        let cold = StudyCache::with_dir(&tmp.0);
+        cold.study_spec(&base).expect("cold study");
+    }
+
+    // Same spec in a fresh instance: the study-level entry satisfies the
+    // request outright, and featurization reuses the memoized bundle — no
+    // engine runs anywhere.
+    let warm = StudyCache::with_dir(&tmp.0);
+    let (first, second, metrics) = {
+        let _g = lock();
+        mwc_obs::reset();
+        mwc_obs::set_enabled(true);
+        let study = warm.study_spec(&base).expect("warm study");
+        let first = warm.features(&study).expect("featurize");
+        let second = warm.features(&study).expect("memoized featurize");
+        let metrics = mwc_obs::metrics::snapshot();
+        mwc_obs::set_enabled(false);
+        mwc_obs::reset();
+        (first, second, metrics)
+    };
+
+    assert!(
+        !metrics.iter().any(|(n, _)| n == "soc.runs"),
+        "an analysis-only pass must never touch the simulator"
+    );
+    assert_eq!(warm.stats().disk_hits, 1, "served by the study entry");
+    assert_eq!(warm.stats().misses, 0);
+    assert_eq!(
+        warm.stage(StageKind::Derive),
+        StageStats::default(),
+        "the unit-artifact layer is never consulted"
+    );
+
+    let featurize = warm.stage(StageKind::Featurize);
+    assert_eq!(featurize.misses, 1, "first featurization computes");
+    assert_eq!(featurize.mem_hits, 1, "second featurization is memoized");
+    assert!(
+        std::sync::Arc::ptr_eq(&first, &second),
+        "memoized featurization returns the same bundle"
+    );
+}

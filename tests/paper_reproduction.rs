@@ -30,7 +30,7 @@ fn ground_truth() -> Clustering {
 fn all_three_clustering_algorithms_agree_on_the_papers_partition() {
     // §VI-A: "all three algorithms group the sub-benchmarks identically",
     // and the grouping separates Antutu GPU from the other Antutu parts.
-    let m = clustering_matrix(study());
+    let m = clustering_matrix(study()).expect("full study");
     let km = kmeans(&m, 5, 42).expect("k valid");
     let pm = pam(&m, 5, 42).expect("k valid");
     let hc = hierarchical(&m, Linkage::Ward)
@@ -113,7 +113,7 @@ fn all_nine_observations_hold() {
 #[test]
 fn table3_correlation_signs_match_the_paper() {
     // Signs and bands of the paper's Table III.
-    let c = tables::table3_matrix(study());
+    let c = tables::table3_matrix(study()).expect("full study");
     // Index order: IC, IPC, cache MPKI, branch MPKI, runtime.
     let (ic, ipc, cmpki, bmpki, runtime) = (0, 1, 2, 3, 4);
     assert!(c.get(ic, ipc) > 0.2, "IC-IPC weakly positive (paper 0.400)");
@@ -216,7 +216,7 @@ fn figure7_select_plus_gpu_beats_naive() {
     let truth = ground_truth();
     let naive = subsets::naive_subset(s, &truth);
     let plus = subsets::select_plus_gpu_subset(s);
-    let curves = figures::fig7(s, &[naive, plus]);
+    let curves = figures::fig7(s, &[naive, plus]).expect("full study");
     let naive_curve = &curves[0].1;
     let plus_at_7 = curves[1].1[6];
     // Paper: 22.96% below Naive at 5 benchmarks, 9.78% below Naive at 7.

@@ -506,4 +506,91 @@ proptest! {
         longer.push(99);
         prop_assert_ne!(key, sweep_key(digest, &longer));
     }
+
+    // ---------- stage-graph keys (pure digests: cheap, no simulation) ----------
+
+    #[test]
+    fn stage_keys_ignore_fields_that_never_reach_the_simulation(
+        seed in 0u64..10_000,
+        runs in 1usize..8,
+        threads in 1usize..16,
+        fault_seed in 0u64..10_000,
+    ) {
+        use mwc_core::StudySpec;
+        use mwc_profiler::FaultConfig;
+        use mwc_workloads::registry::all_units;
+
+        let base = StudySpec::new(SocConfig::snapdragon_888(), seed, runs);
+        // Worker count and the seed of a *disabled* fault config (no rate
+        // set, so no fault can fire) never reach the simulation — neither
+        // the study key nor any unit key may move.
+        let tweaked = StudySpec::new(SocConfig::snapdragon_888(), seed, runs)
+            .with_threads(threads)
+            .with_faults(FaultConfig { seed: fault_seed, ..FaultConfig::default() });
+        prop_assert_eq!(base.study_key(), tweaked.study_key());
+        for (i, u) in all_units().iter().enumerate() {
+            prop_assert_eq!(base.unit_key(i, u), tweaked.unit_key(i, u));
+        }
+        // The keyed inputs still move every key.
+        let moved = StudySpec::new(SocConfig::snapdragon_888(), seed ^ 1, runs);
+        prop_assert_ne!(base.study_key(), moved.study_key());
+        for (i, u) in all_units().iter().enumerate() {
+            prop_assert_ne!(base.unit_key(i, u), moved.unit_key(i, u));
+        }
+    }
+
+    #[test]
+    fn stage_keys_are_stable_under_spec_field_order(
+        seed in 0u64..10_000,
+        priorities in prop::collection::vec(0u64..u64::MAX, 18..=18),
+        take in 2usize..18,
+    ) {
+        use mwc_core::StudySpec;
+        use mwc_profiler::FaultConfig;
+        use mwc_workloads::registry::all_units;
+
+        let units = all_units();
+        let names: Vec<&'static str> = units.iter().map(|u| u.name).collect();
+        // The stand-in proptest has no shuffle strategy; induce a random
+        // permutation by ranking generated priorities.
+        let mut order: Vec<usize> = (0..names.len()).collect();
+        order.sort_by_key(|&i| (priorities[i], i));
+
+        let jitter = |s: u64| FaultConfig {
+            seed: s,
+            jitter_amplitude: 0.01,
+            ..FaultConfig::default()
+        };
+
+        // Per-unit overrides are keyed by content, not insertion order.
+        let spec_at = |idx: &[usize]| {
+            idx.iter().fold(
+                StudySpec::new(SocConfig::snapdragon_888(), seed, 1),
+                |spec, &i| spec.with_unit_faults(names[i], jitter(i as u64)),
+            )
+        };
+        let forward = spec_at(&order);
+        let reversed: Vec<usize> = order.iter().rev().copied().collect();
+        let backward = spec_at(&reversed);
+        prop_assert_eq!(forward.study_key(), backward.study_key());
+        for (i, u) in units.iter().enumerate() {
+            prop_assert_eq!(forward.unit_key(i, u), backward.unit_key(i, u));
+        }
+
+        // Re-inserting an override replaces it: a detour through another
+        // value and back is invisible to the key.
+        let detoured = forward
+            .clone()
+            .with_unit_faults(names[0], jitter(9_999))
+            .with_unit_faults(names[0], jitter(0));
+        prop_assert_eq!(detoured.study_key(), forward.study_key());
+
+        // A `Named` selection hashes in registry order, not listing order.
+        let permuted: Vec<&str> = order.iter().take(take).map(|&i| names[i]).collect();
+        let mut registry_order = permuted.clone();
+        registry_order.sort_by_key(|n| names.iter().position(|m| m == n).expect("known unit"));
+        let a = StudySpec::new(SocConfig::snapdragon_888(), seed, 1).with_units(permuted);
+        let b = StudySpec::new(SocConfig::snapdragon_888(), seed, 1).with_units(registry_order);
+        prop_assert_eq!(a.study_key(), b.study_key());
+    }
 }
