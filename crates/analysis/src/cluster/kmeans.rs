@@ -6,6 +6,7 @@ use rand::{Rng, SeedableRng};
 use crate::cluster::Clustering;
 use crate::distance::euclidean_sq;
 use crate::error::AnalysisError;
+use crate::kernels::KernelTimer;
 use crate::matrix::Matrix;
 
 /// Maximum Lloyd iterations before declaring convergence.
@@ -94,6 +95,7 @@ fn inertia(m: &Matrix, c: &Clustering) -> f64 {
 
 /// One seeded k-means++/Lloyd run.
 fn kmeans_once(m: &Matrix, k: usize, seed: u64) -> Result<Clustering, AnalysisError> {
+    let _t = KernelTimer::new("kernel.kmeans_ns");
     let n = m.rows();
     if k == 0 || k > n {
         return Err(AnalysisError::InvalidClusterCount(format!(
@@ -108,15 +110,21 @@ fn kmeans_once(m: &Matrix, k: usize, seed: u64) -> Result<Clustering, AnalysisEr
     let mut counts = vec![0usize; k];
 
     for _ in 0..MAX_ITER {
-        // Assignment step.
+        // Assignment step. Each candidate distance is computed once; a
+        // strict `<` replacement reproduces `min_by`'s first-minimum
+        // tie-break.
         let mut changed = false;
         for (i, label) in labels.iter_mut().enumerate() {
             let row = m.row(i);
-            let best = (0..k)
-                .min_by(|&a, &b| {
-                    euclidean_sq(row, &centroids[a]).total_cmp(&euclidean_sq(row, &centroids[b]))
-                })
-                .unwrap_or(0);
+            let mut best = 0usize;
+            let mut best_d = euclidean_sq(row, &centroids[0]);
+            for (c, centroid) in centroids.iter().enumerate().skip(1) {
+                let d = euclidean_sq(row, centroid);
+                if d.total_cmp(&best_d) == std::cmp::Ordering::Less {
+                    best_d = d;
+                    best = c;
+                }
+            }
             if *label != best {
                 *label = best;
                 changed = true;
@@ -136,13 +144,18 @@ fn kmeans_once(m: &Matrix, k: usize, seed: u64) -> Result<Clustering, AnalysisEr
         for c in 0..k {
             if counts[c] == 0 {
                 // Re-seed an empty cluster on the point farthest from its
-                // centroid, keeping k clusters alive.
-                let far = (0..n)
-                    .max_by(|&a, &b| {
-                        euclidean_sq(m.row(a), &centroids[labels[a]])
-                            .total_cmp(&euclidean_sq(m.row(b), &centroids[labels[b]]))
-                    })
-                    .unwrap_or(0);
+                // centroid, keeping k clusters alive. One distance per
+                // point; `>=` replacement reproduces `max_by`'s
+                // last-maximum tie-break.
+                let mut far = 0usize;
+                let mut far_d = euclidean_sq(m.row(0), &centroids[labels[0]]);
+                for a in 1..n {
+                    let d = euclidean_sq(m.row(a), &centroids[labels[a]]);
+                    if d.total_cmp(&far_d) != std::cmp::Ordering::Less {
+                        far_d = d;
+                        far = a;
+                    }
+                }
                 centroids[c] = m.row(far).to_vec();
                 labels[far] = c;
             } else {
@@ -165,32 +178,37 @@ fn kmeans_once(m: &Matrix, k: usize, seed: u64) -> Result<Clustering, AnalysisEr
 fn plus_plus_init(m: &Matrix, k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
     let n = m.rows();
     let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
-    centroids.push(m.row(rng.gen_range(0..n)).to_vec());
+    let first = m.row(rng.gen_range(0..n)).to_vec();
+    // Nearest-centroid squared distances, maintained incrementally: folding
+    // each new centroid into the running minimum is the same left-to-right
+    // `f64::min` chain as recomputing over all centroids, for a round that
+    // costs O(n) distances instead of O(n · |centroids|).
+    let mut d2: Vec<f64> = (0..n)
+        .map(|i| f64::min(f64::INFINITY, euclidean_sq(m.row(i), &first)))
+        .collect();
+    centroids.push(first);
     while centroids.len() < k {
-        let d2: Vec<f64> = (0..n)
-            .map(|i| {
-                centroids
-                    .iter()
-                    .map(|c| euclidean_sq(m.row(i), c))
-                    .fold(f64::INFINITY, f64::min)
-            })
-            .collect();
         let total: f64 = d2.iter().sum();
-        if total <= 0.0 {
+        let chosen = if total <= 0.0 {
             // All points coincide with a centroid: duplicate one.
-            centroids.push(m.row(rng.gen_range(0..n)).to_vec());
-            continue;
-        }
-        let mut target = rng.gen_range(0.0..total);
-        let mut chosen = n - 1;
-        for (i, &d) in d2.iter().enumerate() {
-            if target < d {
-                chosen = i;
-                break;
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut chosen = n - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                if target < d {
+                    chosen = i;
+                    break;
+                }
+                target -= d;
             }
-            target -= d;
+            chosen
+        };
+        let next = m.row(chosen).to_vec();
+        for (i, slot) in d2.iter_mut().enumerate() {
+            *slot = f64::min(*slot, euclidean_sq(m.row(i), &next));
         }
-        centroids.push(m.row(chosen).to_vec());
+        centroids.push(next);
     }
     centroids
 }

@@ -8,7 +8,9 @@
 use crate::cluster::Clustering;
 use crate::distance::pairwise_euclidean;
 use crate::error::AnalysisError;
+use crate::kernels::KernelTimer;
 use crate::matrix::Matrix;
+use crate::sym::SymMatrix;
 
 /// Cluster the rows of `m` into `k` clusters around medoids.
 pub fn pam(m: &Matrix, k: usize, _seed: u64) -> Result<Clustering, AnalysisError> {
@@ -18,13 +20,14 @@ pub fn pam(m: &Matrix, k: usize, _seed: u64) -> Result<Clustering, AnalysisError
     pam_with_distances(&pairwise_euclidean(m), k)
 }
 
-/// [`pam`] over a precomputed symmetric pairwise-distance matrix.
+/// [`pam`] over a precomputed packed pairwise-distance matrix.
 ///
 /// PAM only ever consults dissimilarities, so callers that already hold
 /// the distance matrix (validation sweeps, stability measures) can share
 /// one computation across many clusterings. The result is identical to
 /// [`pam`] on the matrix the distances came from.
-pub fn pam_with_distances(d: &Matrix, k: usize) -> Result<Clustering, AnalysisError> {
+pub fn pam_with_distances(d: &SymMatrix, k: usize) -> Result<Clustering, AnalysisError> {
+    let _t = KernelTimer::new("kernel.pam_ns");
     let n = d.rows();
     if k == 0 || k > n {
         return Err(AnalysisError::InvalidClusterCount(format!(
@@ -33,10 +36,13 @@ pub fn pam_with_distances(d: &Matrix, k: usize) -> Result<Clustering, AnalysisEr
     }
 
     // BUILD: first medoid minimizes total distance; each further medoid
-    // maximizes the decrease in total dissimilarity.
+    // maximizes the decrease in total dissimilarity. Row sums come off the
+    // packed triangle, computed once per candidate instead of once per
+    // comparison.
+    let row_sums: Vec<f64> = (0..n).map(|i| d.row_sum(i)).collect();
     let mut medoids: Vec<usize> = Vec::with_capacity(k);
     let first = (0..n)
-        .min_by(|&a, &b| total_dist(d, a, n).total_cmp(&total_dist(d, b, n)))
+        .min_by(|&a, &b| row_sums[a].total_cmp(&row_sums[b]))
         .ok_or_else(|| AnalysisError::EmptyInput("no observations to seed medoids".into()))?;
     medoids.push(first);
     while medoids.len() < k {
@@ -107,18 +113,14 @@ pub fn pam_with_distances(d: &Matrix, k: usize) -> Result<Clustering, AnalysisEr
 
 // Small helpers kept private to the module.
 
-fn total_dist(d: &Matrix, from: usize, n: usize) -> f64 {
-    (0..n).map(|j| d.get(from, j)).sum()
-}
-
-fn nearest_dist(d: &Matrix, medoids: &[usize], j: usize) -> f64 {
+fn nearest_dist(d: &SymMatrix, medoids: &[usize], j: usize) -> f64 {
     medoids
         .iter()
         .map(|&m| d.get(j, m))
         .fold(f64::INFINITY, f64::min)
 }
 
-fn assignment_cost(d: &Matrix, medoids: &[usize], n: usize) -> f64 {
+fn assignment_cost(d: &SymMatrix, medoids: &[usize], n: usize) -> f64 {
     (0..n).map(|j| nearest_dist(d, medoids, j)).sum()
 }
 

@@ -1,41 +1,47 @@
 //! Distance functions and pairwise distance matrices.
 
+use crate::kernels::{pairwise_euclidean_packed, KernelTimer};
 use crate::matrix::Matrix;
+use crate::sym::SymMatrix;
 
 /// Euclidean (L2) distance between two equal-length points.
+///
+/// One sequential accumulator: the sum order is the contract the columnar
+/// pairwise kernel reproduces bit-for-bit, so keep it that way.
 pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "points must have equal dimension");
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| (x - y).powi(2))
-        .sum::<f64>()
-        .sqrt()
+    euclidean_sq(a, b).sqrt()
 }
 
 /// Manhattan (L1) distance between two equal-length points.
 pub fn manhattan(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "points must have equal dimension");
-    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+    let mut sum = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        sum += (x - y).abs();
+    }
+    sum
 }
 
 /// Squared Euclidean distance (avoids the square root in hot loops).
 pub fn euclidean_sq(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "points must have equal dimension");
-    a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum()
+    let mut sum = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        let d = x - y;
+        sum += d * d;
+    }
+    sum
 }
 
-/// Symmetric pairwise Euclidean distance matrix of the rows of `m`.
-pub fn pairwise_euclidean(m: &Matrix) -> Matrix {
-    let n = m.rows();
-    let mut d = Matrix::zeros(n, n);
-    for i in 0..n {
-        for j in 0..i {
-            let dist = euclidean(m.row(i), m.row(j));
-            d.set(i, j, dist);
-            d.set(j, i, dist);
-        }
-    }
-    d
+/// Pairwise Euclidean distance matrix of the rows of `m`, packed as a
+/// [`SymMatrix`] (strictly-lower triangle; the diagonal is structurally 0).
+///
+/// Computed by the columnar kernel — dimensions outer, pairs inner over a
+/// contiguous column-major staging copy — and bit-identical per entry to
+/// `euclidean(m.row(i), m.row(j))` in the default `f64` build.
+pub fn pairwise_euclidean(m: &Matrix) -> SymMatrix {
+    let _t = KernelTimer::new("kernel.pairwise_ns");
+    SymMatrix::from_packed(m.rows(), pairwise_euclidean_packed(m))
 }
 
 #[cfg(test)]

@@ -29,11 +29,15 @@
 pub mod cluster;
 pub mod distance;
 pub mod error;
+mod kernels;
 pub mod matrix;
 pub mod stats;
 pub mod subset;
+pub mod sym;
 pub mod validation;
 
 pub use cluster::Clustering;
 pub use error::AnalysisError;
+pub use kernels::KERNEL_VARIANT;
 pub use matrix::Matrix;
+pub use sym::SymMatrix;

@@ -97,6 +97,11 @@ impl Matrix {
         self.data.chunks_exact(self.cols)
     }
 
+    /// The full row-major backing storage as one contiguous slice.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
     /// A new matrix with column `c` removed (for leave-one-column-out
     /// stability validation).
     pub fn without_col(&self, c: usize) -> Matrix {

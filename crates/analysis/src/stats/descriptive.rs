@@ -14,7 +14,7 @@ pub fn variance(xs: &[f64]) -> f64 {
         return 0.0;
     }
     let m = mean(xs);
-    xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
 }
 
 /// Population standard deviation; 0 for slices shorter than 2.

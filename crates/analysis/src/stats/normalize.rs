@@ -55,20 +55,89 @@ pub fn min_max_normalize(xs: &[f64]) -> Vec<f64> {
         .collect()
 }
 
+/// Per-column transform resolved from the bounds pass.
+#[derive(Clone, Copy)]
+enum ColumnOp {
+    /// No meaningful scale: keep finite values, impute gaps to 0.
+    Impute,
+    /// Divide by the column maximum (finite values; gaps to 0).
+    Div(f64),
+    /// Constant/empty column under min-max: everything to 0.
+    Zero,
+    /// `(x − lo) / span` (finite values; gaps to 0).
+    MinMax { lo: f64, span: f64 },
+}
+
 /// Normalize every column of a matrix with the given mode.
+///
+/// Columnar: one row-order pass gathers every column's bounds (`f64::min`/
+/// `f64::max` folds are order-independent, so the bounds match the
+/// per-column scalar scan bit-for-bit), then one row-major pass writes the
+/// output — no per-column copies. Bit-identical to applying
+/// [`max_normalize`]/[`min_max_normalize`] per column.
 pub fn normalize_columns(m: &Matrix, mode: NormalizeMode) -> Matrix {
-    let mut out = Matrix::zeros(m.rows(), m.cols());
-    for c in 0..m.cols() {
-        let col = m.col(c);
-        let normalized = match mode {
-            NormalizeMode::Max => max_normalize(&col),
-            NormalizeMode::MinMax => min_max_normalize(&col),
-        };
-        for (r, v) in normalized.into_iter().enumerate() {
-            out.set(r, c, v);
+    let _t = crate::kernels::KernelTimer::new("kernel.normalize_ns");
+    let rows = m.rows();
+    let k = m.cols();
+    let mut lo = vec![f64::INFINITY; k];
+    let mut hi = vec![f64::NEG_INFINITY; k];
+    for row in m.iter_rows() {
+        for (c, &v) in row.iter().enumerate() {
+            lo[c] = lo[c].min(v);
+            hi[c] = hi[c].max(v);
         }
     }
-    out
+    let ops: Vec<ColumnOp> = (0..k)
+        .map(|c| match mode {
+            NormalizeMode::Max => {
+                if !hi[c].is_finite() || hi[c] <= 0.0 {
+                    ColumnOp::Impute
+                } else {
+                    ColumnOp::Div(hi[c])
+                }
+            }
+            NormalizeMode::MinMax => {
+                let span = hi[c] - lo[c];
+                if !span.is_finite() || span <= 0.0 {
+                    ColumnOp::Zero
+                } else {
+                    ColumnOp::MinMax { lo: lo[c], span }
+                }
+            }
+        })
+        .collect();
+    let mut data = vec![0.0; rows * k];
+    for (t, row) in m.iter_rows().enumerate() {
+        let out_row = &mut data[t * k..t * k + k];
+        for ((slot, &x), op) in out_row.iter_mut().zip(row).zip(&ops) {
+            let finite = x.is_finite();
+            *slot = match *op {
+                ColumnOp::Impute => {
+                    if finite {
+                        x
+                    } else {
+                        0.0
+                    }
+                }
+                ColumnOp::Div(d) => {
+                    if finite {
+                        x / d
+                    } else {
+                        0.0
+                    }
+                }
+                ColumnOp::Zero => 0.0,
+                ColumnOp::MinMax { lo, span } => {
+                    if finite {
+                        (x - lo) / span
+                    } else {
+                        0.0
+                    }
+                }
+            };
+        }
+    }
+    Matrix::from_rows_data(rows, k, data).expect("shape matches by construction")
 }
 
 #[cfg(test)]

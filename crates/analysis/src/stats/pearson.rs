@@ -71,19 +71,16 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
 
 /// Pairwise Pearson correlation matrix of the columns of `m`
 /// (features × features, symmetric, unit diagonal).
+///
+/// Runs the fused columnar kernel: the data is centered once, covariances
+/// accumulate time-outer over contiguous rows, and each column's variance
+/// is computed a single time instead of once per pair. Pairs touching a
+/// column with gaps fall back to the pairwise-complete scalar [`pearson`].
+/// Bit-identical to calling [`pearson`] per pair in the default `f64`
+/// build.
 pub fn correlation_matrix(m: &Matrix) -> Matrix {
-    let k = m.cols();
-    let cols: Vec<Vec<f64>> = (0..k).map(|c| m.col(c)).collect();
-    let mut out = Matrix::zeros(k, k);
-    for i in 0..k {
-        out.set(i, i, 1.0);
-        for j in 0..i {
-            let r = pearson(&cols[i], &cols[j]);
-            out.set(i, j, r);
-            out.set(j, i, r);
-        }
-    }
-    out
+    let _t = crate::kernels::KernelTimer::new("kernel.pearson_ns");
+    crate::kernels::correlation_matrix_fused(m)
 }
 
 #[cfg(test)]

@@ -1,0 +1,154 @@
+//! A packed symmetric matrix with zero diagonal, for pairwise distances.
+//!
+//! A dense `n × n` [`crate::Matrix`] stores every pairwise distance twice
+//! plus a diagonal of structural zeros. [`SymMatrix`] stores only the
+//! strictly-lower triangle — `n(n−1)/2` values instead of `n²` — halving
+//! the memory of every distance matrix the validation sweep keeps alive
+//! (one full matrix plus one per leave-one-column-out feature set).
+
+/// A symmetric `n × n` matrix with an implicit zero diagonal, stored as
+/// the strictly-lower triangle in row-major packed order: row `i` occupies
+/// `packed[i(i−1)/2 .. i(i−1)/2 + i]`, holding entries `(i, 0) .. (i, i−1)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymMatrix {
+    n: usize,
+    packed: Vec<f64>,
+}
+
+/// Offset of row `i`'s first packed entry.
+#[inline]
+fn row_start(i: usize) -> usize {
+    i * i.saturating_sub(1) / 2
+}
+
+impl SymMatrix {
+    /// Build from the strictly-lower triangle in packed row-major order.
+    /// Panics unless `packed.len() == n(n−1)/2`.
+    pub fn from_packed(n: usize, packed: Vec<f64>) -> Self {
+        assert_eq!(
+            packed.len(),
+            n * n.saturating_sub(1) / 2,
+            "packed length must be n(n-1)/2"
+        );
+        SymMatrix { n, packed }
+    }
+
+    /// An all-zero symmetric matrix.
+    pub fn zeros(n: usize) -> Self {
+        SymMatrix {
+            n,
+            packed: vec![0.0; n * n.saturating_sub(1) / 2],
+        }
+    }
+
+    /// Number of rows (= columns).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of rows — alias so code generic over dense [`crate::Matrix`]
+    /// distance matrices ports without changes.
+    pub fn rows(&self) -> usize {
+        self.n
+    }
+
+    /// Element accessor; `get(i, i)` is always 0. Panics on out-of-range
+    /// indices.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "index ({i},{j}) out of range");
+        match i.cmp(&j) {
+            std::cmp::Ordering::Equal => 0.0,
+            std::cmp::Ordering::Greater => self.packed[row_start(i) + j],
+            std::cmp::Ordering::Less => self.packed[row_start(j) + i],
+        }
+    }
+
+    /// The packed strictly-lower triangle (row-major).
+    pub fn packed(&self) -> &[f64] {
+        &self.packed
+    }
+
+    /// The packed entries of row `i` below the diagonal: `(i, 0) .. (i, i−1)`
+    /// as one contiguous slice.
+    #[inline]
+    pub fn row_below(&self, i: usize) -> &[f64] {
+        assert!(i < self.n, "row {i} out of range");
+        &self.packed[row_start(i)..row_start(i) + i]
+    }
+
+    /// Sum over one full (virtual) row: `Σ_j get(i, j)`. The below-diagonal
+    /// part is a contiguous slice; the above-diagonal part walks the packed
+    /// rows below.
+    pub fn row_sum(&self, i: usize) -> f64 {
+        assert!(i < self.n, "row {i} out of range");
+        let mut sum: f64 = self.row_below(i).iter().sum();
+        for j in (i + 1)..self.n {
+            sum += self.packed[row_start(j) + i];
+        }
+        sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m3() -> SymMatrix {
+        // Lower triangle of
+        //   0 1 2
+        //   1 0 3
+        //   2 3 0
+        SymMatrix::from_packed(3, vec![1.0, 2.0, 3.0])
+    }
+
+    #[test]
+    fn symmetric_access_with_zero_diagonal() {
+        let m = m3();
+        assert_eq!(m.n(), 3);
+        for i in 0..3 {
+            assert_eq!(m.get(i, i), 0.0);
+            for j in 0..3 {
+                assert_eq!(m.get(i, j), m.get(j, i));
+            }
+        }
+        assert_eq!(m.get(1, 0), 1.0);
+        assert_eq!(m.get(2, 0), 2.0);
+        assert_eq!(m.get(2, 1), 3.0);
+    }
+
+    #[test]
+    fn packed_length_is_triangular() {
+        assert_eq!(SymMatrix::zeros(6).packed().len(), 15);
+        assert_eq!(SymMatrix::zeros(1).packed().len(), 0);
+        assert_eq!(SymMatrix::zeros(0).packed().len(), 0);
+    }
+
+    #[test]
+    fn row_below_is_contiguous_prefix() {
+        let m = m3();
+        assert_eq!(m.row_below(0), &[] as &[f64]);
+        assert_eq!(m.row_below(1), &[1.0]);
+        assert_eq!(m.row_below(2), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn row_sum_covers_both_triangles() {
+        let m = m3();
+        assert_eq!(m.row_sum(0), 3.0);
+        assert_eq!(m.row_sum(1), 4.0);
+        assert_eq!(m.row_sum(2), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_get_panics() {
+        m3().get(0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "n(n-1)/2")]
+    fn wrong_packed_length_rejected() {
+        SymMatrix::from_packed(3, vec![1.0]);
+    }
+}

@@ -148,6 +148,33 @@ fn run() -> Result<(), PipelineError> {
     }
     println!("{}", health.render());
 
+    mwc_bench::header("Kernel timings");
+    // The analysis kernels time themselves into `kernel.*` histograms
+    // (mwc-analysis::kernels::KernelTimer); collection is on in this
+    // binary, so the hot clustering/correlation paths show up here.
+    let mut kernel_table = Table::new(vec!["kernel", "calls", "total", "mean", "max"]);
+    for (name, metric) in &metrics {
+        if let (true, Metric::Histogram(h)) = (name.starts_with("kernel."), metric) {
+            kernel_table.row(vec![
+                name.clone(),
+                h.count().to_string(),
+                fmt_ns(h.sum() as u64),
+                fmt_ns(h.mean() as u64),
+                fmt_ns(h.max() as u64),
+            ]);
+        }
+    }
+    if kernel_table.is_empty() {
+        kernel_table.row(vec![
+            "(no kernel metrics)".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+        ]);
+    }
+    println!("{}", kernel_table.render());
+
     mwc_bench::header("Metrics registry");
     let mut dump = Table::new(vec!["metric", "kind", "value"]);
     for (name, metric) in &metrics {

@@ -408,7 +408,7 @@ pub(crate) fn derive_stage(
         BenchmarkMetrics::from_series_maps(maps)
     };
     let avg = |key: SeriesKey| {
-        let series: Vec<TimeSeries> = maps.iter().map(|m| m.get(key).clone()).collect();
+        let series: Vec<TimeSeries> = maps.iter().map(|m| m.series(key)).collect();
         let averaged = TimeSeries::average(&series);
         if faults.enabled() {
             // Ticks every surviving run dropped stay NaN after averaging;

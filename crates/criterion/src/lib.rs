@@ -15,9 +15,36 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Summary statistics for one completed benchmark, kept in a process-wide
+/// registry so custom bench mains can post-process results (e.g. compute
+/// speedups and write a JSON report).
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Full benchmark id (`group/function/param`).
+    pub id: String,
+    /// Fastest sample, nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Arithmetic mean of the samples, nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Median sample, nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Slowest sample, nanoseconds per iteration.
+    pub max_ns: f64,
+    /// Number of timed samples taken.
+    pub samples: usize,
+}
+
+static RECORDS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
+
+/// All benchmark results reported so far in this process, in run order.
+pub fn records() -> Vec<Record> {
+    RECORDS.lock().expect("records lock").clone()
+}
 
 /// Top-level benchmark driver: holds measurement configuration and an
 /// optional name filter taken from the command line.
@@ -31,6 +58,17 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
+        // `MWC_BENCH_FAST=1` shrinks every budget to a smoke-test scale so
+        // CI can exercise the bench binaries in seconds; the numbers it
+        // produces are not meaningful measurements.
+        if std::env::var("MWC_BENCH_FAST").is_ok_and(|v| v == "1") {
+            return Criterion {
+                sample_size: 3,
+                measurement_time: Duration::from_millis(30),
+                warm_up_time: Duration::from_millis(5),
+                filter: None,
+            };
+        }
         Criterion {
             sample_size: 20,
             measurement_time: Duration::from_secs(2),
@@ -255,6 +293,14 @@ impl Bencher {
             format_ns(median),
             self.samples_ns.len(),
         );
+        RECORDS.lock().expect("records lock").push(Record {
+            id: id.to_owned(),
+            min_ns: min,
+            mean_ns: mean,
+            median_ns: median,
+            max_ns: max,
+            samples: self.samples_ns.len(),
+        });
     }
 }
 
@@ -315,6 +361,13 @@ mod tests {
             ran = true;
         });
         assert!(ran);
+        let recs = records();
+        let rec = recs
+            .iter()
+            .find(|r| r.id == "noop")
+            .expect("noop benchmark recorded");
+        assert_eq!(rec.samples, 3);
+        assert!(rec.min_ns <= rec.median_ns && rec.median_ns <= rec.max_ns);
     }
 
     #[test]

@@ -1,12 +1,11 @@
 //! Capture sessions: run workloads on an engine and extract named series.
 
-use std::collections::HashMap;
-
 use mwc_soc::config::ClusterKind;
 use mwc_soc::counters::{TickSample, Trace};
 use mwc_soc::engine::Engine;
 use mwc_soc::workload::Workload;
 
+use crate::columns::TraceColumns;
 use crate::faults::{attempt_seed, CaptureError, CaptureHealth, FaultConfig, FaultPlan};
 use crate::timeseries::TimeSeries;
 
@@ -73,10 +72,37 @@ impl SeriesKey {
         SeriesKey::GpuL1TextureMisses,
     ];
 
+    /// Position of this key in [`SeriesKey::ALL`] — the column index in a
+    /// [`crate::columns::TraceColumns`] buffer.
+    pub fn index(self) -> usize {
+        match self {
+            SeriesKey::CpuLoad => 0,
+            SeriesKey::ClusterLoad(ClusterKind::Little) => 1,
+            SeriesKey::ClusterLoad(ClusterKind::Mid) => 2,
+            SeriesKey::ClusterLoad(ClusterKind::Big) => 3,
+            SeriesKey::ClusterUtilization(ClusterKind::Little) => 4,
+            SeriesKey::ClusterUtilization(ClusterKind::Mid) => 5,
+            SeriesKey::ClusterUtilization(ClusterKind::Big) => 6,
+            SeriesKey::GpuLoad => 7,
+            SeriesKey::GpuShadersBusy => 8,
+            SeriesKey::GpuBusBusy => 9,
+            SeriesKey::AieLoad => 10,
+            SeriesKey::MemoryUsedFraction => 11,
+            SeriesKey::MemoryUsedMib => 12,
+            SeriesKey::MemoryBandwidth => 13,
+            SeriesKey::StorageBusy => 14,
+            SeriesKey::Ipc => 15,
+            SeriesKey::CacheMpki => 16,
+            SeriesKey::BranchMpki => 17,
+            SeriesKey::Instructions => 18,
+            SeriesKey::GpuL1TextureMisses => 19,
+        }
+    }
+
     /// Extract this metric from one counter sample. A dropped sample (lost
     /// capture row) extracts as NaN for every key, so gaps propagate into
     /// the series instead of masquerading as zeros.
-    fn extract(self, s: &TickSample) -> f64 {
+    pub(crate) fn extract(self, s: &TickSample) -> f64 {
         if s.is_dropped() {
             return f64::NAN;
         }
@@ -197,22 +223,12 @@ impl Capture {
     }
 
     /// Extract every series in [`SeriesKey::ALL`] in one pass over the
-    /// trace. Metric derivation needs a dozen-plus series per capture;
-    /// extracting them together avoids re-walking the samples per key.
+    /// trace into a columnar [`TraceColumns`] buffer. Metric derivation
+    /// needs a dozen-plus series per capture; extracting them together
+    /// avoids re-walking the samples per key, and the columnar layout
+    /// keeps each metric contiguous for the downstream reductions.
     pub fn series_map(&self) -> SeriesMap {
-        let n = self.trace.samples.len();
-        let mut columns: HashMap<SeriesKey, Vec<f64>> = SeriesKey::ALL
-            .iter()
-            .map(|&k| (k, Vec::with_capacity(n)))
-            .collect();
-        for s in &self.trace.samples {
-            for &key in SeriesKey::ALL.iter() {
-                columns
-                    .get_mut(&key)
-                    .expect("every key pre-inserted")
-                    .push(key.extract(s));
-            }
-        }
+        let columns = TraceColumns::from_trace(&self.trace);
         // Dropped ticks remove their instructions from the raw sum, which
         // would bias the count low by exactly the dropout rate. Ratio
         // metrics (IPC, MPKI) are computed over the same surviving ticks
@@ -233,10 +249,7 @@ impl Capture {
             ipc: self.trace.ipc(),
             cache_mpki: self.trace.cache_mpki(),
             branch_mpki: self.trace.branch_mpki(),
-            series: columns
-                .into_iter()
-                .map(|(k, v)| (k, TimeSeries::new(self.trace.tick_seconds, v)))
-                .collect(),
+            columns,
         }
     }
 
@@ -251,8 +264,9 @@ impl Capture {
     }
 }
 
-/// All named series of one capture, extracted in a single pass, plus the
-/// run-level aggregates the metric derivation needs.
+/// All named series of one capture, extracted in a single pass into
+/// columnar storage, plus the run-level aggregates the metric derivation
+/// needs.
 #[derive(Debug, Clone)]
 pub struct SeriesMap {
     /// Sampling period in seconds.
@@ -269,15 +283,30 @@ pub struct SeriesMap {
     pub cache_mpki: f64,
     /// Run-level branch MPKI.
     pub branch_mpki: f64,
-    series: HashMap<SeriesKey, TimeSeries>,
+    columns: TraceColumns,
 }
 
 impl SeriesMap {
-    /// Look up one extracted series.
-    pub fn get(&self, key: SeriesKey) -> &TimeSeries {
-        self.series
-            .get(&key)
-            .expect("SeriesMap holds every SeriesKey::ALL entry")
+    /// One metric's samples as a contiguous slice.
+    pub fn column(&self, key: SeriesKey) -> &[f64] {
+        self.columns.column(key)
+    }
+
+    /// Materialize one extracted series.
+    pub fn series(&self, key: SeriesKey) -> TimeSeries {
+        self.columns.series(key)
+    }
+
+    /// Mean over the finite samples of one series (see
+    /// [`TraceColumns::mean`]).
+    pub fn mean(&self, key: SeriesKey) -> f64 {
+        self.columns.mean(key)
+    }
+
+    /// Maximum over the finite samples of one series (see
+    /// [`TraceColumns::max`]).
+    pub fn max(&self, key: SeriesKey) -> f64 {
+        self.columns.max(key)
     }
 }
 

@@ -1,0 +1,165 @@
+//! Columnar trace storage: one contiguous buffer per metric.
+//!
+//! A [`crate::capture::Capture`] stores its trace row-oriented (one
+//! `TickSample` per tick, every counter interleaved). Metric derivation
+//! wants the opposite shape — per-metric reductions over all ticks — so
+//! [`TraceColumns`] extracts every [`SeriesKey`] once into a single
+//! metric-major buffer: column `k` occupies `data[k·ticks .. (k+1)·ticks]`,
+//! contiguous for the mean/max folds and for series export. Values are
+//! exactly what per-key [`crate::capture::Capture::series`] extraction
+//! produces (same `extract` calls in the same tick order), so swapping the
+//! storage changes no derived number.
+
+use mwc_soc::counters::Trace;
+
+use crate::capture::SeriesKey;
+use crate::timeseries::TimeSeries;
+
+/// Every [`SeriesKey::ALL`] series of one trace in a struct-of-arrays
+/// layout: one contiguous `f64` column per metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceColumns {
+    tick_seconds: f64,
+    ticks: usize,
+    /// Metric-major storage: `data[key.index() * ticks + t]`.
+    data: Vec<f64>,
+}
+
+impl TraceColumns {
+    /// Extract every series in one pass over the trace samples. Dropped
+    /// ticks extract as NaN for every metric (checked once per tick, not
+    /// once per metric).
+    pub fn from_trace(trace: &Trace) -> Self {
+        let ticks = trace.samples.len();
+        let keys = SeriesKey::ALL.len();
+        let mut data = vec![0.0; keys * ticks];
+        for (t, s) in trace.samples.iter().enumerate() {
+            if s.is_dropped() {
+                for k in 0..keys {
+                    data[k * ticks + t] = f64::NAN;
+                }
+                continue;
+            }
+            for (k, &key) in SeriesKey::ALL.iter().enumerate() {
+                data[k * ticks + t] = key.extract(s);
+            }
+        }
+        TraceColumns {
+            tick_seconds: trace.tick_seconds,
+            ticks,
+            data,
+        }
+    }
+
+    /// Number of ticks (rows) per column.
+    pub fn ticks(&self) -> usize {
+        self.ticks
+    }
+
+    /// Sampling period in seconds.
+    pub fn tick_seconds(&self) -> f64 {
+        self.tick_seconds
+    }
+
+    /// One metric's samples as a contiguous slice.
+    pub fn column(&self, key: SeriesKey) -> &[f64] {
+        let k = key.index();
+        &self.data[k * self.ticks..(k + 1) * self.ticks]
+    }
+
+    /// Materialize one metric as an owned [`TimeSeries`].
+    pub fn series(&self, key: SeriesKey) -> TimeSeries {
+        TimeSeries::new(self.tick_seconds, self.column(key).to_vec())
+    }
+
+    /// Mean over the finite samples of one column — the same sequential
+    /// filtered fold as [`TimeSeries::mean`] (0 for an empty or all-gap
+    /// column), without materializing the series.
+    pub fn mean(&self, key: SeriesKey) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for v in self.column(key).iter().copied().filter(|v| v.is_finite()) {
+            sum += v;
+            n += 1;
+        }
+        if n == 0 {
+            return 0.0;
+        }
+        sum / n as f64
+    }
+
+    /// Maximum over the finite samples of one column, as
+    /// [`TimeSeries::max`] (0 for an empty or all-gap column).
+    pub fn max(&self, key: SeriesKey) -> f64 {
+        let m = self
+            .column(key)
+            .iter()
+            .copied()
+            .filter(|v| v.is_finite())
+            .fold(f64::NEG_INFINITY, f64::max);
+        if m.is_finite() {
+            m
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capture::Profiler;
+    use mwc_soc::config::SocConfig;
+    use mwc_soc::cpu::CpuDemand;
+    use mwc_soc::engine::Engine;
+    use mwc_soc::workload::{ConstantWorkload, Demand};
+
+    fn capture() -> crate::capture::Capture {
+        let engine = Engine::new(SocConfig::snapdragon_888(), 0).expect("valid preset");
+        let mut p = Profiler::new(engine, 3);
+        let mut d = Demand::idle();
+        d.cpu = CpuDemand::single_thread(0.8);
+        let w = ConstantWorkload::new("cols", 4.0, d);
+        p.capture_runs(&w, 1).remove(0)
+    }
+
+    #[test]
+    fn columns_match_per_key_extraction_bitwise() {
+        let cap = capture();
+        let cols = TraceColumns::from_trace(cap.trace());
+        for &key in SeriesKey::ALL.iter() {
+            let reference = cap.series(key);
+            let col = cols.column(key);
+            assert_eq!(col.len(), reference.len());
+            for (a, b) in col.iter().zip(&reference.values) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{}", key.name());
+            }
+            let s = cols.series(key);
+            assert_eq!(s, reference, "{}", key.name());
+            assert_eq!(cols.mean(key).to_bits(), reference.mean().to_bits());
+            assert_eq!(cols.max(key).to_bits(), reference.max().to_bits());
+        }
+    }
+
+    #[test]
+    fn columns_are_contiguous_and_shaped() {
+        let cap = capture();
+        let cols = TraceColumns::from_trace(cap.trace());
+        assert_eq!(cols.ticks(), cap.trace().samples.len());
+        assert_eq!(cols.tick_seconds(), cap.trace().tick_seconds);
+        for &key in SeriesKey::ALL.iter() {
+            assert_eq!(cols.column(key).len(), cols.ticks());
+        }
+    }
+
+    #[test]
+    fn empty_trace_yields_empty_columns() {
+        let cap = capture();
+        let mut trace = cap.trace().clone();
+        trace.samples.clear();
+        let cols = TraceColumns::from_trace(&trace);
+        assert_eq!(cols.ticks(), 0);
+        assert_eq!(cols.mean(SeriesKey::CpuLoad), 0.0);
+        assert_eq!(cols.max(SeriesKey::Ipc), 0.0);
+    }
+}

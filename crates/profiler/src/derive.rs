@@ -113,8 +113,7 @@ impl BenchmarkMetrics {
     /// (plain mean or robust quorum), except the cross-run peak which is
     /// always a max.
     fn build(maps: &[SeriesMap], merge: &dyn Fn(RunScalar<'_>) -> f64) -> Self {
-        let series_mean =
-            |key: SeriesKey| -> RunScalar<'static> { Box::new(move |m| m.get(key).mean()) };
+        let series_mean = |key: SeriesKey| -> RunScalar<'static> { Box::new(move |m| m.mean(key)) };
         BenchmarkMetrics {
             name: maps[0].workload.clone(),
             instruction_count: merge(Box::new(|m| m.total_instructions)),
@@ -138,7 +137,7 @@ impl BenchmarkMetrics {
             memory_used_fraction: merge(series_mean(SeriesKey::MemoryUsedFraction)),
             memory_peak_mib: maps
                 .iter()
-                .map(|m| m.get(SeriesKey::MemoryUsedMib).max())
+                .map(|m| m.max(SeriesKey::MemoryUsedMib))
                 .fold(0.0, f64::max),
             storage_busy: merge(series_mean(SeriesKey::StorageBusy)),
         }

@@ -10,6 +10,8 @@
 //! * [`timeseries`] — time series with normalization and resampling;
 //! * [`capture`] — capture sessions: run a workload `n` times (the paper
 //!   runs everything thrice) and collect per-run counter traces;
+//! * [`columns`] — columnar (struct-of-arrays) trace storage: every named
+//!   series extracted once into contiguous per-metric buffers;
 //! * [`baseline`] — idle-baseline measurement and subtraction for memory
 //!   (the paper's Limitations §IV-A item 3);
 //! * [`derive`] — derived benchmark-level metrics (IC, IPC, cache MPKI,
@@ -26,6 +28,7 @@
 
 pub mod baseline;
 pub mod capture;
+pub mod columns;
 pub mod derive;
 pub mod export;
 pub mod faults;
@@ -33,6 +36,7 @@ pub mod metric;
 pub mod timeseries;
 
 pub use capture::{Capture, Profiler, SeriesKey, SeriesMap};
+pub use columns::TraceColumns;
 pub use derive::BenchmarkMetrics;
 pub use faults::{CaptureError, CaptureHealth, FaultConfig};
 pub use timeseries::TimeSeries;

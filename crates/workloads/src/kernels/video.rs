@@ -143,7 +143,10 @@ mod tests {
             recovered
                 .iter()
                 .zip(block.iter())
-                .map(|(a, b)| (a - b).powi(2))
+                .map(|(a, b)| {
+                    let d = a - b;
+                    d * d
+                })
                 .sum::<f64>()
         };
         assert!(err(16.0) > err(2.0));

@@ -1,0 +1,17 @@
+#!/bin/sh
+# Regenerate BENCH_kernels.json: a full (non-smoke) run of the columnar
+# kernel benches against their row-oriented baselines, with rows/columnar
+# speedups computed from medians measured in the same run.
+# Run from anywhere; operates on the repository this script lives in.
+set -u
+
+cd "$(dirname "$0")/.."
+
+if ! command -v cargo >/dev/null 2>&1; then
+    echo "error: cargo not found in PATH — install a Rust toolchain (https://rustup.rs)" >&2
+    exit 127
+fi
+
+echo "==> cargo bench -p mwc-bench --bench kernels (full run, writes BENCH_kernels.json)"
+MWC_BENCH_JSON="$PWD/BENCH_kernels.json" cargo bench -q -p mwc-bench --bench kernels || exit $?
+echo "==> done; review and commit BENCH_kernels.json"

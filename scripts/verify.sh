@@ -154,6 +154,28 @@ fi
 rm -rf "$incr_dir" "$incr_cold_dir"
 echo "    one-knob change: sims=$flip_sims reused=$flip_reused; digest matches cold run ($digest_flip)"
 
+echo "==> kernel bench smoke pass (MWC_BENCH_FAST=1)"
+bench_json="$PWD/target/verify-bench.json"
+rm -f "$bench_json"
+MWC_BENCH_FAST=1 MWC_BENCH_JSON="$bench_json" \
+    cargo bench -q -p mwc-bench --bench kernels >/dev/null || {
+    echo "error: kernel bench smoke pass failed" >&2
+    exit 1
+}
+if [ ! -s "$bench_json" ]; then
+    echo "error: kernel bench smoke pass wrote no $bench_json" >&2
+    exit 1
+fi
+rm -f "$bench_json"
+echo "    kernels bench ran and wrote a JSON report"
+
+echo "==> f32-kernels feature (build + tests)"
+cargo test -q -p mwc-analysis --features f32-kernels || {
+    echo "error: mwc-analysis tests failed under --features f32-kernels" >&2
+    exit 1
+}
+echo "    f32 kernel path builds and passes its tolerance tests"
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings || exit $?
 

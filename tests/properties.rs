@@ -6,7 +6,10 @@ use proptest::prelude::*;
 use mwc_analysis::cluster::{hierarchical, kmeans, pam, Clustering, Linkage};
 use mwc_analysis::distance::{euclidean, pairwise_euclidean};
 use mwc_analysis::matrix::Matrix;
-use mwc_analysis::stats::{max_normalize, min_max_normalize, pearson, CorrelationStrength};
+use mwc_analysis::stats::{
+    correlation_matrix, max_normalize, min_max_normalize, normalize_columns, pearson,
+    CorrelationStrength, NormalizeMode,
+};
 use mwc_analysis::subset::{incremental_distances, runtime_reduction, total_min_euclidean};
 use mwc_analysis::validation::{dunn_index, silhouette_width};
 use mwc_soc::cache::{CacheConfig, CacheHierarchy, MemoryProfile};
@@ -54,6 +57,89 @@ proptest! {
             prop_assert_eq!(d.get(i, i), 0.0);
             for j in 0..m.rows() {
                 prop_assert!((d.get(i, j) - d.get(j, i)).abs() < 1e-12);
+            }
+        }
+    }
+
+    // ---------- columnar kernels vs scalar references ----------
+    // The chunked kernels are layout rewrites, not numeric rewrites: on the
+    // default f64 path every output must match the scalar per-pair /
+    // per-column code bit for bit. (The opt-in `f32-kernels` feature
+    // deliberately breaks this; these tests cover the default build.)
+
+    #[test]
+    fn columnar_pairwise_is_bit_identical_to_scalar(m in matrix_strategy(12, 5)) {
+        let d = pairwise_euclidean(&m);
+        for i in 0..m.rows() {
+            for j in 0..i {
+                prop_assert_eq!(
+                    d.get(i, j).to_bits(),
+                    euclidean(m.row(i), m.row(j)).to_bits(),
+                    "pair ({}, {})", i, j
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_correlation_is_bit_identical_to_scalar_pearson(m in matrix_strategy(12, 5)) {
+        let c = correlation_matrix(&m);
+        for i in 0..m.cols() {
+            prop_assert_eq!(c.get(i, i), 1.0);
+            for j in 0..i {
+                prop_assert_eq!(
+                    c.get(i, j).to_bits(),
+                    pearson(&m.col(i), &m.col(j)).to_bits(),
+                    "pair ({}, {})", i, j
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_correlation_with_gaps_is_bit_identical(
+        rows in prop::collection::vec(
+            prop::collection::vec(-40.0f64..100.0, 4..=4),
+            3..12,
+        ),
+    ) {
+        // Map the negative third of the sampled range to NaN gaps, so some
+        // columns take the fused path and some the pairwise-complete
+        // scalar fallback.
+        let gappy: Vec<Vec<f64>> = rows
+            .iter()
+            .map(|r| r.iter().map(|&v| if v < 0.0 { f64::NAN } else { v }).collect())
+            .collect();
+        let m = Matrix::from_rows(&gappy).expect("uniform rows");
+        let c = correlation_matrix(&m);
+        for i in 0..m.cols() {
+            for j in 0..i {
+                prop_assert_eq!(
+                    c.get(i, j).to_bits(),
+                    pearson(&m.col(i), &m.col(j)).to_bits(),
+                    "pair ({}, {})", i, j
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn columnar_normalization_is_bit_identical_to_per_column_scalar(
+        m in matrix_strategy(12, 5),
+        mode_max in any::<bool>(),
+    ) {
+        let mode = if mode_max { NormalizeMode::Max } else { NormalizeMode::MinMax };
+        let n = normalize_columns(&m, mode);
+        for c in 0..m.cols() {
+            let col = m.col(c);
+            let reference = match mode {
+                NormalizeMode::Max => max_normalize(&col),
+                NormalizeMode::MinMax => min_max_normalize(&col),
+            };
+            let got = n.col(c);
+            prop_assert_eq!(got.len(), reference.len());
+            for (a, b) in got.iter().zip(&reference) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "column {}", c);
             }
         }
     }
