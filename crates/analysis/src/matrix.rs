@@ -42,6 +42,16 @@ impl Matrix {
         })
     }
 
+    /// Crate-internal infallible constructor for kernels that produce
+    /// `rows × cols` buffers by construction (e.g. the one-pass column
+    /// normalizer). Shape correctness is the caller's invariant; it is
+    /// checked in debug builds only, keeping release library code free of
+    /// panic sites.
+    pub(crate) fn from_raw_parts(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        debug_assert_eq!(data.len(), rows * cols, "raw matrix shape");
+        Matrix { rows, cols, data }
+    }
+
     /// A matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         Matrix {

@@ -137,7 +137,7 @@ pub fn normalize_columns(m: &Matrix, mode: NormalizeMode) -> Matrix {
             };
         }
     }
-    Matrix::from_rows_data(rows, k, data).expect("shape matches by construction")
+    Matrix::from_raw_parts(rows, k, data)
 }
 
 #[cfg(test)]

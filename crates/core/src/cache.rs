@@ -248,6 +248,10 @@ pub struct StudyCache {
     dir: Option<PathBuf>,
     max_entries: usize,
     studies: Mutex<HashMap<u64, Arc<Characterization>>>,
+    /// Secondary index: [`Characterization::digest`] → study key, so a
+    /// result can be re-fetched by the digest handed out to clients
+    /// (`mwc-server`'s `GET /study/<digest>`).
+    by_digest: Mutex<HashMap<u64, u64>>,
     units: Mutex<HashMap<u64, UnitArtifact>>,
     features: Mutex<HashMap<u64, Arc<FeatureSet>>>,
     sweeps: Mutex<HashMap<u64, ValidationSweep>>,
@@ -263,6 +267,7 @@ impl StudyCache {
             dir,
             max_entries,
             studies: Mutex::new(HashMap::new()),
+            by_digest: Mutex::new(HashMap::new()),
             units: Mutex::new(HashMap::new()),
             features: Mutex::new(HashMap::new()),
             sweeps: Mutex::new(HashMap::new()),
@@ -447,20 +452,44 @@ impl StudyCache {
         }
         if let Some(study) = self.load_study(key) {
             let study = Arc::new(study);
-            self.studies
-                .lock()
-                .expect("study cache lock poisoned")
-                .insert(key, Arc::clone(&study));
+            self.index_study(key, &study);
             return Ok(study);
         }
         self.bump("cache.misses", |s| s.misses += 1);
         let study = Arc::new(crate::stages::execute(spec, Some(self))?);
         self.persist("study", key, &encode_study(key, &study));
+        self.index_study(key, &study);
+        Ok(study)
+    }
+
+    /// Insert a study into the memory layer and the digest index.
+    fn index_study(&self, key: u64, study: &Arc<Characterization>) {
+        self.by_digest
+            .lock()
+            .expect("digest index lock poisoned")
+            .insert(study.digest(), key);
         self.studies
             .lock()
             .expect("study cache lock poisoned")
-            .insert(key, Arc::clone(&study));
-        Ok(study)
+            .insert(key, Arc::clone(study));
+    }
+
+    /// Look up a completed study by its [`Characterization::digest`] — the
+    /// handle `mwc-server` returns to clients. Only studies that passed
+    /// through this cache instance are findable: the digest is known after
+    /// a result exists, so the index is memory-only by construction (disk
+    /// entries are keyed by input digests, not result digests).
+    pub fn study_by_digest(&self, digest: u64) -> Option<Arc<Characterization>> {
+        let key = *self
+            .by_digest
+            .lock()
+            .expect("digest index lock poisoned")
+            .get(&digest)?;
+        self.studies
+            .lock()
+            .expect("study cache lock poisoned")
+            .get(&key)
+            .cloned()
     }
 
     /// The feature matrices derived from `study`, memoized in memory and
@@ -658,16 +687,32 @@ impl StudyCache {
 
     /// The raw atomic write (temp file + rename), shared by the legacy
     /// entries and the stage artifacts; bumps no counters itself.
+    ///
+    /// The temp name is unique per process *and* per write (pid plus a
+    /// process-wide sequence number), so concurrent writers of the same
+    /// key — two worker threads, or a server and a CLI bin sharing the
+    /// cache directory — each stage into a private file and race only on
+    /// the final atomic rename. Whichever rename lands last wins with a
+    /// complete entry; readers can never observe a torn file. A failed
+    /// rename cleans up its temp file so crashes don't strand debris.
     fn write_entry(&self, kind: &str, key: u64, bytes: &[u8]) -> bool {
+        static TEMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         let Some(path) = self.entry_path(kind, key) else {
             return false;
         };
         let write = || -> std::io::Result<()> {
             let dir = path.parent().expect("cache entry path has a parent");
             fs::create_dir_all(dir)?;
-            let tmp = dir.join(format!(".tmp-{kind}-{key:016x}-{}", std::process::id()));
+            let seq = TEMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let tmp = dir.join(format!(
+                ".tmp-{kind}-{key:016x}-{}-{seq}",
+                std::process::id()
+            ));
             fs::write(&tmp, bytes)?;
-            fs::rename(&tmp, &path)?;
+            if let Err(e) = fs::rename(&tmp, &path) {
+                let _ = fs::remove_file(&tmp);
+                return Err(e);
+            }
             Ok(())
         };
         if write().is_ok() {
@@ -1561,6 +1606,67 @@ mod tests {
         assert!(corrupt.unit_artifact(key).is_none());
         assert_eq!(corrupt.stage(StageKind::Derive).corrupt_entries, 1);
         assert!(!path.exists(), "corrupt unit entry is dropped");
+    }
+
+    #[test]
+    fn concurrent_same_key_writers_never_tear_an_entry() {
+        // Writers hammer one key with differently-sized (all valid)
+        // payloads while readers decode continuously: every read must be
+        // a complete entry or a clean miss — never a corruption error —
+        // and no temp debris may survive.
+        let tmp = TempDir::new();
+        let cache = std::sync::Arc::new(StudyCache::with_dir(&tmp.0));
+        let study_a = tiny_study();
+        let mut study_b = tiny_study();
+        study_b.profiles.pop();
+        let key = 0x5eed;
+        let digests = [study_a.digest(), study_b.digest()];
+
+        std::thread::scope(|s| {
+            for (w, study) in [study_a.clone(), study_b.clone()].into_iter().enumerate() {
+                let cache = std::sync::Arc::clone(&cache);
+                s.spawn(move || {
+                    let bytes = encode_study(key, &study);
+                    for _ in 0..100 {
+                        assert!(cache.write_entry("study", key, &bytes), "writer {w}");
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let cache = std::sync::Arc::clone(&cache);
+                s.spawn(move || {
+                    for _ in 0..200 {
+                        if let Some(study) = cache.load_study(key) {
+                            assert!(
+                                digests.contains(&study.digest()),
+                                "read a study no writer produced"
+                            );
+                        }
+                    }
+                });
+            }
+        });
+
+        assert_eq!(cache.stats().corrupt_entries, 0, "no torn reads");
+        let leftovers: Vec<_> = fs::read_dir(&tmp.0)
+            .expect("cache dir")
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with(".tmp-"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp debris: {leftovers:?}");
+    }
+
+    #[test]
+    fn digest_index_finds_studies_and_misses_unknown() {
+        let cache = StudyCache::in_memory();
+        let study = Arc::new(tiny_study());
+        cache.index_study(11, &study);
+        let found = cache
+            .study_by_digest(study.digest())
+            .expect("indexed study is findable");
+        assert_eq!(found.digest(), study.digest());
+        assert!(cache.study_by_digest(study.digest() ^ 1).is_none());
     }
 
     #[test]

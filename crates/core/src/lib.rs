@@ -49,9 +49,11 @@ pub mod spec;
 mod stages;
 pub mod subsets;
 pub mod tables;
+pub mod wire;
 
 pub use cache::{CacheStats, StageKind, StageStats, StudyCache};
 pub use error::PipelineError;
 pub use features::FeatureSet;
 pub use pipeline::{Characterization, DegradationReport, UnitProfile};
 pub use spec::{StudySpec, UnitSelection};
+pub use wire::{from_wire, to_wire, WireError};

@@ -206,6 +206,73 @@ pub fn jsonl(data: &TraceData, metrics: &[(String, Metric)]) -> String {
     out
 }
 
+/// Sanitize a metric name for the exposition format: the registry's
+/// `crate.noun` dots become underscores so the names are valid
+/// Prometheus-style identifiers.
+fn text_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Render a metrics snapshot in the Prometheus text exposition format:
+/// one `# TYPE` line per metric, `_bucket{le="..."}` / `_sum` / `_count`
+/// series for histograms. This is what `mwc-server`'s `GET /metrics`
+/// serves; it is also self-describing enough to grep in shell gates
+/// (`scripts/verify.sh` asserts `server_panics 0`).
+pub fn metrics_text(metrics: &[(String, Metric)]) -> String {
+    let mut out = String::new();
+    for (name, metric) in metrics {
+        let name = text_name(name);
+        match metric {
+            Metric::Counter(v) => {
+                let _ = writeln!(out, "# TYPE {name} counter");
+                let _ = writeln!(out, "{name} {v}");
+            }
+            Metric::Gauge(v) => {
+                let _ = writeln!(out, "# TYPE {name} gauge");
+                let _ = writeln!(out, "{name} {}", text_f64(*v));
+            }
+            Metric::Histogram(h) => {
+                let _ = writeln!(out, "# TYPE {name} histogram");
+                let mut cumulative = 0u64;
+                for (i, count) in h.counts().iter().enumerate() {
+                    cumulative += count;
+                    let le = h
+                        .bounds()
+                        .get(i)
+                        .map(|&b| text_f64(b))
+                        .unwrap_or_else(|| "+Inf".to_owned());
+                    let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+                }
+                let _ = writeln!(out, "{name}_sum {}", text_f64(h.sum()));
+                let _ = writeln!(out, "{name}_count {}", h.count());
+            }
+        }
+    }
+    out
+}
+
+/// Render an f64 for the text exposition format (`+Inf` / `-Inf` / `NaN`
+/// spellings, plain decimal otherwise).
+fn text_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_owned()
+    } else if v == f64::INFINITY {
+        "+Inf".to_owned()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_owned()
+    } else {
+        format!("{v}")
+    }
+}
+
 /// A parsed JSON value (the reader's own minimal document model).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {
@@ -659,5 +726,33 @@ mod tests {
     fn wants_jsonl_by_extension() {
         assert!(wants_jsonl(std::path::Path::new("/tmp/log.jsonl")));
         assert!(!wants_jsonl(std::path::Path::new("/tmp/trace.json")));
+    }
+
+    #[test]
+    fn metrics_text_renders_all_kinds() {
+        let mut h = crate::metrics::Histogram::new(&[1.0, 10.0]);
+        h.observe(0.5);
+        h.observe(5.0);
+        h.observe(50.0);
+        let metrics = vec![
+            ("server.requests".to_owned(), Metric::Counter(7)),
+            ("pipeline.threads".to_owned(), Metric::Gauge(4.0)),
+            ("server.request_ns".to_owned(), Metric::Histogram(h)),
+        ];
+        let text = metrics_text(&metrics);
+        assert!(text.contains("# TYPE server_requests counter"));
+        assert!(text.contains("server_requests 7"));
+        assert!(text.contains("pipeline_threads 4"));
+        // Histogram buckets are cumulative and end with +Inf.
+        assert!(text.contains("server_request_ns_bucket{le=\"1\"} 1"));
+        assert!(text.contains("server_request_ns_bucket{le=\"10\"} 2"));
+        assert!(text.contains("server_request_ns_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("server_request_ns_sum 55.5"));
+        assert!(text.contains("server_request_ns_count 3"));
+    }
+
+    #[test]
+    fn metrics_text_of_empty_snapshot_is_empty() {
+        assert!(metrics_text(&[]).is_empty());
     }
 }

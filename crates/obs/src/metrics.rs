@@ -106,6 +106,41 @@ impl Histogram {
     pub fn max(&self) -> f64 {
         self.max
     }
+
+    /// Estimate the `q`-quantile (`q` in `[0, 1]`) from the bucket counts
+    /// by linear interpolation within the bucket that crosses the target
+    /// rank — the usual fixed-bucket estimator, so the answer is exact
+    /// only at bucket edges. Returns `None` when the histogram is empty or
+    /// `q` is not in `[0, 1]`. The estimate is clamped to the observed
+    /// `[min, max]`, and overflow-bucket ranks report the true maximum
+    /// (the overflow bucket has no finite upper edge to interpolate
+    /// against).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let rank = q * self.count as f64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                seen += c;
+                continue;
+            }
+            let upto = seen + c;
+            if (upto as f64) >= rank {
+                if i == self.bounds.len() {
+                    return Some(self.max);
+                }
+                let lo = if i == 0 { self.min } else { self.bounds[i - 1] };
+                let hi = self.bounds[i];
+                let within = (rank - seen as f64) / c as f64;
+                let est = lo + (hi - lo) * within.clamp(0.0, 1.0);
+                return Some(est.clamp(self.min, self.max));
+            }
+            seen = upto;
+        }
+        Some(self.max)
+    }
 }
 
 /// One registered metric.
@@ -260,6 +295,31 @@ mod tests {
         assert_eq!(h.count(), 8);
         assert_eq!(h.min(), -3.0);
         assert_eq!(h.max(), f64::INFINITY);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let mut h = Histogram::new(&[10.0, 100.0, 1000.0]);
+        for v in [5.0, 20.0, 40.0, 60.0, 80.0, 150.0, 300.0, 900.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(5.0), "q=0 clamps to the minimum");
+        assert_eq!(h.quantile(1.0), Some(900.0), "q=1 is the maximum");
+        let p50 = h.quantile(0.5).expect("non-empty");
+        assert!((10.0..=100.0).contains(&p50), "median in its bucket: {p50}");
+        let p95 = h.quantile(0.95).expect("non-empty");
+        assert!((100.0..=1000.0).contains(&p95), "p95 in its bucket: {p95}");
+        assert!(h.quantile(-0.1).is_none());
+        assert!(h.quantile(1.1).is_none());
+        assert!(Histogram::new(&[1.0]).quantile(0.5).is_none(), "empty");
+    }
+
+    #[test]
+    fn quantile_overflow_bucket_reports_observed_max() {
+        let mut h = Histogram::new(&[1.0]);
+        h.observe(5.0);
+        h.observe(9.0);
+        assert_eq!(h.quantile(0.99), Some(9.0));
     }
 
     #[test]

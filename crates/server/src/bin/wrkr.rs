@@ -1,0 +1,371 @@
+//! `wrkr` — load generator and bench driver for `mwc-server`.
+//!
+//! Modes:
+//!
+//! * default: replay one request under load and print a report
+//!   (`wrkr --addr H:P --spec-file spec.mwc -c 8 -n 200 --rate 50`);
+//! * `--get PATH`: issue a single GET and print status + body;
+//! * `--shutdown`: POST `/admin/shutdown`;
+//! * `--bench OUT.json`: the cold/warm/overload protocol behind
+//!   `BENCH_server.json` (see `scripts/bench_server.sh`).
+//!
+//! Retries honor the server's shedding contract: 503 (and connect-level
+//! failures) back off with seeded jittered exponential delays, never
+//! sooner than `Retry-After` asks.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use mwc_core::{to_wire, StudySpec};
+use mwc_obs::export::parse_json;
+use mwc_server::client;
+use mwc_server::loadgen::{self, LoadOptions, LoadReport};
+
+struct Args {
+    addr: String,
+    path: String,
+    method: String,
+    headers: Vec<(String, String)>,
+    spec_file: Option<String>,
+    get: Option<String>,
+    shutdown: bool,
+    bench: Option<String>,
+    connections: usize,
+    requests: usize,
+    rate: f64,
+    timeout: Duration,
+    retries: u32,
+    backoff: Duration,
+    seed: u64,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            addr: "127.0.0.1:8080".to_owned(),
+            path: "/study".to_owned(),
+            method: "POST".to_owned(),
+            headers: Vec::new(),
+            spec_file: None,
+            get: None,
+            shutdown: false,
+            bench: None,
+            connections: 8,
+            requests: 200,
+            rate: 0.0,
+            timeout: Duration::from_secs(30),
+            retries: 5,
+            backoff: Duration::from_millis(50),
+            seed: 2024,
+        }
+    }
+}
+
+const USAGE: &str = "usage: wrkr [--addr H:P] [--spec-file F] [--path /study] [--method M] \
+[--header 'k: v']... [-c N] [-n TOTAL] [--rate R] [--timeout-ms T] [--retries K] \
+[--backoff-ms B] [--seed S] [--get PATH | --shutdown | --bench OUT.json]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--path" => args.path = value("--path")?,
+            "--method" => args.method = value("--method")?,
+            "--spec-file" => args.spec_file = Some(value("--spec-file")?),
+            "--get" => args.get = Some(value("--get")?),
+            "--shutdown" => args.shutdown = true,
+            "--bench" => args.bench = Some(value("--bench")?),
+            "--header" => {
+                let raw = value("--header")?;
+                let (k, v) = raw
+                    .split_once(':')
+                    .ok_or(format!("--header wants 'name: value', got {raw:?}"))?;
+                args.headers
+                    .push((k.trim().to_owned(), v.trim().to_owned()));
+            }
+            "-c" | "--connections" => {
+                args.connections = value("-c")?.parse().map_err(|_| "-c wants a number")?
+            }
+            "-n" | "--requests" => {
+                args.requests = value("-n")?.parse().map_err(|_| "-n wants a number")?
+            }
+            "--rate" => {
+                args.rate = value("--rate")?
+                    .parse()
+                    .map_err(|_| "--rate wants a number")?
+            }
+            "--timeout-ms" => {
+                let ms: u64 = value("--timeout-ms")?
+                    .parse()
+                    .map_err(|_| "--timeout-ms wants ms")?;
+                args.timeout = Duration::from_millis(ms);
+            }
+            "--retries" => {
+                args.retries = value("--retries")?
+                    .parse()
+                    .map_err(|_| "--retries wants a number")?
+            }
+            "--backoff-ms" => {
+                let ms: u64 = value("--backoff-ms")?
+                    .parse()
+                    .map_err(|_| "--backoff-ms wants ms")?;
+                args.backoff = Duration::from_millis(ms);
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed wants a number")?
+            }
+            "-h" | "--help" => return Err(USAGE.to_owned()),
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+/// The bench protocol's study: four Antutu units, one run — heavy enough
+/// to measure, light enough that an overload phase finishes promptly.
+fn bench_spec_body(seed: u64) -> String {
+    let mut spec = StudySpec::paper_default().with_units([
+        "Antutu CPU",
+        "Antutu GPU",
+        "Antutu Mem",
+        "Antutu UX",
+    ]);
+    spec.seed = seed;
+    spec.runs = 1;
+    to_wire(&spec).expect("bench spec serializes")
+}
+
+fn load_options(args: &Args, body: Vec<u8>) -> LoadOptions {
+    LoadOptions {
+        addr: args.addr.clone(),
+        method: args.method.clone(),
+        path: args.path.clone(),
+        headers: args.headers.clone(),
+        body,
+        body_variants: Vec::new(),
+        connections: args.connections,
+        requests: args.requests,
+        rate: args.rate,
+        timeout: args.timeout,
+        retries: args.retries,
+        backoff: args.backoff,
+        seed: args.seed,
+    }
+}
+
+fn print_report(report: &LoadReport) {
+    let q = |p: f64| {
+        report
+            .latency_quantile_ns(p)
+            .map(|ns| format!("{:.2} ms", ns / 1.0e6))
+            .unwrap_or_else(|| "-".to_owned())
+    };
+    println!(
+        "requests:   {} completed in {:.2?}",
+        report.completed, report.elapsed
+    );
+    println!("throughput: {:.1} req/s", report.throughput());
+    println!(
+        "status:     2xx={} 4xx={} 5xx={} sheds={} (rate {:.1}%) retries={} exhausted={} errors={}",
+        report.ok,
+        report.status_4xx,
+        report.status_5xx,
+        report.shed_responses,
+        report.shed_rate() * 100.0,
+        report.retries,
+        report.exhausted,
+        report.errors,
+    );
+    println!(
+        "latency:    p50={} p95={} p99={}",
+        q(0.50),
+        q(0.95),
+        q(0.99)
+    );
+}
+
+fn digest_of(body: &str) -> Option<String> {
+    parse_json(body)
+        .ok()?
+        .get("digest")?
+        .as_str()
+        .map(str::to_owned)
+}
+
+fn quantile_us(report: &LoadReport, q: f64) -> f64 {
+    report.latency_quantile_ns(q).unwrap_or(0.0) / 1.0e3
+}
+
+fn run_bench(args: &Args, out_path: &str) -> Result<(), String> {
+    let one = |body: &str, what: &str| {
+        client::request(
+            &args.addr,
+            "POST",
+            "/study",
+            &[],
+            body.as_bytes(),
+            args.timeout,
+        )
+        .map_err(|e| format!("{what} request failed: {e}"))
+    };
+
+    // Phase 1 — cold: one spec never seen by this server process.
+    let body = bench_spec_body(args.seed);
+    let t0 = std::time::Instant::now();
+    let cold = one(&body, "cold")?;
+    let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+    if cold.status != 200 {
+        return Err(format!(
+            "cold request answered {}: {}",
+            cold.status,
+            cold.body_str()
+        ));
+    }
+    let cold_digest = digest_of(&cold.body_str()).ok_or("cold response had no digest")?;
+    eprintln!("bench: cold study {cold_ms:.1} ms, digest {cold_digest}");
+
+    // Phase 2 — warm: same spec, served from cache; digests must be
+    // bit-identical to the cold compute.
+    let warm_check = one(&body, "warm")?;
+    let warm_digest = digest_of(&warm_check.body_str()).ok_or("warm response had no digest")?;
+    if warm_digest != cold_digest {
+        return Err(format!(
+            "warm digest {warm_digest} != cold digest {cold_digest}"
+        ));
+    }
+    let mut warm_opts = load_options(args, body.clone().into_bytes());
+    warm_opts.requests = args.requests;
+    warm_opts.rate = args.rate;
+    // Stay inside the bench server's in-flight capacity (2 workers + 4
+    // queue slots, pinned by scripts/bench_server.sh): the warm phase
+    // measures cache-hit serving, not shedding — that is phase 3's job.
+    warm_opts.connections = args.connections.min(4);
+    let warm = loadgen::run(&warm_opts);
+    eprintln!(
+        "bench: warm {} requests, {:.0} req/s, p99 {:.0} µs",
+        warm.completed,
+        warm.throughput(),
+        quantile_us(&warm, 0.99)
+    );
+
+    // Phase 3 — overload: distinct seeds make every request a cold
+    // compute; offered flat-out over more connections than workers, the
+    // admission queue must shed with 503s rather than buffer.
+    let overload_requests = (args.requests / 2).max(32);
+    let mut overload_opts = load_options(args, Vec::new());
+    overload_opts.body_variants = (0..overload_requests)
+        .map(|i| bench_spec_body(args.seed + 1_000 + i as u64).into_bytes())
+        .collect();
+    overload_opts.requests = overload_requests;
+    overload_opts.connections = args.connections * 2;
+    overload_opts.rate = 0.0;
+    overload_opts.retries = 1;
+    let overload = loadgen::run(&overload_opts);
+    eprintln!(
+        "bench: overload {} offered, {} ok, {} sheds (rate {:.1}%)",
+        overload.completed,
+        overload.ok,
+        overload.shed_responses,
+        overload.shed_rate() * 100.0
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"mwc-bench-server-v1\",\n",
+            "  \"config\": {{\"connections\": {}, \"warm_requests\": {}, \"overload_requests\": {}, \"seed\": {}}},\n",
+            "  \"cold\": {{\"latency_ms\": {:.3}, \"digest\": \"{}\"}},\n",
+            "  \"warm\": {{\"digest_matches_cold\": true, \"requests\": {}, \"ok\": {}, \"throughput_rps\": {:.1}, ",
+            "\"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}}},\n",
+            "  \"overload\": {{\"offered\": {}, \"ok\": {}, \"shed_responses\": {}, \"shed_rate\": {:.4}, ",
+            "\"retries\": {}, \"exhausted\": {}, \"errors\": {}, \"p99_us\": {:.1}}}\n",
+            "}}\n",
+        ),
+        args.connections,
+        args.requests,
+        overload_requests,
+        args.seed,
+        cold_ms,
+        cold_digest,
+        warm.completed,
+        warm.ok,
+        warm.throughput(),
+        quantile_us(&warm, 0.50),
+        quantile_us(&warm, 0.95),
+        quantile_us(&warm, 0.99),
+        overload.completed,
+        overload.ok,
+        overload.shed_responses,
+        overload.shed_rate(),
+        overload.retries,
+        overload.exhausted,
+        overload.errors,
+        quantile_us(&overload, 0.99),
+    );
+    std::fs::write(out_path, &json).map_err(|e| format!("writing {out_path}: {e}"))?;
+    println!("bench report written to {out_path}");
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+
+    if args.shutdown {
+        let resp = client::request(
+            &args.addr,
+            "POST",
+            "/admin/shutdown",
+            &[],
+            b"",
+            args.timeout,
+        )
+        .map_err(|e| e.to_string())?;
+        println!("{} {}", resp.status, resp.body_str().trim_end());
+        return Ok(());
+    }
+    if let Some(path) = &args.get {
+        let resp = client::request(&args.addr, "GET", path, &[], b"", args.timeout)
+            .map_err(|e| e.to_string())?;
+        println!("{}", resp.status);
+        print!("{}", resp.body_str());
+        if resp.status >= 400 {
+            return Err(format!("GET {path} answered {}", resp.status));
+        }
+        return Ok(());
+    }
+    if let Some(out) = &args.bench {
+        return run_bench(&args, out);
+    }
+
+    let body = match &args.spec_file {
+        Some(path) => std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?,
+        None if args.method == "POST" && args.path == "/study" => {
+            bench_spec_body(args.seed).into_bytes()
+        }
+        None => Vec::new(),
+    };
+    let report = loadgen::run(&load_options(&args, body));
+    print_report(&report);
+    if report.completed != args.requests as u64 {
+        return Err(format!(
+            "only {} of {} requests completed",
+            report.completed, args.requests
+        ));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("wrkr: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Per-request deadlines.
+//!
+//! A request's budget starts ticking at `accept(2)`, not when a worker
+//! picks it up — time spent queued under load counts against the client's
+//! patience just like compute does. The deadline is enforced at
+//! checkpoints (after queueing, after parsing, before compute, after
+//! compute) because the blocking compute path cannot be preempted
+//! mid-simulation; the important property is that *doomed work is never
+//! started* and an expired request always answers `504` promptly at the
+//! next checkpoint.
+
+use std::time::{Duration, Instant};
+
+/// An absolute deadline derived from a start instant and a budget.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    start: Instant,
+    budget: Duration,
+}
+
+impl Deadline {
+    /// A deadline whose clock started at `start` (usually the accept
+    /// timestamp) with `budget` to spend.
+    pub fn starting_at(start: Instant, budget: Duration) -> Self {
+        Deadline { start, budget }
+    }
+
+    /// A deadline starting now.
+    pub fn new(budget: Duration) -> Self {
+        Deadline::starting_at(Instant::now(), budget)
+    }
+
+    /// Time spent so far.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Budget left, or `None` once expired.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.budget.checked_sub(self.start.elapsed())
+    }
+
+    /// Whether the budget is spent.
+    pub fn expired(&self) -> bool {
+        self.remaining().is_none()
+    }
+
+    /// The full budget.
+    pub fn budget(&self) -> Duration {
+        self.budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_deadline_has_remaining_budget() {
+        let d = Deadline::new(Duration::from_secs(60));
+        assert!(!d.expired());
+        assert!(d.remaining().unwrap() > Duration::from_secs(59));
+    }
+
+    #[test]
+    fn backdated_deadline_is_expired() {
+        let start = Instant::now() - Duration::from_millis(50);
+        let d = Deadline::starting_at(start, Duration::from_millis(10));
+        assert!(d.expired());
+        assert_eq!(d.remaining(), None);
+        assert!(d.elapsed() >= Duration::from_millis(40));
+    }
+}

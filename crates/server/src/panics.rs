@@ -1,0 +1,55 @@
+//! Per-request panic isolation.
+//!
+//! A panic anywhere in a request handler must cost exactly one response —
+//! never the worker thread, never the process. [`isolate`] wraps the
+//! handler in `catch_unwind` and converts the payload into a printable
+//! [`PanicReport`] so the caller can answer `500` with a typed error body
+//! and keep serving.
+
+use std::panic::{self, AssertUnwindSafe};
+
+/// What a caught panic said.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PanicReport {
+    /// The panic message when the payload was a string (the common
+    /// case: `panic!`, `unwrap`, `expect`), or a placeholder.
+    pub message: String,
+}
+
+/// Run `f`, catching any unwind. The closure is asserted unwind-safe:
+/// callers only touch the connection (dropped or used solely for the 500
+/// write afterwards) and shared state whose own locks handle poisoning.
+pub fn isolate<T>(f: impl FnOnce() -> T) -> Result<T, PanicReport> {
+    panic::catch_unwind(AssertUnwindSafe(f)).map_err(|payload| {
+        let message = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_owned()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_owned()
+        };
+        PanicReport { message }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn success_passes_through() {
+        assert_eq!(isolate(|| 41 + 1), Ok(42));
+    }
+
+    #[test]
+    fn panic_is_caught_with_its_message() {
+        let report = isolate(|| -> u32 { panic!("injected failure {}", 7) }).unwrap_err();
+        assert_eq!(report.message, "injected failure 7");
+    }
+
+    #[test]
+    fn str_payloads_are_captured_too() {
+        let report = isolate(|| -> () { panic!("plain str") }).unwrap_err();
+        assert_eq!(report.message, "plain str");
+    }
+}

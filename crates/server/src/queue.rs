@@ -1,0 +1,194 @@
+//! The bounded admission queue between the acceptor and the worker pool.
+//!
+//! Backpressure is a push-side contract: [`BoundedQueue::try_push`] never
+//! blocks and never grows the queue past its capacity — when the pool is
+//! saturated the caller learns immediately ([`PushError::Full`]) and can
+//! shed load with `503 Retry-After` instead of buffering connections
+//! without bound. The pop side blocks (that is what the worker pool is
+//! for) and drains remaining items after [`BoundedQueue::close`] so
+//! shutdown can finish admitted work.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity; the item is handed back for shedding.
+    Full(T),
+    /// The queue was closed; no new work is admitted.
+    Closed(T),
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A mutex-and-condvar MPMC queue with a hard capacity.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> std::fmt::Debug for BoundedQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BoundedQueue")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl<T> BoundedQueue<T> {
+    /// An empty queue admitting at most `capacity` items (min 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        self.inner.lock().expect("admission queue lock poisoned")
+    }
+
+    /// Admit `item` if there is room; never blocks.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut inner = self.lock();
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Block until an item is available or the queue is closed *and*
+    /// empty (`None`: the worker should exit). Admitted items keep
+    /// flowing after close so shutdown can drain them.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .not_empty
+                .wait(inner)
+                .expect("admission queue lock poisoned");
+        }
+    }
+
+    /// Stop admitting; wake every blocked popper so idle workers exit.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The hard capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn push_beyond_capacity_is_refused_with_the_item() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn close_drains_admitted_items_then_returns_none() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert_eq!(q.try_push(3), Err(PushError::Closed(3)));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_poppers() {
+        let q = Arc::new(BoundedQueue::<u32>::new(1));
+        let popper = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.pop())
+        };
+        thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(popper.join().unwrap(), None);
+    }
+
+    #[test]
+    fn items_flow_through_many_producers_and_consumers() {
+        let q = Arc::new(BoundedQueue::new(128));
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let q = Arc::clone(&q);
+            handles.push(thread::spawn(move || {
+                for i in 0..32u32 {
+                    while q.try_push(t * 100 + i).is_err() {
+                        thread::yield_now();
+                    }
+                }
+            }));
+        }
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    let mut got = 0usize;
+                    while q.pop().is_some() {
+                        got += 1;
+                    }
+                    got
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Producers done; wait for the queue to drain, then close.
+        while !q.is_empty() {
+            thread::yield_now();
+        }
+        q.close();
+        let total: usize = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(total, 4 * 32);
+    }
+}

@@ -475,9 +475,9 @@ impl SocConfig {
 ///         issue_width: 2.0,
 ///         branch_predictor_quality: 0.9,
 ///     })
-///     .build()
-///     .unwrap();
+///     .build()?;
 /// assert_eq!(soc.total_cores(), 4);
+/// # Ok::<(), mwc_soc::error::SocError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct SocConfigBuilder {

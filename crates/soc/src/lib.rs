@@ -37,9 +37,10 @@
 //! let mut demand = Demand::idle();
 //! demand.cpu = CpuDemand::single_thread(0.8);
 //! let workload = ConstantWorkload::new("busy-loop", 10.0, demand);
-//! let mut engine = Engine::new(soc, 42).expect("valid config");
+//! let mut engine = Engine::new(soc, 42)?;
 //! let trace = engine.run(&workload);
 //! assert!(trace.total_instructions() > 0.0);
+//! # Ok::<(), mwc_soc::error::SocError>(())
 //! ```
 
 #![warn(missing_docs)]

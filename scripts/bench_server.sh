@@ -1,0 +1,75 @@
+#!/bin/sh
+# Serving benchmark: boot mwc-server with a deliberately small worker
+# pool and admission queue, run the wrkr cold/warm/overload protocol,
+# and write BENCH_server.json (throughput, p50/p95/p99, shed rate).
+# Usage: scripts/bench_server.sh [output.json]
+set -u
+
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_server.json}"
+log="target/bench-server.log"
+
+echo "==> cargo build --release -p mwc-server --bins"
+cargo build --release -p mwc-server --bins || exit $?
+
+# Small pool + small queue so the overload phase (distinct-seed cold
+# studies, offered flat out) actually saturates and sheds; a generous
+# deadline keeps 504s out of the shedding measurement.
+MWC_SERVER_ADDR=127.0.0.1:0 \
+MWC_SERVER_WORKERS=2 \
+MWC_SERVER_QUEUE=4 \
+MWC_SERVER_DEADLINE_MS=60000 \
+    ./target/release/mwc-server >"$log" 2>&1 &
+server_pid=$!
+
+cleanup() {
+    kill "$server_pid" 2>/dev/null
+}
+trap cleanup EXIT
+
+addr=""
+tries=0
+while [ "$tries" -lt 100 ]; do
+    addr=$(awk '/^mwc-server listening on / { print $4; exit }' "$log" 2>/dev/null)
+    [ -n "$addr" ] && break
+    tries=$((tries + 1))
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "error: mwc-server did not report a listening address; log follows" >&2
+    cat "$log" >&2
+    exit 1
+fi
+echo "==> mwc-server up on $addr (workers=2 queue=4)"
+
+echo "==> wrkr bench protocol (cold / warm / overload)"
+./target/release/wrkr --addr "$addr" -c 8 -n 200 --bench "$out" || {
+    echo "error: wrkr bench failed; server log follows" >&2
+    cat "$log" >&2
+    exit 1
+}
+
+echo "==> graceful shutdown"
+./target/release/wrkr --addr "$addr" --shutdown || exit 1
+wait "$server_pid"
+server_exit=$?
+trap - EXIT
+if [ "$server_exit" -ne 0 ]; then
+    echo "error: mwc-server exited $server_exit after drain; log follows" >&2
+    cat "$log" >&2
+    exit 1
+fi
+if ! grep -q "drained clean" "$log"; then
+    echo "error: mwc-server log has no clean-drain line" >&2
+    cat "$log" >&2
+    exit 1
+fi
+panics=$(sed -n 's/.*drained clean.*panics=\([0-9]*\).*/\1/p' "$log")
+if [ "${panics:-1}" -ne 0 ]; then
+    echo "error: server recorded $panics panics during the bench" >&2
+    exit 1
+fi
+
+echo "==> bench report: $out"
+cat "$out"

@@ -16,6 +16,25 @@ fi
 echo "==> cargo fmt --check"
 cargo fmt --all --check || exit $?
 
+# Panic-site gate: non-test library code in mwc-soc and mwc-analysis must
+# contain zero panic sites (unwrap/expect/panic!/unreachable!) — the
+# serving layer's panic isolation is a last resort, not a license. The
+# scan covers everything before each file's `#[cfg(test)]` module,
+# including doc examples. PR 3 drove the count 21 -> 2, this gate pins 0.
+echo "==> panic-site gate (soc + analysis non-test code)"
+panic_sites=$(
+    find crates/soc/src crates/analysis/src -name "*.rs" | while IFS= read -r f; do
+        awk '/#\[cfg\(test\)\]/{exit} {print FILENAME":"FNR": "$0}' "$f" \
+            | grep -E "unwrap\(\)|expect\(|panic!|unreachable!"
+    done
+)
+if [ -n "$panic_sites" ]; then
+    echo "error: panic sites found in non-test soc/analysis code:" >&2
+    printf '%s\n' "$panic_sites" >&2
+    exit 1
+fi
+echo "    zero panic sites"
+
 echo "==> cargo build --release"
 cargo build --release || exit $?
 
@@ -175,6 +194,63 @@ cargo test -q -p mwc-analysis --features f32-kernels || {
     exit 1
 }
 echo "    f32 kernel path builds and passes its tolerance tests"
+
+echo "==> server smoke gate (boot, load, clean drain, zero panics)"
+cargo build --release -p mwc-server --bins || exit $?
+server_log="target/verify-server.log"
+MWC_SERVER_ADDR=127.0.0.1:0 MWC_SERVER_WORKERS=2 MWC_SERVER_QUEUE=16 \
+    ./target/release/mwc-server >"$server_log" 2>&1 &
+server_pid=$!
+server_addr=""
+tries=0
+while [ "$tries" -lt 100 ]; do
+    server_addr=$(awk '/^mwc-server listening on / { print $4; exit }' "$server_log" 2>/dev/null)
+    [ -n "$server_addr" ] && break
+    tries=$((tries + 1))
+    sleep 0.1
+done
+if [ -z "$server_addr" ]; then
+    echo "error: mwc-server did not come up; log follows" >&2
+    cat "$server_log" >&2
+    kill "$server_pid" 2>/dev/null
+    exit 1
+fi
+./target/release/wrkr --addr "$server_addr" --get /healthz >/dev/null || {
+    echo "error: /healthz failed" >&2
+    kill "$server_pid" 2>/dev/null
+    exit 1
+}
+./target/release/wrkr --addr "$server_addr" -c 4 -n 8 >/dev/null || {
+    echo "error: wrkr smoke load failed; server log follows" >&2
+    cat "$server_log" >&2
+    kill "$server_pid" 2>/dev/null
+    exit 1
+}
+./target/release/wrkr --addr "$server_addr" --get /metrics | grep -q "server_requests" || {
+    echo "error: /metrics did not report server_requests" >&2
+    kill "$server_pid" 2>/dev/null
+    exit 1
+}
+./target/release/wrkr --addr "$server_addr" --shutdown >/dev/null || {
+    echo "error: /admin/shutdown failed" >&2
+    kill "$server_pid" 2>/dev/null
+    exit 1
+}
+wait "$server_pid"
+server_exit=$?
+if [ "$server_exit" -ne 0 ]; then
+    echo "error: mwc-server exited $server_exit instead of draining cleanly" >&2
+    cat "$server_log" >&2
+    exit 1
+fi
+server_panics=$(sed -n 's/.*drained clean.*panics=\([0-9]*\).*/\1/p' "$server_log")
+if [ -z "$server_panics" ] || [ "$server_panics" -ne 0 ]; then
+    echo "error: server smoke run recorded panics=${server_panics:-?}" >&2
+    cat "$server_log" >&2
+    exit 1
+fi
+rm -f "$server_log"
+echo "    served smoke load on $server_addr, drained clean with zero panics"
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings || exit $?
