@@ -474,6 +474,19 @@ impl StudyCache {
             .insert(key, Arc::clone(study));
     }
 
+    /// Whether the study for `spec` is already resident in the in-memory
+    /// layer — i.e. an immediate [`StudyCache::study_spec`] call would be a
+    /// memory hit. Used by `mwc-server`'s request telemetry to label
+    /// responses cache-hit/miss without perturbing the cache counters.
+    pub fn is_resident(&self, spec: &StudySpec) -> bool {
+        self.enabled
+            && self
+                .studies
+                .lock()
+                .expect("study cache lock poisoned")
+                .contains_key(&spec.study_key())
+    }
+
     /// Look up a completed study by its [`Characterization::digest`] — the
     /// handle `mwc-server` returns to clients. Only studies that passed
     /// through this cache instance are findable: the digest is known after

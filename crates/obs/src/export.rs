@@ -24,7 +24,7 @@ fn escape_json(s: &str, out: &mut String) {
     }
 }
 
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     escape_json(s, &mut out);
@@ -42,7 +42,7 @@ fn json_f64(v: f64) -> String {
     }
 }
 
-fn json_value(v: &Value) -> String {
+pub(crate) fn json_value(v: &Value) -> String {
     match v {
         Value::Bool(b) => b.to_string(),
         Value::Int(i) => i.to_string(),

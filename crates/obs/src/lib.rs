@@ -13,6 +13,8 @@
 //! * [`export`] — Chrome `trace_event` JSON (loadable in
 //!   `chrome://tracing` / Perfetto) and a JSONL event log, plus a reader
 //!   that parses the Chrome export back (used by the neutrality tests);
+//! * [`log`] — leveled wide-event JSONL logging (`MWC_LOG`,
+//!   `MWC_LOG_FILE`), one self-describing line per request/event;
 //! * [`summary`] — per-span-name aggregation (count / total / self / max)
 //!   for the human `--profile` tables rendered by `mwc-bench`.
 //!
@@ -55,6 +57,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Once;
 
 pub mod export;
+pub mod log;
 pub mod metrics;
 pub mod summary;
 pub mod trace;

@@ -1,0 +1,317 @@
+//! Structured, leveled, JSONL logging.
+//!
+//! One log call produces one self-describing JSON line — a *wide event*
+//! carrying every field the caller knows about, so a single line answers
+//! "what happened to this request" without correlating fragments. The
+//! module is **off by default** and digest-neutral: when no level is
+//! configured, [`log`] is a single relaxed atomic load and nothing else.
+//!
+//! ## Enabling
+//!
+//! | Knob | Effect |
+//! |------|--------|
+//! | `MWC_LOG=error\|warn\|info\|debug` | enable lines at or above the level |
+//! | `MWC_LOG_FILE=<path>` | append lines to `<path>` instead of stderr |
+//!
+//! Tests and binaries can override both with [`set_level`] and
+//! [`set_sink`]. Lines look like:
+//!
+//! ```text
+//! {"ts_ms":1723111845123,"level":"info","event":"request","id":"a9f3…",…}
+//! ```
+
+use std::collections::VecDeque;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::export::{json_string, json_value};
+use crate::trace::Value;
+
+/// Environment variable selecting the log level (off when unset).
+pub const LOG_ENV: &str = "MWC_LOG";
+
+/// Environment variable naming the log sink file (stderr when unset).
+pub const LOG_FILE_ENV: &str = "MWC_LOG_FILE";
+
+/// Log severity, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The request or process failed.
+    Error,
+    /// Something degraded (shed, retry, lapsed deadline).
+    Warn,
+    /// Canonical one-line-per-request wide events.
+    Info,
+    /// High-volume diagnostics.
+    Debug,
+}
+
+impl Level {
+    /// Parse a level name as used by `MWC_LOG`. Unknown or empty values
+    /// (and `"off"` / `"0"`) mean "disabled" and return `None`.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" | "1" | "true" | "on" => Some(Level::Info),
+            "debug" | "trace" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+
+    /// The lowercase name emitted in the `"level"` field.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+/// Encoded level threshold: 0 = unprobed, 1 = off, 2..=5 = Error..=Debug.
+static LEVEL: AtomicU8 = AtomicU8::new(0);
+
+fn encode(level: Option<Level>) -> u8 {
+    match level {
+        None => 1,
+        Some(Level::Error) => 2,
+        Some(Level::Warn) => 3,
+        Some(Level::Info) => 4,
+        Some(Level::Debug) => 5,
+    }
+}
+
+fn decode(raw: u8) -> Option<Level> {
+    match raw {
+        2 => Some(Level::Error),
+        3 => Some(Level::Warn),
+        4 => Some(Level::Info),
+        5 => Some(Level::Debug),
+        _ => None,
+    }
+}
+
+fn threshold() -> Option<Level> {
+    let raw = LEVEL.load(Ordering::Relaxed);
+    if raw != 0 {
+        return decode(raw);
+    }
+    let probed = std::env::var(LOG_ENV).ok().and_then(|v| Level::parse(&v));
+    // Racing probes agree (the env cannot change between them), so a
+    // plain store is fine.
+    LEVEL.store(encode(probed), Ordering::Relaxed);
+    probed
+}
+
+/// Set the level threshold programmatically (`None` disables logging).
+/// Overrides whatever `MWC_LOG` said.
+pub fn set_level(level: Option<Level>) {
+    LEVEL.store(encode(level), Ordering::Relaxed);
+}
+
+/// Whether a line at `level` would be emitted. Callers assembling
+/// expensive field sets should check this first; when logging is off it
+/// is one relaxed atomic load.
+#[inline]
+pub fn log_enabled(level: Level) -> bool {
+    match threshold() {
+        Some(t) => level <= t,
+        None => false,
+    }
+}
+
+/// Where emitted lines go.
+enum Sink {
+    /// Standard error (the default).
+    Stderr,
+    /// Append to a file; open failures degrade to dropping the line.
+    File(PathBuf),
+    /// In-memory capture, for tests.
+    Memory(VecDeque<String>),
+}
+
+static SINK: OnceLock<Mutex<Sink>> = OnceLock::new();
+
+fn sink() -> &'static Mutex<Sink> {
+    SINK.get_or_init(|| {
+        let s = match std::env::var_os(LOG_FILE_ENV).filter(|v| !v.is_empty()) {
+            Some(path) => Sink::File(PathBuf::from(path)),
+            None => Sink::Stderr,
+        };
+        Mutex::new(s)
+    })
+}
+
+/// Redirect log lines to an in-memory buffer readable via
+/// [`take_captured`]. For tests.
+pub fn capture_to_memory() {
+    if let Ok(mut s) = sink().lock() {
+        *s = Sink::Memory(VecDeque::new());
+    }
+}
+
+/// Redirect log lines to a file (appending), as `MWC_LOG_FILE` would.
+pub fn set_sink_file(path: PathBuf) {
+    if let Ok(mut s) = sink().lock() {
+        *s = Sink::File(path);
+    }
+}
+
+/// Drain and return lines captured by [`capture_to_memory`]. Empty when
+/// the sink is not the in-memory one.
+pub fn take_captured() -> Vec<String> {
+    match sink().lock() {
+        Ok(mut s) => match &mut *s {
+            Sink::Memory(buf) => buf.drain(..).collect(),
+            _ => Vec::new(),
+        },
+        Err(_) => Vec::new(),
+    }
+}
+
+fn now_ms() -> u128 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0)
+}
+
+/// Emit one wide-event line at `level` with the given event name and
+/// fields. A no-op (one atomic load) unless [`log_enabled`] holds for
+/// `level`. Field order is preserved; `ts_ms`, `level` and `event` always
+/// lead the line.
+pub fn log(level: Level, event: &str, fields: &[(&str, Value)]) {
+    if !log_enabled(level) {
+        return;
+    }
+    let mut line = String::with_capacity(96 + fields.len() * 24);
+    line.push_str("{\"ts_ms\":");
+    line.push_str(&now_ms().to_string());
+    line.push_str(",\"level\":\"");
+    line.push_str(level.name());
+    line.push_str("\",\"event\":");
+    line.push_str(&json_string(event));
+    for (k, v) in fields {
+        line.push(',');
+        line.push_str(&json_string(k));
+        line.push(':');
+        line.push_str(&json_value(v));
+    }
+    line.push('}');
+    write_line(&line);
+}
+
+#[allow(clippy::print_stderr)] // stderr is this module's default sink.
+fn write_line(line: &str) {
+    let Ok(mut guard) = sink().lock() else {
+        return;
+    };
+    match &mut *guard {
+        Sink::Stderr => {
+            let stderr = std::io::stderr();
+            let mut h = stderr.lock();
+            let _ = writeln!(h, "{line}");
+        }
+        Sink::File(path) => {
+            if let Ok(mut f) = OpenOptions::new().create(true).append(true).open(path) {
+                let _ = writeln!(f, "{line}");
+            }
+        }
+        Sink::Memory(buf) => {
+            buf.push_back(line.to_string());
+            // Bound the capture buffer so a chatty test cannot balloon.
+            while buf.len() > 4096 {
+                buf.pop_front();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The level threshold and sink are process-global; serialize tests.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn parse_accepts_known_names_only() {
+        assert_eq!(Level::parse("info"), Some(Level::Info));
+        assert_eq!(Level::parse("WARN"), Some(Level::Warn));
+        assert_eq!(Level::parse(" debug "), Some(Level::Debug));
+        assert_eq!(Level::parse("error"), Some(Level::Error));
+        assert_eq!(Level::parse("off"), None);
+        assert_eq!(Level::parse("0"), None);
+        assert_eq!(Level::parse(""), None);
+        assert_eq!(Level::parse("verbose"), None);
+    }
+
+    #[test]
+    fn threshold_filters_by_severity() {
+        let _g = LOCK.lock().unwrap();
+        set_level(Some(Level::Warn));
+        assert!(log_enabled(Level::Error));
+        assert!(log_enabled(Level::Warn));
+        assert!(!log_enabled(Level::Info));
+        assert!(!log_enabled(Level::Debug));
+        set_level(None);
+        assert!(!log_enabled(Level::Error));
+    }
+
+    #[test]
+    fn lines_are_one_json_object_with_ordered_fields() {
+        let _g = LOCK.lock().unwrap();
+        capture_to_memory();
+        let _ = take_captured();
+        set_level(Some(Level::Info));
+        log(
+            Level::Info,
+            "request",
+            &[
+                ("id", Value::from("abc-1")),
+                ("status", Value::from(200u64)),
+                ("ok", Value::from(true)),
+                ("p99_ms", Value::from(1.5)),
+            ],
+        );
+        log(Level::Debug, "dropped", &[]);
+        set_level(None);
+        let lines = take_captured();
+        assert_eq!(lines.len(), 1, "debug line must be filtered: {lines:?}");
+        let line = &lines[0];
+        assert!(line.starts_with("{\"ts_ms\":"), "{line}");
+        assert!(line.contains("\"level\":\"info\""));
+        assert!(line.contains("\"event\":\"request\""));
+        assert!(line.contains("\"id\":\"abc-1\",\"status\":200,\"ok\":true,\"p99_ms\":1.5"));
+        assert!(line.ends_with('}'));
+        // The line must round-trip through the JSON reader.
+        let parsed = crate::export::parse_json(line).expect("valid json");
+        assert_eq!(
+            parsed.get("event").and_then(|v| v.as_str()),
+            Some("request")
+        );
+    }
+
+    #[test]
+    fn escapes_hostile_event_and_field_names() {
+        let _g = LOCK.lock().unwrap();
+        capture_to_memory();
+        let _ = take_captured();
+        set_level(Some(Level::Error));
+        log(
+            Level::Error,
+            "bad\"event\nname",
+            &[("k\"ey", Value::from("v\\al"))],
+        );
+        set_level(None);
+        let lines = take_captured();
+        assert_eq!(lines.len(), 1);
+        assert!(crate::export::parse_json(&lines[0]).is_ok(), "{}", lines[0]);
+    }
+}

@@ -107,6 +107,28 @@ impl Histogram {
         self.max
     }
 
+    /// Fold another histogram with the same bucket bounds into this one,
+    /// as if every observation of `other` had been observed here. Used by
+    /// the rolling windows to aggregate their live slots before asking
+    /// for a quantile. Mismatched bounds are a programming error (debug
+    /// assertion) and are ignored in release builds.
+    pub fn merge(&mut self, other: &Histogram) {
+        debug_assert_eq!(
+            self.bounds, other.bounds,
+            "histogram merge requires identical bounds"
+        );
+        if self.bounds != other.bounds || other.count == 0 {
+            return;
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Estimate the `q`-quantile (`q` in `[0, 1]`) from the bucket counts
     /// by linear interpolation within the bucket that crosses the target
     /// rank — the usual fixed-bucket estimator, so the answer is exact
@@ -152,6 +174,135 @@ pub enum Metric {
     Gauge(f64),
     /// Fixed-bucket distribution.
     Histogram(Histogram),
+}
+
+/// A sliding-window histogram: a ring of [`Histogram`] slots, each
+/// covering one fixed time slice. Observations land in the slot for "now";
+/// reading merges every slot still inside the window, so quantiles and
+/// counts reflect only the last `slots × slot` of traffic instead of the
+/// whole process lifetime.
+///
+/// Time is passed in explicitly as milliseconds since an epoch the caller
+/// owns (usually a process-start `Instant`) — that keeps the
+/// advance/reset logic deterministic and directly testable. A slot whose
+/// stored tick no longer matches the current ring position is stale data
+/// from a previous lap and is reset lazily on the next write or skipped on
+/// read; nothing advances in the background.
+#[derive(Debug, Clone)]
+pub struct RollingHistogram {
+    bounds: Vec<f64>,
+    slot_ms: u64,
+    /// `(tick, histogram)` per ring position; tick 0 with an empty
+    /// histogram means "never written".
+    slots: Vec<(u64, Histogram)>,
+}
+
+impl RollingHistogram {
+    /// A window of `slots` slices, each `slot_ms` long, over histograms
+    /// with the given bucket bounds. `slot_ms` and `slots` are clamped to
+    /// at least 1.
+    pub fn new(bounds: &[f64], slot_ms: u64, slots: usize) -> Self {
+        RollingHistogram {
+            bounds: bounds.to_vec(),
+            slot_ms: slot_ms.max(1),
+            slots: vec![(0, Histogram::new(bounds)); slots.max(1)],
+        }
+    }
+
+    fn tick(&self, now_ms: u64) -> u64 {
+        now_ms / self.slot_ms
+    }
+
+    /// The whole window in milliseconds.
+    pub fn window_ms(&self) -> u64 {
+        self.slot_ms * self.slots.len() as u64
+    }
+
+    /// Record one observation at `now_ms` milliseconds since the caller's
+    /// epoch. Lazily resets the target slot when the ring has lapped past
+    /// its previous occupant.
+    pub fn observe_at(&mut self, now_ms: u64, value: f64) {
+        let tick = self.tick(now_ms);
+        let idx = (tick % self.slots.len() as u64) as usize;
+        if self.slots[idx].0 != tick {
+            self.slots[idx] = (tick, Histogram::new(&self.bounds));
+        }
+        self.slots[idx].1.observe(value);
+    }
+
+    /// Merge every slot still inside the window ending at `now_ms` into
+    /// one histogram (empty when the window saw no traffic).
+    pub fn merged_at(&self, now_ms: u64) -> Histogram {
+        let tick = self.tick(now_ms);
+        let n = self.slots.len() as u64;
+        let mut out = Histogram::new(&self.bounds);
+        for (slot_tick, hist) in &self.slots {
+            // Live slots are within the last `n` ticks; tick 0 slots with
+            // no observations are the never-written initial state.
+            if tick.saturating_sub(*slot_tick) < n && (*slot_tick > 0 || hist.count() > 0) {
+                out.merge(hist);
+            }
+        }
+        out
+    }
+}
+
+/// A sliding-window counter: the counting companion of
+/// [`RollingHistogram`] with the same explicit-time ring-of-slots
+/// semantics, used for windowed rates (requests, errors, sheds per
+/// second).
+#[derive(Debug, Clone)]
+pub struct RollingCounter {
+    slot_ms: u64,
+    slots: Vec<(u64, u64)>,
+}
+
+impl RollingCounter {
+    /// A window of `slots` slices, each `slot_ms` long (both clamped to
+    /// at least 1).
+    pub fn new(slot_ms: u64, slots: usize) -> Self {
+        RollingCounter {
+            slot_ms: slot_ms.max(1),
+            slots: vec![(0, 0); slots.max(1)],
+        }
+    }
+
+    /// The whole window in milliseconds.
+    pub fn window_ms(&self) -> u64 {
+        self.slot_ms * self.slots.len() as u64
+    }
+
+    /// Add `delta` to the slot covering `now_ms`.
+    pub fn add_at(&mut self, now_ms: u64, delta: u64) {
+        let tick = now_ms / self.slot_ms;
+        let idx = (tick % self.slots.len() as u64) as usize;
+        if self.slots[idx].0 != tick {
+            self.slots[idx] = (tick, 0);
+        }
+        self.slots[idx].1 += delta;
+    }
+
+    /// Sum over every slot still inside the window ending at `now_ms`.
+    pub fn total_at(&self, now_ms: u64) -> u64 {
+        let tick = now_ms / self.slot_ms;
+        let n = self.slots.len() as u64;
+        self.slots
+            .iter()
+            .filter(|(slot_tick, count)| {
+                tick.saturating_sub(*slot_tick) < n && (*slot_tick > 0 || *count > 0)
+            })
+            .map(|&(_, count)| count)
+            .sum()
+    }
+
+    /// Windowed rate in events per second at `now_ms`. The denominator is
+    /// the full window (or the elapsed time, when the process is younger
+    /// than one window) so a burst right after boot does not read as an
+    /// absurd rate.
+    pub fn rate_at(&self, now_ms: u64) -> f64 {
+        let span_ms = self.window_ms().min(now_ms.max(1));
+        self.total_at(now_ms) as f64 * 1000.0 / span_ms as f64
+    }
 }
 
 static REGISTRY: OnceLock<Mutex<BTreeMap<String, Metric>>> = OnceLock::new();
@@ -339,6 +490,134 @@ mod tests {
         gauge_set("t.off2", 1.0);
         observe_duration_ns("t.off3", 5);
         assert!(snapshot().is_empty());
+    }
+
+    #[test]
+    fn quantile_single_bucket_interpolates_between_observed_extremes() {
+        // One finite bucket holding everything: quantiles interpolate
+        // between the observed min and the bucket's upper bound, clamped
+        // to the observed max.
+        let mut h = Histogram::new(&[100.0]);
+        h.observe(10.0);
+        h.observe(20.0);
+        h.observe(30.0);
+        assert_eq!(h.quantile(0.0), Some(10.0));
+        assert_eq!(h.quantile(1.0), Some(30.0));
+        let p50 = h.quantile(0.5).expect("non-empty");
+        assert!(
+            (10.0..=30.0).contains(&p50),
+            "median clamped to observed range: {p50}"
+        );
+    }
+
+    #[test]
+    fn quantile_overflow_bucket_only_reports_observed_max_at_every_q() {
+        // Every observation above the last bound: there is no finite edge
+        // to interpolate against, so every quantile is the true max.
+        let mut h = Histogram::new(&[1.0, 2.0]);
+        for v in [50.0, 60.0, 70.0] {
+            h.observe(v);
+        }
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(70.0), "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_all_values_equal_is_exact_at_every_q() {
+        let mut h = Histogram::new(&DURATION_NS_BOUNDS);
+        for _ in 0..100 {
+            h.observe(5.0e6);
+        }
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(5.0e6), "q={q}");
+        }
+    }
+
+    #[test]
+    fn merge_folds_counts_sums_and_extremes() {
+        let mut a = Histogram::new(&[10.0, 100.0]);
+        a.observe(5.0);
+        a.observe(50.0);
+        let mut b = Histogram::new(&[10.0, 100.0]);
+        b.observe(500.0);
+        b.observe(1.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.counts(), &[2, 1, 1]);
+        assert_eq!(a.sum(), 556.0);
+        assert_eq!(a.min(), 1.0);
+        assert_eq!(a.max(), 500.0);
+        // Merging an empty histogram changes nothing.
+        a.merge(&Histogram::new(&[10.0, 100.0]));
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.min(), 1.0);
+    }
+
+    #[test]
+    fn rolling_histogram_forgets_slots_outside_the_window() {
+        // 3 slots × 100 ms = a 300 ms window.
+        let mut r = RollingHistogram::new(&[100.0, 1000.0], 100, 3);
+        r.observe_at(0, 10.0);
+        r.observe_at(150, 20.0);
+        r.observe_at(250, 30.0);
+        // All three slots live at t=250.
+        let m = r.merged_at(250);
+        assert_eq!(m.count(), 3);
+        assert_eq!(m.min(), 10.0);
+        // At t=320 the tick-0 slot has aged out.
+        let m = r.merged_at(320);
+        assert_eq!(m.count(), 2);
+        assert_eq!(m.min(), 20.0);
+        // Far in the future everything is forgotten.
+        assert_eq!(r.merged_at(10_000).count(), 0);
+    }
+
+    #[test]
+    fn rolling_histogram_lapped_slot_resets_instead_of_accumulating() {
+        let mut r = RollingHistogram::new(&[100.0], 100, 2);
+        r.observe_at(0, 1.0);
+        // 200 ms later the ring laps back onto the same index; the write
+        // must reset the stale slot, not add to it.
+        r.observe_at(200, 2.0);
+        let m = r.merged_at(200);
+        assert_eq!(m.count(), 1);
+        assert_eq!(m.min(), 2.0);
+        // Reading without writing also skips the lapped slot.
+        r.observe_at(350, 3.0);
+        assert_eq!(r.merged_at(450).count(), 1, "only the 350 ms slot lives");
+    }
+
+    #[test]
+    fn rolling_counter_totals_and_rates_follow_the_window() {
+        // 4 slots × 250 ms = a 1 s window.
+        let mut c = RollingCounter::new(250, 4);
+        assert_eq!(c.window_ms(), 1000);
+        c.add_at(0, 5);
+        c.add_at(300, 5);
+        c.add_at(900, 10);
+        assert_eq!(c.total_at(900), 20);
+        // Only 900 ms have elapsed, so the denominator is 0.9 s.
+        let expect = 20.0 * 1000.0 / 900.0;
+        assert!((c.rate_at(900) - expect).abs() < 1e-9, "{}", c.rate_at(900));
+        // The tick-0 slot ages out past 1 s.
+        assert_eq!(c.total_at(1100), 15);
+        // A lapped slot resets on write.
+        c.add_at(1000, 1);
+        assert_eq!(c.total_at(1050), 16);
+        // Empty far future.
+        assert_eq!(c.total_at(60_000), 0);
+        assert_eq!(c.rate_at(60_000), 0.0);
+    }
+
+    #[test]
+    fn rolling_counter_early_rates_use_elapsed_not_window() {
+        // 10 s window, but only 500 ms of process life: 10 events in
+        // 500 ms is 20/s, not 1/s.
+        let mut c = RollingCounter::new(1000, 10);
+        c.add_at(400, 10);
+        let rate = c.rate_at(500);
+        assert!((rate - 20.0).abs() < 1e-9, "{rate}");
     }
 
     #[test]

@@ -187,6 +187,18 @@ fn print_report(report: &LoadReport) {
         q(0.95),
         q(0.99)
     );
+    if !report.notes.is_empty() {
+        println!(
+            "events:     {} failure/retry events (ids joinable with the server's /debug/requests/<id>)",
+            report.notes.len()
+        );
+        for note in report.notes.iter().take(10) {
+            println!("  {note}");
+        }
+        if report.notes.len() > 10 {
+            println!("  ... {} more", report.notes.len() - 10);
+        }
+    }
 }
 
 fn digest_of(body: &str) -> Option<String> {

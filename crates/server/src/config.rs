@@ -26,6 +26,14 @@ pub const CACHE_DIR_ENV: &str = "MWC_SERVER_CACHE_DIR";
 /// Never enable in production: the hooks exist so the robustness suite
 /// can inject panics and latency deterministically.
 pub const TEST_HOOKS_ENV: &str = "MWC_SERVER_TEST_HOOKS";
+/// Capacity of the recent-request debug ring served at
+/// `GET /debug/requests` (`MWC_SERVER_DEBUG_RING`); unset or 0 disables
+/// the endpoint.
+pub const DEBUG_RING_ENV: &str = "MWC_SERVER_DEBUG_RING";
+/// Latency SLO threshold in milliseconds (`MWC_SERVER_SLO_MS`): 2xx
+/// responses within it count toward `server_slo_ok_total`, slower 2xx
+/// and all 5xx toward `server_slo_violations_total`.
+pub const SLO_ENV: &str = "MWC_SERVER_SLO_MS";
 
 /// Everything the server needs to boot. `Default` matches the documented
 /// env defaults; [`ServerConfig::from_env`] overlays `MWC_SERVER_*`.
@@ -49,6 +57,12 @@ pub struct ServerConfig {
     pub cache_dir: Option<PathBuf>,
     /// Honor `x-mwc-test-panic` / `x-mwc-test-sleep-ms` request headers.
     pub test_hooks: bool,
+    /// Recent-request debug-ring capacity; 0 disables `GET
+    /// /debug/requests`. Default 0.
+    pub debug_ring: usize,
+    /// Latency SLO threshold for the `server_slo_*` counters. Default
+    /// 1 s.
+    pub slo: Duration,
 }
 
 impl Default for ServerConfig {
@@ -62,6 +76,8 @@ impl Default for ServerConfig {
             io_timeout: Duration::from_millis(5_000),
             cache_dir: None,
             test_hooks: false,
+            debug_ring: 0,
+            slo: Duration::from_millis(1_000),
         }
     }
 }
@@ -104,6 +120,8 @@ impl ServerConfig {
                 .filter(|v| !v.is_empty())
                 .map(PathBuf::from),
             test_hooks: env::var(TEST_HOOKS_ENV).is_ok_and(|v| v == "1"),
+            debug_ring: env_usize(DEBUG_RING_ENV, d.debug_ring),
+            slo: env_ms(SLO_ENV, d.slo),
         }
     }
 }

@@ -22,7 +22,14 @@
 //!   body, bumps `server.panics`, and the worker lives on;
 //! * **graceful shutdown** ([`server`]) — SIGTERM/ctrl-c (or
 //!   `POST /admin/shutdown`) stops the acceptor, drains admitted requests
-//!   up to a drain deadline, flushes observability, and exits 0.
+//!   up to a drain deadline, flushes observability, and exits 0;
+//! * **request telemetry** ([`telemetry`]) — every request carries a
+//!   trace ID (`x-mwc-request-id`, honored inbound and echoed on every
+//!   response including 500/503/504) with per-phase timings feeding one
+//!   wide-event log line, the rolling `server_rolling_*` /metrics
+//!   section, SLO counters, and the `GET /debug/requests` ring
+//!   (`MWC_SERVER_DEBUG_RING`); the companion `dash` binary renders it
+//!   all live in a terminal.
 //!
 //! The companion `wrkr` binary ([`loadgen`]) is a load generator with
 //! seeded jittered-exponential-backoff retries that understands the
@@ -59,6 +66,7 @@ pub mod panics;
 pub mod queue;
 pub mod server;
 pub mod signal;
+pub mod telemetry;
 
 pub use config::ServerConfig;
 pub use server::{Server, StatsSnapshot};

@@ -7,6 +7,13 @@
 //! errors. Latencies land in an [`mwc_obs::metrics::Histogram`], so the
 //! report's p50/p95/p99 come from the same estimator the server's own
 //! `/metrics` uses.
+//!
+//! Every request carries an `x-mwc-request-id` header (deterministic
+//! `wrkr-<seed>-<index>`, unless the caller supplied the header
+//! explicitly), and each failure or retry is noted in
+//! [`LoadReport::notes`] *with that ID* — so a load-test anomaly can be
+//! joined against the server's wide-event logs and `GET
+//! /debug/requests/<id>`.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -96,7 +103,14 @@ pub struct LoadReport {
     /// Terminal-response latency in nanoseconds (includes backoff time
     /// of retried requests — the client-observed truth).
     pub latency_ns: Histogram,
+    /// One line per failure/retry event, each carrying the request ID it
+    /// belongs to (capped at [`MAX_NOTES`]; later events are counted in
+    /// the totals but not itemized).
+    pub notes: Vec<String>,
 }
+
+/// Most failure/retry notes kept per run.
+pub const MAX_NOTES: usize = 200;
 
 impl LoadReport {
     /// Terminal responses per second over the run.
@@ -135,6 +149,16 @@ struct Totals {
     exhausted: AtomicU64,
     errors: AtomicU64,
     completed: AtomicU64,
+    notes: Mutex<Vec<String>>,
+}
+
+impl Totals {
+    fn note(&self, line: String) {
+        let mut notes = self.notes.lock().expect("notes lock poisoned");
+        if notes.len() < MAX_NOTES {
+            notes.push(line);
+        }
+    }
 }
 
 /// Jittered exponential backoff for retry `attempt` (0-based): the base
@@ -153,12 +177,26 @@ enum Terminal {
     Error,
 }
 
+/// The deterministic request ID request `index` of a run sends (unless
+/// the caller supplied an `x-mwc-request-id` header of their own).
+pub fn request_id(seed: u64, index: usize) -> String {
+    format!("wrkr-{seed:x}-{index}")
+}
+
 fn drive_one(opts: &LoadOptions, index: usize, totals: &Totals, rng: &mut StdRng) -> Terminal {
-    let headers: Vec<(&str, &str)> = opts
+    let mut headers: Vec<(&str, &str)> = opts
         .headers
         .iter()
         .map(|(n, v)| (n.as_str(), v.as_str()))
         .collect();
+    let id = request_id(opts.seed, index);
+    if !opts
+        .headers
+        .iter()
+        .any(|(n, _)| n.eq_ignore_ascii_case("x-mwc-request-id"))
+    {
+        headers.push(("x-mwc-request-id", id.as_str()));
+    }
     let body: &[u8] = if opts.body_variants.is_empty() {
         &opts.body
     } else {
@@ -183,15 +221,31 @@ fn drive_one(opts: &LoadOptions, index: usize, totals: &Totals, rng: &mut StdRng
                     .map(Duration::from_secs);
                 (true, after)
             }
+            Ok(resp) if resp.status >= 400 => {
+                totals.note(format!("{id}: terminal status {}", resp.status));
+                return Terminal::Status(resp.status);
+            }
             Ok(resp) => return Terminal::Status(resp.status),
-            Err(e) if e.retryable() => (true, None),
-            Err(_) => return Terminal::Error,
+            Err(e) if e.retryable() => {
+                totals.note(format!("{id}: transport error (attempt {attempt}): {e}"));
+                (true, None)
+            }
+            Err(e) => {
+                totals.note(format!("{id}: failed: {e}"));
+                return Terminal::Error;
+            }
         };
         debug_assert!(retryable);
         if attempt >= opts.retries {
             return match outcome {
-                Ok(_) => Terminal::ExhaustedOnShed,
-                Err(_) => Terminal::Error,
+                Ok(_) => {
+                    totals.note(format!("{id}: retries exhausted on 503"));
+                    Terminal::ExhaustedOnShed
+                }
+                Err(_) => {
+                    totals.note(format!("{id}: retries exhausted on transport errors"));
+                    Terminal::Error
+                }
             };
         }
         let mut delay = backoff_delay(attempt, opts.backoff, rng);
@@ -202,6 +256,7 @@ fn drive_one(opts: &LoadOptions, index: usize, totals: &Totals, rng: &mut StdRng
         }
         thread::sleep(delay);
         totals.retries.fetch_add(1, Ordering::Relaxed);
+        totals.note(format!("{id}: retry {} after {delay:?}", attempt + 1));
         attempt += 1;
     }
 }
@@ -272,6 +327,7 @@ pub fn run(opts: &LoadOptions) -> LoadReport {
         latency_ns: latency
             .into_inner()
             .expect("latency histogram lock poisoned"),
+        notes: totals.notes.into_inner().expect("notes lock poisoned"),
     }
 }
 
@@ -349,5 +405,38 @@ mod tests {
         assert!(report.latency_quantile_ns(0.5).is_some());
         assert!(report.throughput() > 0.0);
         assert_eq!(report.shed_rate(), 0.0);
+        assert!(report.notes.is_empty(), "clean runs note nothing");
+    }
+
+    #[test]
+    fn request_ids_are_seed_and_index_deterministic() {
+        assert_eq!(request_id(0x2024, 7), "wrkr-2024-7");
+        assert_ne!(request_id(1, 0), request_id(2, 0));
+    }
+
+    #[test]
+    fn failures_are_noted_with_their_request_id() {
+        // A bound-then-dropped listener: connections are refused.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").expect("bind");
+            l.local_addr().expect("addr").to_string()
+        };
+        let opts = LoadOptions {
+            addr,
+            connections: 1,
+            requests: 1,
+            retries: 1,
+            timeout: Duration::from_millis(500),
+            backoff: Duration::from_millis(1),
+            seed: 99,
+            ..LoadOptions::default()
+        };
+        let report = run(&opts);
+        assert_eq!(report.errors, 1);
+        assert!(
+            report.notes.iter().any(|n| n.starts_with("wrkr-63-0:")),
+            "notes carry the request id: {:?}",
+            report.notes
+        );
     }
 }

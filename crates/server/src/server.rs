@@ -20,7 +20,7 @@
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::str;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -34,6 +34,7 @@ use crate::http::{self, HttpError, Request, Response};
 use crate::panics;
 use crate::queue::{BoundedQueue, PushError};
 use crate::signal;
+use crate::telemetry::{self, RequestScope, Telemetry};
 
 /// One admitted connection, stamped at accept time so queueing delay
 /// counts against the request budget.
@@ -41,6 +42,9 @@ use crate::signal;
 struct Job {
     stream: TcpStream,
     accepted: Instant,
+    /// Admission-queue depth the moment this connection was admitted
+    /// (jobs already waiting ahead of it).
+    queue_depth: usize,
 }
 
 /// Monotonic serving counters (process lifetime).
@@ -102,9 +106,17 @@ pub struct ServerState {
     shutdown: AtomicBool,
     drain_started: Mutex<Option<Instant>>,
     stats: Stats,
+    telemetry: Telemetry,
+    busy: AtomicUsize,
 }
 
 impl ServerState {
+    /// Request-scoped telemetry: rolling windows, SLO counters and the
+    /// debug ring.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
     /// Latch shutdown. Idempotent; safe from any thread (including a
     /// request handler serving `/admin/shutdown`).
     pub fn begin_shutdown(&self) {
@@ -159,12 +171,14 @@ impl Server {
         };
         let queue = BoundedQueue::new(config.queue_depth);
         let state = Arc::new(ServerState {
+            telemetry: Telemetry::new(config.slo, config.debug_ring),
             config: config.clone(),
             cache,
             queue,
             shutdown: AtomicBool::new(false),
             drain_started: Mutex::new(None),
             stats: Stats::default(),
+            busy: AtomicUsize::new(0),
         });
 
         let mut workers = Vec::with_capacity(config.workers);
@@ -271,9 +285,12 @@ fn admit(state: &Arc<ServerState>, stream: TcpStream) {
     let job = Job {
         stream,
         accepted: Instant::now(),
+        queue_depth: state.queue.len(),
     };
     match state.queue.try_push(job) {
-        Ok(()) => {}
+        Ok(()) => {
+            mwc_obs::metrics::gauge_set("server.queue.depth", state.queue.len() as f64);
+        }
         Err(PushError::Full(job)) => shed(state, job.stream, "admission queue full"),
         Err(PushError::Closed(job)) => shed(state, job.stream, "server is shutting down"),
     }
@@ -284,23 +301,39 @@ fn shed(state: &Arc<ServerState>, mut stream: TcpStream, why: &str) {
     state.stats.shed.fetch_add(1, Ordering::Relaxed);
     state.stats.responses_5xx.fetch_add(1, Ordering::Relaxed);
     mwc_obs::metrics::counter_add("server.shed", 1);
+    // A shed connection is refused before its bytes are read, so the
+    // caller's ID (if any) is unknowable without buffering; a minted ID
+    // is echoed instead so the refusal is still traceable server-side.
+    let mut scope = RequestScope::admitted(0, state.queue.len());
+    scope.shed = true;
+    let start = Instant::now();
     let resp = Response::error(503, "overload", why).header("retry-after", 1);
-    let _ = resp.write_to(&mut stream);
+    write_response(&mut stream, resp, &mut scope);
+    let remaining_ms = state.config.deadline.as_millis() as i64;
+    state
+        .telemetry
+        .record(scope.seal(start.elapsed().as_nanos() as u64, remaining_ms));
 }
 
 /// Pop and serve jobs until the queue is closed and empty.
 fn worker_loop(state: &Arc<ServerState>) {
     while let Some(job) = state.queue.pop() {
+        mwc_obs::metrics::gauge_set("server.queue.depth", state.queue.len() as f64);
         handle_job(state, job);
     }
 }
 
 /// Serve one admitted connection under panic isolation.
 fn handle_job(state: &Arc<ServerState>, job: Job) {
+    let busy = state.busy.fetch_add(1, Ordering::Relaxed) + 1;
+    mwc_obs::metrics::gauge_set("server.workers.busy", busy as f64);
     let deadline = Deadline::starting_at(job.accepted, state.config.deadline);
+    let mut scope =
+        RequestScope::admitted(job.accepted.elapsed().as_nanos() as u64, job.queue_depth);
     let mut stream = job.stream;
-    let outcome = panics::isolate(|| serve_connection(state, &mut stream, deadline));
+    let outcome = panics::isolate(|| serve_connection(state, &mut stream, deadline, &mut scope));
     if let Err(report) = outcome {
+        scope.panicked = true;
         state.stats.panics.fetch_add(1, Ordering::Relaxed);
         mwc_obs::metrics::counter_add("server.panics", 1);
         let resp = Response::error(
@@ -308,12 +341,30 @@ fn handle_job(state: &Arc<ServerState>, job: Job) {
             "panic",
             &format!("request handler panicked: {}", report.message),
         );
-        respond(state, &mut stream, resp);
+        respond(state, &mut stream, resp, &mut scope);
     }
     mwc_obs::metrics::observe_duration_ns(
         "server.request_ns",
         deadline.elapsed().as_nanos() as u64,
     );
+    // Seal the scope into the telemetry record — but only when a
+    // response was actually produced; a peer that vanished before
+    // sending a request is not a request.
+    if scope.status != 0 {
+        let total_ns = deadline.elapsed().as_nanos() as u64;
+        let remaining_ms = match deadline.remaining() {
+            Some(d) => d.as_millis() as i64,
+            None => {
+                -(deadline
+                    .elapsed()
+                    .saturating_sub(deadline.budget())
+                    .as_millis() as i64)
+            }
+        };
+        state.telemetry.record(scope.seal(total_ns, remaining_ms));
+    }
+    let busy = state.busy.fetch_sub(1, Ordering::Relaxed) - 1;
+    mwc_obs::metrics::gauge_set("server.workers.busy", busy as f64);
 }
 
 /// The 504 every expiry checkpoint answers with.
@@ -332,19 +383,24 @@ fn deadline_response(state: &Arc<ServerState>, deadline: &Deadline) -> Response 
 }
 
 /// Read, route and answer exactly one request.
-fn serve_connection(state: &Arc<ServerState>, stream: &mut TcpStream, deadline: Deadline) {
+fn serve_connection(
+    state: &Arc<ServerState>,
+    stream: &mut TcpStream,
+    deadline: Deadline,
+    scope: &mut RequestScope,
+) {
     // Jobs popped after the drain budget is spent get a fast refusal —
     // shutdown must not hang behind a deep queue.
     if state.shutdown_requested() && state.drain_expired() {
         let resp = Response::error(503, "draining", "server drain deadline passed")
             .header("retry-after", 1);
-        respond(state, stream, resp);
+        respond(state, stream, resp, scope);
         return;
     }
     // Expired while queued: answer without even parsing.
     if deadline.expired() {
         let resp = deadline_response(state, &deadline);
-        respond(state, stream, resp);
+        respond(state, stream, resp, scope);
         return;
     }
     // Bound the read by whichever is tighter: socket timeout or budget.
@@ -355,28 +411,41 @@ fn serve_connection(state: &Arc<ServerState>, stream: &mut TcpStream, deadline: 
         return;
     };
     let mut reader = BufReader::new(read_half);
+    let parse_start = Instant::now();
     let req = match http::read_request(&mut reader) {
         Ok(req) => req,
         Err(HttpError::Closed) => return,
         Err(e) => {
+            scope.parse_ns = parse_start.elapsed().as_nanos() as u64;
             let resp = match e {
                 HttpError::BadRequest(m) => Response::error(400, "http", &m),
                 HttpError::TooLarge(m) => Response::error(413, "http", &m),
                 HttpError::Timeout => Response::error(408, "http", "timed out reading the request"),
                 HttpError::Closed | HttpError::Io(_) => return,
             };
-            respond(state, stream, resp);
+            respond(state, stream, resp, scope);
             return;
         }
     };
+    scope.parse_ns = parse_start.elapsed().as_nanos() as u64;
+    let (id, from_client) = telemetry::request_id(req.header(telemetry::REQUEST_ID_HEADER));
+    scope.id = Some(id);
+    scope.client_id = from_client;
+    scope.method = req.method.clone();
+    scope.path = req.target.clone();
     state.stats.requests.fetch_add(1, Ordering::Relaxed);
     mwc_obs::metrics::counter_add("server.requests", 1);
-    let resp = route(state, &req, deadline);
-    respond(state, stream, resp);
+    let resp = route(state, &req, deadline, scope);
+    respond(state, stream, resp, scope);
 }
 
 /// Dispatch one parsed request.
-fn route(state: &Arc<ServerState>, req: &Request, deadline: Deadline) -> Response {
+fn route(
+    state: &Arc<ServerState>,
+    req: &Request,
+    deadline: Deadline,
+    scope: &mut RequestScope,
+) -> Response {
     match (req.method.as_str(), req.target.as_str()) {
         ("GET", "/healthz") => Response::text(200, "ok\n"),
         ("GET", "/readyz") => {
@@ -393,22 +462,84 @@ fn route(state: &Arc<ServerState>, req: &Request, deadline: Deadline) -> Respons
                 )
             }
         }
-        ("GET", "/metrics") => Response::text(
-            200,
-            mwc_obs::export::metrics_text(&mwc_obs::metrics::snapshot()),
-        ),
+        ("GET", "/metrics") => metrics_response(state),
+        ("GET", "/debug/requests") => debug_requests(state),
+        ("GET", target) if target.strip_prefix("/debug/requests/").is_some() => {
+            debug_request_by_id(
+                state,
+                target.strip_prefix("/debug/requests/").unwrap_or_default(),
+            )
+        }
         ("GET", target) if target.strip_prefix("/study/").is_some() => {
             get_study(state, target.strip_prefix("/study/").unwrap_or_default())
         }
-        ("POST", "/study") => post_study(state, req, deadline),
+        ("POST", "/study") => post_study(state, req, deadline, scope),
         ("POST", "/admin/shutdown") => {
             state.begin_shutdown();
             Response::json(200, "{\"status\":\"draining\"}")
         }
-        (_, "/healthz" | "/readyz" | "/metrics" | "/admin/shutdown") | (_, "/study") => {
+        (_, "/healthz" | "/readyz" | "/metrics" | "/admin/shutdown" | "/debug/requests")
+        | (_, "/study") => {
             Response::error(405, "http", &format!("{} not allowed here", req.method))
         }
         (_, target) => Response::error(404, "http", &format!("no route for {target}")),
+    }
+}
+
+/// `GET /metrics` — the `mwc_obs` registry (when collection is on) plus
+/// the always-live rolling/SLO/utilization tail rendered from server
+/// state.
+fn metrics_response(state: &Arc<ServerState>) -> Response {
+    let mut snap = mwc_obs::metrics::snapshot();
+    // The live gauges are re-rendered in the tail from server state;
+    // drop the registry copies so each series appears exactly once.
+    snap.retain(|(name, _)| name != "server.queue.depth" && name != "server.workers.busy");
+    let mut text = mwc_obs::export::metrics_text(&snap);
+    text.push_str(&state.telemetry.metrics_tail(
+        state.queue.len(),
+        state.queue.capacity(),
+        state.busy.load(Ordering::Relaxed),
+        state.config.workers,
+    ));
+    Response::text(200, text)
+}
+
+/// The 404 both debug endpoints answer when the ring is off.
+fn debug_ring_disabled() -> Response {
+    Response::error(
+        404,
+        "debug",
+        "debug ring disabled; set MWC_SERVER_DEBUG_RING to a capacity",
+    )
+}
+
+/// `GET /debug/requests` — the most recent request records, newest
+/// first.
+fn debug_requests(state: &Arc<ServerState>) -> Response {
+    if !state.telemetry.ring_enabled() {
+        return debug_ring_disabled();
+    }
+    let records = state.telemetry.recent(64);
+    let mut body = String::with_capacity(64 + records.len() * 320);
+    body.push_str(&format!("{{\"count\":{},\"requests\":[", records.len()));
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&r.to_json());
+    }
+    body.push_str("]}");
+    Response::json(200, body)
+}
+
+/// `GET /debug/requests/<id>` — one record by trace ID.
+fn debug_request_by_id(state: &Arc<ServerState>, id: &str) -> Response {
+    if !state.telemetry.ring_enabled() {
+        return debug_ring_disabled();
+    }
+    match state.telemetry.find(id) {
+        Some(r) => Response::json(200, r.to_json()),
+        None => Response::error(404, "debug", &format!("no recent request with id {id:?}")),
     }
 }
 
@@ -428,7 +559,12 @@ fn get_study(state: &Arc<ServerState>, digest_hex: &str) -> Response {
 }
 
 /// `POST /study` — parse the wire spec, run (or fetch) the study.
-fn post_study(state: &Arc<ServerState>, req: &Request, deadline: Deadline) -> Response {
+fn post_study(
+    state: &Arc<ServerState>,
+    req: &Request,
+    deadline: Deadline,
+    scope: &mut RequestScope,
+) -> Response {
     if state.config.test_hooks {
         if let Some(ms) = req
             .header("x-mwc-test-sleep-ms")
@@ -452,13 +588,24 @@ fn post_study(state: &Arc<ServerState>, req: &Request, deadline: Deadline) -> Re
     }
     // Checkpoint: a request that expired while queued or parsing must not
     // start a simulation it cannot answer in time.
-    if deadline.expired() {
+    let check = Instant::now();
+    let expired = deadline.expired();
+    scope.deadline_check_ns += check.elapsed().as_nanos() as u64;
+    if expired {
         return deadline_response(state, &deadline);
     }
+    // Memory residency *before* the lookup labels this request's
+    // compute phase cache-hit or miss.
+    scope.cache_hit = Some(state.cache.is_resident(&spec));
     let computed = Instant::now();
-    match state.cache.study_spec(&spec) {
+    let result = state.cache.study_spec(&spec);
+    scope.compute_ns = computed.elapsed().as_nanos() as u64;
+    match result {
         Ok(study) => {
-            if deadline.expired() {
+            let check = Instant::now();
+            let expired = deadline.expired();
+            scope.deadline_check_ns += check.elapsed().as_nanos() as u64;
+            if expired {
                 return deadline_response(state, &deadline);
             }
             Response::json(200, study_json(&study, Some(computed.elapsed())))
@@ -510,16 +657,34 @@ fn study_json(study: &Characterization, elapsed: Option<Duration>) -> String {
     )
 }
 
+/// Echo the trace ID onto `resp`, write it, and charge the write to the
+/// scope's serialize phase. Every response goes through here (or
+/// [`respond`]) so the `x-mwc-request-id` echo is unconditional —
+/// including 500/503/504 paths.
+fn write_response(stream: &mut TcpStream, resp: Response, scope: &mut RequestScope) {
+    let id = scope.ensure_id().to_owned();
+    let resp = resp.header(telemetry::REQUEST_ID_HEADER, id);
+    let start = Instant::now();
+    // Best-effort: the peer may have given up; that is its right.
+    let _ = resp.write_to(stream);
+    scope.serialize_ns += start.elapsed().as_nanos() as u64;
+    scope.status = resp.status;
+}
+
 /// Write one response, classifying it into the stats counters.
-fn respond(state: &Arc<ServerState>, stream: &mut TcpStream, resp: Response) {
+fn respond(
+    state: &Arc<ServerState>,
+    stream: &mut TcpStream,
+    resp: Response,
+    scope: &mut RequestScope,
+) {
     let class = match resp.status {
         200..=299 => &state.stats.responses_2xx,
         400..=499 => &state.stats.responses_4xx,
         _ => &state.stats.responses_5xx,
     };
     class.fetch_add(1, Ordering::Relaxed);
-    // Best-effort: the peer may have given up; that is its right.
-    let _ = resp.write_to(stream);
+    write_response(stream, resp, scope);
 }
 
 #[cfg(test)]

@@ -83,6 +83,24 @@ fi
 rm -f "$trace_tmp"
 echo "    digests match: $digest_off"
 
+echo "==> telemetry neutrality (wide-event logs + debug ring vs all-off digest)"
+# Same rule for the PR-8 telemetry sinks: debug-level structured logging
+# and the debug ring must leave the study digest bit-identical.
+log_tmp="target/verify-telemetry-log.jsonl"
+rm -f "$log_tmp"
+digest_logged=$(MWC_CACHE=off MWC_LOG=debug MWC_LOG_FILE="$log_tmp" MWC_SERVER_DEBUG_RING=64 \
+    ./target/release/profile | awk '/^study digest:/ { print $3 }') || exit 1
+if [ -z "$digest_logged" ]; then
+    echo "error: profile binary printed no study digest under MWC_LOG=debug" >&2
+    exit 1
+fi
+if [ "$digest_off" != "$digest_logged" ]; then
+    echo "error: telemetry perturbed the study: digest $digest_off (off) vs $digest_logged (MWC_LOG=debug)" >&2
+    exit 1
+fi
+rm -f "$log_tmp"
+echo "    digests match: $digest_logged"
+
 echo "==> result cache (cold vs warm digest, corruption degradation)"
 cache_dir="target/verify-cache"
 rm -rf "$cache_dir"
@@ -198,7 +216,10 @@ echo "    f32 kernel path builds and passes its tolerance tests"
 echo "==> server smoke gate (boot, load, clean drain, zero panics)"
 cargo build --release -p mwc-server --bins || exit $?
 server_log="target/verify-server.log"
+server_events="target/verify-server-log.jsonl"
+rm -f "$server_events"
 MWC_SERVER_ADDR=127.0.0.1:0 MWC_SERVER_WORKERS=2 MWC_SERVER_QUEUE=16 \
+    MWC_SERVER_DEBUG_RING=64 MWC_LOG=info MWC_LOG_FILE="$server_events" \
     ./target/release/mwc-server >"$server_log" 2>&1 &
 server_pid=$!
 server_addr=""
@@ -231,6 +252,21 @@ fi
     kill "$server_pid" 2>/dev/null
     exit 1
 }
+./target/release/wrkr --addr "$server_addr" --get /metrics | grep -q "server_rolling_p99_ns" || {
+    echo "error: /metrics did not report the rolling telemetry tail (server_rolling_p99_ns)" >&2
+    kill "$server_pid" 2>/dev/null
+    exit 1
+}
+./target/release/wrkr --addr "$server_addr" --get /debug/requests | grep -q "wrkr-" || {
+    echo "error: /debug/requests did not list the wrkr smoke load's trace IDs" >&2
+    kill "$server_pid" 2>/dev/null
+    exit 1
+}
+./target/release/dash --addr "$server_addr" --once | grep -q "p99" || {
+    echo "error: dash --once did not render against the live server" >&2
+    kill "$server_pid" 2>/dev/null
+    exit 1
+}
 ./target/release/wrkr --addr "$server_addr" --shutdown >/dev/null || {
     echo "error: /admin/shutdown failed" >&2
     kill "$server_pid" 2>/dev/null
@@ -249,8 +285,12 @@ if [ -z "$server_panics" ] || [ "$server_panics" -ne 0 ]; then
     cat "$server_log" >&2
     exit 1
 fi
-rm -f "$server_log"
-echo "    served smoke load on $server_addr, drained clean with zero panics"
+if ! grep -q '"event":"request"' "$server_events"; then
+    echo "error: MWC_LOG=info wrote no wide-event request lines to $server_events" >&2
+    exit 1
+fi
+rm -f "$server_log" "$server_events"
+echo "    served smoke load on $server_addr (rolling metrics, debug ring, dash, wide events), drained clean with zero panics"
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings || exit $?
