@@ -55,6 +55,7 @@ pub mod counters;
 pub mod cpu;
 pub mod engine;
 pub mod error;
+pub mod event;
 pub mod freq;
 pub mod gpu;
 pub mod memory;
@@ -63,7 +64,7 @@ pub mod storage;
 pub mod workload;
 
 pub use config::SocConfig;
-pub use engine::Engine;
+pub use engine::{Engine, EngineMode};
 pub use error::SocError;
 pub use workload::{Demand, Workload};
 

@@ -116,6 +116,12 @@ impl Scheduler {
     /// preference (the cluster model handles oversubscription).
     pub fn place(&self, demand: &CpuDemand) -> Placement {
         let mut assignments: Vec<Vec<ThreadDemand>> = vec![Vec::new(); self.clusters.len()];
+        if demand.threads.is_empty() {
+            // Nothing runnable: the full algorithm below would produce the
+            // same all-empty placement; skip its allocations on the idle
+            // path the event engine leans on.
+            return Placement { assignments };
+        }
         let mut free: Vec<usize> = self.clusters.iter().map(|&(_, cores)| cores).collect();
 
         let mut threads: Vec<&ThreadDemand> = demand
@@ -288,5 +294,17 @@ mod tests {
         let (s, _) = sched();
         let d = CpuDemand::multi_thread(7, 0.6);
         assert_eq!(s.place(&d), s.place(&d));
+    }
+
+    #[test]
+    fn empty_demand_early_out_matches_full_path() {
+        let (s, _) = sched();
+        let empty = s.place(&CpuDemand::default());
+        assert_eq!(empty.assignments.len(), s.clusters.len());
+        assert_eq!(empty.thread_count(), 0);
+        // Identical to what the full algorithm produces for an equivalent
+        // no-runnable-threads demand (all intensities zero).
+        let zeros = s.place(&CpuDemand::multi_thread(3, 0.0));
+        assert_eq!(empty, zeros);
     }
 }

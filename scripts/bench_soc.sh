@@ -1,0 +1,17 @@
+#!/bin/sh
+# Regenerate BENCH_soc.json: a full (non-smoke) run of the dense vs
+# event-driven simulator-core benches, with dense/event speedups computed
+# from medians measured in the same run.
+# Run from anywhere; operates on the repository this script lives in.
+set -u
+
+cd "$(dirname "$0")/.."
+
+if ! command -v cargo >/dev/null 2>&1; then
+    echo "error: cargo not found in PATH — install a Rust toolchain (https://rustup.rs)" >&2
+    exit 127
+fi
+
+echo "==> cargo bench -p mwc-bench --bench soc_engine (full run, writes BENCH_soc.json)"
+MWC_BENCH_JSON="$PWD/BENCH_soc.json" cargo bench -q -p mwc-bench --bench soc_engine || exit $?
+echo "==> done; review and commit BENCH_soc.json"

@@ -1,0 +1,206 @@
+//! Golden equivalence suite for the event-driven simulator core.
+//!
+//! The event engine is a pure scheduling optimization: for every workload
+//! in the registry it must reproduce the dense per-tick engine's `Trace`
+//! **bit for bit** — same `(seed, unit, run)` stream seeding, same sample
+//! count, every `f64` identical by `to_bits` — and the end-to-end study
+//! digest must not move. These tests are the contract that lets the rest
+//! of the system (pipeline, cache keys, pinned reference digests) treat
+//! the engine mode as invisible.
+
+use mobile_workload_characterization::prelude::*;
+use mwc_soc::counters::Trace;
+use mwc_soc::engine::{stream_seed, EngineMode};
+use mwc_soc::workload::ConstantWorkload;
+
+const STUDY_SEED: u64 = 2024;
+
+fn engine_in(mode: EngineMode, seed: u64) -> Engine {
+    let mut e = Engine::new(SocConfig::snapdragon_888(), seed).expect("preset");
+    e.set_mode(mode);
+    e
+}
+
+/// Assert two traces are bit-identical, field by field, with a precise
+/// diagnostic on first divergence. `PartialEq` on `Trace` would accept
+/// `-0.0 == 0.0`; the digest pipeline hashes raw bits, so the gate here
+/// must be bitwise too.
+fn assert_traces_bit_identical(dense: &Trace, event: &Trace, ctx: &str) {
+    assert_eq!(dense.workload, event.workload, "{ctx}: workload name");
+    assert_eq!(
+        dense.samples.len(),
+        event.samples.len(),
+        "{ctx}: sample count"
+    );
+    for (i, (d, e)) in dense.samples.iter().zip(&event.samples).enumerate() {
+        let pairs: &[(&str, f64, f64)] = &[
+            ("time_s", d.time_s, e.time_s),
+            ("instructions", d.instructions, e.instructions),
+            ("cycles", d.cycles, e.cycles),
+            ("cache_misses", d.cache_misses, e.cache_misses),
+            ("branches", d.branches, e.branches),
+            ("branch_misses", d.branch_misses, e.branch_misses),
+            ("dram_accesses", d.dram_accesses, e.dram_accesses),
+            ("gpu_utilization", d.gpu_utilization, e.gpu_utilization),
+            (
+                "gpu_frequency_mhz",
+                d.gpu_frequency_mhz,
+                e.gpu_frequency_mhz,
+            ),
+            ("gpu_load", d.gpu_load, e.gpu_load),
+            ("gpu_shaders_busy", d.gpu_shaders_busy, e.gpu_shaders_busy),
+            ("gpu_bus_busy", d.gpu_bus_busy, e.gpu_bus_busy),
+            (
+                "gpu_l1_texture_misses_m",
+                d.gpu_l1_texture_misses_m,
+                e.gpu_l1_texture_misses_m,
+            ),
+            ("aie_utilization", d.aie_utilization, e.aie_utilization),
+            (
+                "aie_frequency_mhz",
+                d.aie_frequency_mhz,
+                e.aie_frequency_mhz,
+            ),
+            ("aie_load", d.aie_load, e.aie_load),
+            ("memory_used_mib", d.memory_used_mib, e.memory_used_mib),
+            (
+                "memory_used_fraction",
+                d.memory_used_fraction,
+                e.memory_used_fraction,
+            ),
+            (
+                "memory_bandwidth_utilization",
+                d.memory_bandwidth_utilization,
+                e.memory_bandwidth_utilization,
+            ),
+            ("storage_busy", d.storage_busy, e.storage_busy),
+            (
+                "storage_read_mbps",
+                d.storage_read_mbps,
+                e.storage_read_mbps,
+            ),
+            (
+                "storage_write_mbps",
+                d.storage_write_mbps,
+                e.storage_write_mbps,
+            ),
+        ];
+        for (name, dv, ev) in pairs {
+            assert_eq!(
+                dv.to_bits(),
+                ev.to_bits(),
+                "{ctx}: tick {i} field {name}: dense {dv} vs event {ev}"
+            );
+        }
+        assert_eq!(
+            d.clusters.len(),
+            e.clusters.len(),
+            "{ctx}: tick {i} cluster count"
+        );
+        for (dc, ec) in d.clusters.iter().zip(&e.clusters) {
+            assert_eq!(dc.kind, ec.kind, "{ctx}: tick {i} cluster kind");
+            for (name, dv, ev) in [
+                ("utilization", dc.utilization, ec.utilization),
+                ("frequency_mhz", dc.frequency_mhz, ec.frequency_mhz),
+                ("load", dc.load, ec.load),
+                ("instructions", dc.instructions, ec.instructions),
+                ("cycles", dc.cycles, ec.cycles),
+            ] {
+                assert_eq!(
+                    dv.to_bits(),
+                    ev.to_bits(),
+                    "{ctx}: tick {i} cluster {:?} field {name}",
+                    dc.kind
+                );
+            }
+        }
+    }
+}
+
+/// Every registry unit, captured with the study's `(seed, unit, run)`
+/// stream seeding, produces bit-identical traces on both cores.
+#[test]
+fn all_units_bit_identical_across_cores() {
+    let mut dense = engine_in(EngineMode::Dense, 0);
+    let mut event = engine_in(EngineMode::Event, 0);
+    for (i, unit) in all_units().iter().enumerate() {
+        for run in 0..2u64 {
+            dense.reset_for(STUDY_SEED, i as u64, run);
+            let d = dense.run(&unit.workload);
+            event.reset_for(STUDY_SEED, i as u64, run);
+            let e = event.run(&unit.workload);
+            let ctx = format!("{} run {run}", unit.name);
+            assert_traces_bit_identical(&d, &e, &ctx);
+        }
+    }
+}
+
+/// The `(seed, unit, run)` stream-seeding path (`reset_for`) and an
+/// explicitly seeded engine agree on the event core exactly as they do on
+/// the dense core.
+#[test]
+fn event_core_respects_stream_seeding() {
+    let units = all_units();
+    let unit = &units[0];
+    let mut via_reset_for = engine_in(EngineMode::Event, 0);
+    via_reset_for.reset_for(STUDY_SEED, 3, 1);
+    let a = via_reset_for.run(&unit.workload);
+    let mut via_seed = engine_in(EngineMode::Event, stream_seed(STUDY_SEED, 3, 1));
+    let b = via_seed.run(&unit.workload);
+    assert_traces_bit_identical(&a, &b, "stream seeding");
+}
+
+/// Determinism on the event core, mirroring the dense engine's
+/// `determinism_same_seed_same_trace`: same seed, same trace; repeated
+/// end to end through the profiler's multi-run capture path.
+#[test]
+fn event_core_determinism_same_seed_same_trace() {
+    let units = all_units();
+    let unit = &units[1];
+    let capture = |mode| {
+        let engine = engine_in(mode, 42);
+        let mut profiler = Profiler::new(engine, 42);
+        profiler.capture_runs(&unit.workload, 3)
+    };
+    let e1 = capture(EngineMode::Event);
+    let e2 = capture(EngineMode::Event);
+    assert_eq!(e1.len(), e2.len());
+    for (a, b) in e1.iter().zip(&e2) {
+        assert_traces_bit_identical(a.trace(), b.trace(), "event determinism");
+    }
+    // And the whole capture set equals the dense one.
+    let d = capture(EngineMode::Dense);
+    for (a, b) in d.iter().zip(&e1) {
+        assert_traces_bit_identical(a.trace(), b.trace(), "dense vs event capture");
+    }
+}
+
+/// The full end-to-end study digest is identical on both cores. This is
+/// the same digest `tests/columnar_reference.rs` pins to its committed
+/// constant, so the event engine cannot silently re-bless the reference.
+#[test]
+fn study_digest_identical_across_cores() {
+    std::env::set_var("MWC_SOC_ENGINE", "dense");
+    let dense = Characterization::run(SocConfig::snapdragon_888(), STUDY_SEED, 1).digest();
+    std::env::remove_var("MWC_SOC_ENGINE");
+    let event = Characterization::run(SocConfig::snapdragon_888(), STUDY_SEED, 1).digest();
+    assert_eq!(
+        format!("{dense:016x}"),
+        format!("{event:016x}"),
+        "event core moved the study digest"
+    );
+}
+
+/// An idle-heavy workload coasts: the trace still has one sample per tick
+/// and matches the dense core, while the samples across the idle tail are
+/// replicas (the property that makes the event core fast).
+#[test]
+fn idle_heavy_workload_coasts_and_matches_dense() {
+    let idle = ConstantWorkload::new("idle-tail", 120.0, Demand::idle());
+    let mut dense = engine_in(EngineMode::Dense, 9);
+    let d = dense.run(&idle);
+    let mut event = engine_in(EngineMode::Event, 9);
+    let e = event.run(&idle);
+    assert_eq!(e.samples.len(), 1200);
+    assert_traces_bit_identical(&d, &e, "idle 120s");
+}
