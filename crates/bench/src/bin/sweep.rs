@@ -1,0 +1,188 @@
+//! `sweep` — a resumable seed sweep over the characterization study.
+//!
+//! Runs the study at `--seeds` consecutive seeds starting from
+//! `--base-seed`, printing one line per point and a combined sweep
+//! digest. Each point goes study-database-first: a point whose
+//! `study_key` is already recorded in `MWC_STUDY_DB` is *replayed* from
+//! the DB (no simulation — the `soc_runs` figure in the stats line is
+//! the oracle), everything else is computed through the configured
+//! execution backend (`MWC_EXEC`) and appended to the DB. Interrupt a
+//! sweep (or truncate one with `--limit`), re-run the same command, and
+//! it finishes only the missing points.
+//!
+//! ```text
+//! sweep [--seeds N] [--base-seed S] [--runs R] [--units "A, B"] [--limit K]
+//! ```
+
+use std::time::Instant;
+
+use mwc_bench::{counter, exec_stats_line, header, run_or_exit, studydb_stats_line};
+use mwc_core::studydb::{self, StudyRecord};
+use mwc_core::{Characterization, StudyCache, StudySpec};
+use mwc_soc::config::SocConfig;
+
+struct Args {
+    seeds: u64,
+    base_seed: u64,
+    runs: usize,
+    units: Option<Vec<String>>,
+    limit: Option<usize>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seeds: 3,
+        base_seed: mwc_bench::DEFAULT_SEED,
+        runs: 1,
+        units: None,
+        limit: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} expects a value"));
+        match flag.as_str() {
+            "--seeds" => {
+                args.seeds = value("--seeds")?
+                    .parse()
+                    .map_err(|e| format!("--seeds: {e}"))?;
+            }
+            "--base-seed" => {
+                args.base_seed = value("--base-seed")?
+                    .parse()
+                    .map_err(|e| format!("--base-seed: {e}"))?;
+            }
+            "--runs" => {
+                args.runs = value("--runs")?
+                    .parse()
+                    .map_err(|e| format!("--runs: {e}"))?;
+            }
+            "--units" => {
+                args.units = Some(
+                    value("--units")?
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(str::to_owned)
+                        .collect(),
+                );
+            }
+            "--limit" => {
+                args.limit = Some(
+                    value("--limit")?
+                        .parse()
+                        .map_err(|e| format!("--limit: {e}"))?,
+                );
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if args.seeds == 0 {
+        return Err("--seeds must be at least 1".to_owned());
+    }
+    Ok(args)
+}
+
+fn point_spec(args: &Args, seed: u64) -> StudySpec {
+    let mut spec = StudySpec::new(SocConfig::snapdragon_888(), seed, args.runs);
+    if let Some(names) = &args.units {
+        spec = spec.with_units(names.clone());
+    }
+    spec
+}
+
+fn main() {
+    run_or_exit(|| {
+        let args = match parse_args() {
+            Ok(args) => args,
+            Err(e) => {
+                eprintln!("sweep: {e}");
+                eprintln!(
+                    "usage: sweep [--seeds N] [--base-seed S] [--runs R] \
+                     [--units \"A, B\"] [--limit K]"
+                );
+                std::process::exit(2);
+            }
+        };
+        // Counters (soc.runs, exec.*, studydb.*) are the sweep's own
+        // telemetry; collection is digest-neutral by contract.
+        mwc_obs::set_enabled(true);
+        let db = studydb::global();
+        let exec_desc = mwc_core::exec::announce();
+
+        header("Study sweep");
+        println!(
+            "points={} base_seed={} runs={} units={} exec={} db={}",
+            args.seeds,
+            args.base_seed,
+            args.runs,
+            args.units
+                .as_ref()
+                .map_or("all".to_owned(), |u| u.len().to_string()),
+            exec_desc,
+            db.map_or("off".to_owned(), |d| d.path().display().to_string()),
+        );
+
+        let started = Instant::now();
+        let mut digests: Vec<u64> = Vec::new();
+        let mut computed = 0usize;
+        let mut replayed = 0usize;
+        for i in 0..args.seeds {
+            if let Some(limit) = args.limit {
+                if digests.len() >= limit {
+                    println!("sweep interrupted after {limit} points (--limit)");
+                    break;
+                }
+            }
+            let seed = args.base_seed.wrapping_add(i);
+            let spec = point_spec(&args, seed);
+            let point_start = Instant::now();
+            let from_db: Option<Characterization> = db
+                .and_then(|d| d.find(spec.study_key()))
+                .and_then(|record| record.study());
+            let (digest, source) = match from_db {
+                Some(study) => {
+                    replayed += 1;
+                    (study.digest(), "db")
+                }
+                None => {
+                    let study = StudyCache::global().study_spec(&spec)?;
+                    computed += 1;
+                    if let Some(d) = db {
+                        // The executor appends on compute; this covers
+                        // points served warm from the result cache.
+                        let _ = d.append(&StudyRecord::new(
+                            &spec,
+                            &study,
+                            exec_desc.as_str(),
+                            point_start.elapsed(),
+                        ));
+                    }
+                    (study.digest(), "computed")
+                }
+            };
+            digests.push(digest);
+            println!(
+                "point seed={seed} source={source} digest={digest:016x} elapsed_ms={}",
+                point_start.elapsed().as_millis()
+            );
+        }
+
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for d in &digests {
+            for b in d.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        println!("sweep digest: {h:016x}");
+        println!(
+            "sweep stats: points={} computed={computed} replayed_db={replayed} soc_runs={} elapsed_ms={}",
+            digests.len(),
+            counter("soc.runs"),
+            started.elapsed().as_millis(),
+        );
+        println!("{}", exec_stats_line());
+        println!("{}", studydb_stats_line());
+        Ok(())
+    });
+}

@@ -1,0 +1,773 @@
+//! # Fleet execution — the [`Exec`] trait and its backends
+//!
+//! `stages::execute` fans a study's per-unit capture+derive work out
+//! through an [`Exec`] implementation:
+//!
+//! * [`LocalExec`] — the existing in-process worker pool
+//!   (`mwc_parallel`); the default, and the baseline every other
+//!   backend must match bit-for-bit.
+//! * [`SubprocessExec`] — shards the unit list round-robin across N
+//!   worker *processes*: self-`exec`s of the current binary, switched
+//!   into worker mode by [`worker_guard`], speaking a length-prefixed
+//!   framed protocol over stdin/stdout built on the [`crate::wire`]
+//!   spec format and the cache's unit-artifact codec. Workers share
+//!   the coordinator's on-disk [`StudyCache`] directory; the
+//!   coordinator merges per-unit artifacts, respawns failed shards,
+//!   and computes anything still missing in-process — a crashed
+//!   worker can slow a study down but never change its digest.
+//!
+//! Bit-identity is inherited from the `(seed, unit, run)`
+//! stream-seeding contract: a unit's simulation depends only on the
+//! spec and the unit's registry index, never on which process, shard
+//! or thread ran it, so any sharding of the unit list reproduces the
+//! single-process study exactly (held by `tests/fleet_exec.rs` and the
+//! `scripts/verify.sh` digest gate).
+//!
+//! ## Worker protocol
+//!
+//! Frames are `b"MWX1" | kind:u32 | len:u64 | payload | fnv64(payload)`
+//! (little-endian). Kinds: `1` request — a [`crate::wire`] document
+//! (with a `threads = N` line carrying the per-shard thread budget);
+//! `2` response — per-unit `(unit_key, computed, artifact)` entries in
+//! the cache's digest-verified unit codec; `3` error — a UTF-8
+//! message. Readers *scan* for the magic, so harness banners around a
+//! worker's stdout (e.g. libtest's, when the worker is a test binary)
+//! are skipped, and every payload is checksummed.
+//!
+//! ## Environment
+//!
+//! | Variable | Effect |
+//! |----------|--------|
+//! | `MWC_EXEC` | `local` (default) or `subprocess` |
+//! | `MWC_EXEC_SHARDS` | worker processes for `subprocess` (default: thread count, clamped to 2–8) |
+//! | `MWC_EXEC_RETRIES` | respawn attempts per failed shard (default 1) |
+//!
+//! Counters: `exec.units_shipped` (artifacts merged from workers),
+//! `exec.units_fallback` (computed in-process after a shard was given
+//! up on), `exec.worker_failures`, `exec.shard_retries`,
+//! `exec.shards_spawned`; gauge `exec.shards`.
+
+use std::fmt::Debug;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, OnceLock};
+
+use mwc_workloads::registry::{all_units, BenchmarkUnit};
+
+use crate::cache::{decode_unit, encode_unit, StudyCache, CACHE_DIR_ENV, CACHE_MODE_ENV};
+use crate::error::PipelineError;
+use crate::pipeline::{Fnv1a, UnitProfile};
+use crate::spec::StudySpec;
+use crate::stages::run_units_local;
+use crate::wire;
+
+/// Selects the execution backend: `local` (default) or `subprocess`.
+pub const EXEC_ENV: &str = "MWC_EXEC";
+
+/// Worker-process count for the `subprocess` backend.
+pub const EXEC_SHARDS_ENV: &str = "MWC_EXEC_SHARDS";
+
+/// Respawn attempts per failed shard (default 1).
+pub const EXEC_RETRIES_ENV: &str = "MWC_EXEC_RETRIES";
+
+/// Set (to `1`) in children by the coordinator; [`worker_guard`] turns
+/// the process into a protocol worker when it sees this.
+pub const EXEC_WORKER_ENV: &str = "MWC_EXEC_WORKER";
+
+/// Set in children to the shard's index; the worker labels all of its
+/// spans with it (`mwc_obs::set_process_field`).
+pub const EXEC_SHARD_ID_ENV: &str = "MWC_EXEC_SHARD_ID";
+
+/// Test hook: a marker-file path. The first worker to serve a request
+/// while the file does not exist creates it and aborts before replying,
+/// simulating a mid-study worker crash exactly once. Used by the shard
+/// fault-tolerance tests; ignored when unset.
+pub const EXEC_TEST_ABORT_ENV: &str = "MWC_EXEC_TEST_ABORT";
+
+/// The cached outcome of one unit's capture+derive stages. Failures are
+/// first-class artifacts: a warm replay of a degraded study must
+/// rebuild the same `DegradationReport` without re-simulating.
+#[derive(Debug, Clone)]
+pub enum UnitArtifact {
+    /// The unit produced a usable profile.
+    Profiled(Arc<UnitProfile>),
+    /// Every capture attempt failed; the rendered error.
+    Failed(String),
+}
+
+/// One unit's artifact plus whether it was computed in this study run
+/// (vs. replayed from a cache layer) — the collect stage only records
+/// capture-health metrics for work actually done.
+#[derive(Debug, Clone)]
+pub struct UnitOutcome {
+    /// The capture+derive result.
+    pub artifact: UnitArtifact,
+    /// `true` if the artifact was computed (here or in a worker), not
+    /// replayed from cache.
+    pub computed: bool,
+}
+
+/// An execution backend for the per-unit stage of a study.
+///
+/// Implementations must preserve the determinism contract: for a given
+/// spec, `run_units` returns the same artifacts (bit-for-bit) as
+/// [`LocalExec`], in `selected` order.
+pub trait Exec: Debug + Send + Sync {
+    /// Human-readable backend description (e.g. `local`,
+    /// `subprocess:4`).
+    fn describe(&self) -> String;
+
+    /// Worker-process count (1 for in-process backends).
+    fn shards(&self) -> usize {
+        1
+    }
+
+    /// Run capture+derive for every selected `(registry_index, unit)`
+    /// pair, returning outcomes in the same order.
+    fn run_units(
+        &self,
+        spec: &StudySpec,
+        selected: &[(usize, BenchmarkUnit)],
+        cache: Option<&StudyCache>,
+    ) -> Result<Vec<UnitOutcome>, PipelineError>;
+}
+
+/// The in-process backend: the `mwc_parallel` worker pool, exactly as
+/// before the fleet layer existed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LocalExec;
+
+impl Exec for LocalExec {
+    fn describe(&self) -> String {
+        "local".to_owned()
+    }
+
+    fn run_units(
+        &self,
+        spec: &StudySpec,
+        selected: &[(usize, BenchmarkUnit)],
+        cache: Option<&StudyCache>,
+    ) -> Result<Vec<UnitOutcome>, PipelineError> {
+        Ok(run_units_local(spec, selected, cache))
+    }
+}
+
+/// The subprocess backend: shard the unit list across worker processes.
+///
+/// Shards are re-spawns of the current executable (`current_exe`), so
+/// every binary that can coordinate must call [`worker_guard`] early in
+/// `main` (the `mwc-bench` bins and `mwc-server` do). A child that
+/// never reaches the guard produces no valid frames, which the
+/// coordinator treats as a shard failure and absorbs via retry +
+/// in-process fallback — degraded throughput, identical results.
+#[derive(Debug, Clone)]
+pub struct SubprocessExec {
+    shards: usize,
+    retries: usize,
+    worker_args: Vec<String>,
+}
+
+impl SubprocessExec {
+    /// A backend with `shards` worker processes and the default retry
+    /// budget (1 respawn per failed shard).
+    pub fn new(shards: usize) -> Self {
+        SubprocessExec {
+            shards: shards.max(1),
+            retries: 1,
+            worker_args: Vec::new(),
+        }
+    }
+
+    /// Set the respawn budget per failed shard.
+    pub fn with_retries(mut self, retries: usize) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Extra argv for the spawned worker. Needed when the current
+    /// executable requires arguments to reach [`worker_guard`] — e.g. a
+    /// libtest binary is launched as `<exe> <test-name> --exact
+    /// --nocapture` so only the guard-hosting test runs.
+    pub fn with_worker_args<S: Into<String>>(mut self, args: impl IntoIterator<Item = S>) -> Self {
+        self.worker_args = args.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Spawn one worker and hand it its request; the closed stdin makes
+    /// the worker exit after this single study.
+    fn spawn_shard(
+        &self,
+        doc: &str,
+        shard: usize,
+        cache: Option<&StudyCache>,
+    ) -> io::Result<Child> {
+        let exe = std::env::current_exe()?;
+        let mut cmd = Command::new(exe);
+        cmd.args(&self.worker_args)
+            .env(EXEC_WORKER_ENV, "1")
+            // Workers never shard further, and shard-partial studies
+            // must not be recorded as completed studies.
+            .env(EXEC_ENV, "local")
+            .env(EXEC_SHARD_ID_ENV, shard.to_string())
+            .env_remove(crate::studydb::STUDY_DB_ENV)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit());
+        // Share the coordinator's on-disk artifact layer when it has
+        // one; otherwise keep workers cache-less so a sharded run has
+        // no side effects an in-process run would not have.
+        match cache
+            .filter(|c| c.stage_entries_enabled())
+            .and_then(|c| c.dir())
+        {
+            Some(dir) => {
+                cmd.env(CACHE_MODE_ENV, "on").env(CACHE_DIR_ENV, dir);
+            }
+            None => {
+                cmd.env(CACHE_MODE_ENV, "off");
+            }
+        }
+        let mut child = cmd.spawn()?;
+        let mut stdin = child
+            .stdin
+            .take()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::BrokenPipe, "worker stdin unavailable"))?;
+        write_frame(&mut stdin, KIND_REQ, doc.as_bytes())?;
+        drop(stdin);
+        mwc_obs::metrics::counter_add("exec.shards_spawned", 1);
+        Ok(child)
+    }
+
+    /// Read one shard's response and reap the child. Any protocol or
+    /// process irregularity is a shard failure (the coordinator retries
+    /// or falls back; it never trusts a partial response).
+    fn collect_shard(child: &mut Child) -> Result<Vec<(u64, bool, UnitArtifact)>, String> {
+        let stdout = child
+            .stdout
+            .take()
+            .ok_or_else(|| "worker stdout unavailable".to_owned())?;
+        let mut reader = BufReader::new(stdout);
+        let result = (|| {
+            let frame = read_frame(&mut reader).map_err(|e| format!("read: {e}"))?;
+            let (kind, payload) =
+                frame.ok_or_else(|| "worker exited before replying".to_owned())?;
+            match kind {
+                KIND_RESP => {
+                    decode_outcomes(&payload).ok_or_else(|| "malformed worker response".to_owned())
+                }
+                KIND_ERR => Err(format!(
+                    "worker error: {}",
+                    String::from_utf8_lossy(&payload)
+                )),
+                other => Err(format!("unexpected frame kind {other}")),
+            }
+        })();
+        match &result {
+            Ok(_) => {
+                let _ = child.wait();
+            }
+            Err(_) => {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+        result
+    }
+}
+
+impl Exec for SubprocessExec {
+    fn describe(&self) -> String {
+        format!("subprocess:{}", self.shards)
+    }
+
+    fn shards(&self) -> usize {
+        self.shards
+    }
+
+    fn run_units(
+        &self,
+        spec: &StudySpec,
+        selected: &[(usize, BenchmarkUnit)],
+        cache: Option<&StudyCache>,
+    ) -> Result<Vec<UnitOutcome>, PipelineError> {
+        mwc_obs::metrics::gauge_set("exec.shards", self.shards as f64);
+        if self.shards < 2 || selected.len() < 2 {
+            return LocalExec.run_units(spec, selected, cache);
+        }
+        // A config the wire format cannot name cannot be shipped to a
+        // worker; run it in-process instead of failing the study.
+        if wire::to_wire(spec).is_err() {
+            mwc_obs::metrics::counter_add("exec.fallback_runs", 1);
+            return LocalExec.run_units(spec, selected, cache);
+        }
+
+        let shards = mwc_parallel::round_robin_shards(selected.len(), self.shards);
+        let worker_threads = (spec.threads / shards.len()).max(1);
+        let keys: Vec<u64> = selected
+            .iter()
+            .map(|(index, unit)| spec.unit_key(*index, unit))
+            .collect();
+        let mut slots: Vec<Option<UnitOutcome>> = vec![None; selected.len()];
+
+        // Spawn every shard (request written, stdin closed) before
+        // collecting any, so all workers run concurrently.
+        let mut running: Vec<(usize, Vec<usize>, String, io::Result<Child>)> = Vec::new();
+        for (shard, indices) in shards.into_iter().enumerate() {
+            let names = indices.iter().map(|&i| selected[i].1.name);
+            let sub = spec.clone().with_units(names).with_threads(worker_threads);
+            let doc = match wire::to_wire_with_threads(&sub) {
+                Ok(doc) => doc,
+                // Unreachable (preset checked above), but degrade to
+                // in-process rather than dropping the shard.
+                Err(_) => {
+                    running.push((
+                        shard,
+                        indices,
+                        String::new(),
+                        Err(io::Error::other("unrepresentable sub-spec")),
+                    ));
+                    continue;
+                }
+            };
+            let child = self.spawn_shard(&doc, shard, cache);
+            running.push((shard, indices, doc, child));
+        }
+
+        for (shard, indices, doc, first) in running {
+            let mut span = mwc_obs::span("exec.shard");
+            span.field("shard", shard as u64);
+            span.field("units", indices.len());
+            let mut child_slot = first;
+            let mut attempt = 0usize;
+            let merged = loop {
+                let outcome = match child_slot {
+                    Ok(mut child) => Self::collect_shard(&mut child),
+                    Err(e) => Err(format!("spawn: {e}")),
+                };
+                match outcome {
+                    Ok(units) => break Some(units),
+                    Err(err) => {
+                        mwc_obs::metrics::counter_add("exec.worker_failures", 1);
+                        mwc_obs::event_with(
+                            "exec.worker_failure",
+                            vec![
+                                ("shard".to_owned(), mwc_obs::Value::UInt(shard as u64)),
+                                ("error".to_owned(), mwc_obs::Value::Str(err)),
+                            ],
+                        );
+                        if attempt >= self.retries || doc.is_empty() {
+                            break None;
+                        }
+                        attempt += 1;
+                        mwc_obs::metrics::counter_add("exec.shard_retries", 1);
+                        child_slot = self.spawn_shard(&doc, shard, cache);
+                    }
+                }
+            };
+            span.field("attempts", (attempt + 1) as u64);
+            let Some(units) = merged else { continue };
+            for (key, computed, artifact) in units {
+                // Merge by content key: robust to any ordering the
+                // worker replies in, and a corrupted key simply leaves
+                // its slot for the in-process fallback below.
+                if let Some(slot) = keys.iter().position(|&k| k == key) {
+                    if slots[slot].is_none() {
+                        mwc_obs::metrics::counter_add("exec.units_shipped", 1);
+                        if computed {
+                            if let Some(cache) = cache {
+                                cache.store_unit_artifact(key, &artifact);
+                            }
+                        }
+                        slots[slot] = Some(UnitOutcome { artifact, computed });
+                    }
+                }
+            }
+        }
+
+        // Anything a failed shard left behind is computed here — slower,
+        // never different.
+        let missing: Vec<usize> = (0..slots.len()).filter(|&i| slots[i].is_none()).collect();
+        if !missing.is_empty() {
+            mwc_obs::metrics::counter_add("exec.units_fallback", missing.len() as u64);
+            let registry: Vec<usize> = missing.iter().map(|&i| selected[i].0).collect();
+            let subset: Vec<(usize, BenchmarkUnit)> = all_units()
+                .into_iter()
+                .enumerate()
+                .filter(|(index, _)| registry.contains(index))
+                .collect();
+            let outcomes = run_units_local(spec, &subset, cache);
+            for (slot, outcome) in missing.into_iter().zip(outcomes) {
+                slots[slot] = Some(outcome);
+            }
+        }
+
+        Ok(slots
+            .into_iter()
+            .map(|slot| slot.expect("every slot filled by shard merge or fallback"))
+            .collect())
+    }
+}
+
+/// Build the backend selected by `MWC_EXEC` / `MWC_EXEC_SHARDS` /
+/// `MWC_EXEC_RETRIES`.
+pub fn from_env() -> Box<dyn Exec> {
+    match std::env::var(EXEC_ENV).ok().as_deref() {
+        Some("subprocess") => {
+            let shards = std::env::var(EXEC_SHARDS_ENV)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| mwc_parallel::configured_threads().clamp(2, 8));
+            let retries = std::env::var(EXEC_RETRIES_ENV)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1);
+            Box::new(SubprocessExec::new(shards).with_retries(retries))
+        }
+        _ => Box::new(LocalExec),
+    }
+}
+
+/// The process-wide backend, built from the environment on first use
+/// (like [`StudyCache::global`], later env changes are not observed).
+pub fn global() -> &'static dyn Exec {
+    static GLOBAL: OnceLock<Box<dyn Exec>> = OnceLock::new();
+    GLOBAL.get_or_init(from_env).as_ref()
+}
+
+/// Description of the configured global backend (e.g. `local`,
+/// `subprocess:4`).
+pub fn configured_description() -> String {
+    global().describe()
+}
+
+/// Record the configured execution layer into the metrics registry
+/// (gauges `exec.shards` and `studydb.enabled`) and return its
+/// description — called by servers at boot so `/metrics` names the
+/// fleet configuration before any study runs.
+pub fn announce() -> String {
+    let exec = global();
+    mwc_obs::metrics::gauge_set("exec.shards", exec.shards() as f64);
+    let db = if crate::studydb::global().is_some() {
+        1.0
+    } else {
+        0.0
+    };
+    mwc_obs::metrics::gauge_set("studydb.enabled", db);
+    exec.describe()
+}
+
+/// Run the full study pipeline (validate → units via `exec` → collect)
+/// with an explicit backend. [`crate::Characterization::try_run_spec`]
+/// and the cache use the [`global`] backend; this entry point is for
+/// callers — tests, mostly — that need to pin one.
+pub fn run_study(
+    exec: &dyn Exec,
+    spec: &StudySpec,
+    cache: Option<&StudyCache>,
+) -> Result<crate::pipeline::Characterization, PipelineError> {
+    crate::stages::execute_with(exec, spec, cache)
+}
+
+/// If this process was spawned as a fleet worker (`MWC_EXEC_WORKER=1`),
+/// serve the stdin/stdout protocol and exit; otherwise return
+/// immediately. Every binary that can act as a coordinator calls this
+/// first thing in `main`.
+pub fn worker_guard() {
+    if std::env::var(EXEC_WORKER_ENV).ok().as_deref() != Some("1") {
+        return;
+    }
+    if let Ok(shard) = std::env::var(EXEC_SHARD_ID_ENV) {
+        mwc_obs::set_process_field("shard", shard);
+    }
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    let code = worker_loop(&mut stdin.lock(), &mut stdout.lock());
+    std::process::exit(code);
+}
+
+/// The worker side of the protocol: serve requests from `r` until EOF,
+/// writing one response (or error) frame per request to `w`. Returns
+/// the process exit code. Public for the protocol round-trip tests;
+/// [`worker_guard`] is the production entry point.
+pub fn worker_loop(r: &mut impl BufRead, w: &mut impl Write) -> i32 {
+    loop {
+        let (kind, payload) = match read_frame(r) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return 0,
+            Err(_) => return 2,
+        };
+        if kind != KIND_REQ {
+            let _ = write_frame(w, KIND_ERR, b"unexpected frame kind");
+            return 2;
+        }
+        match handle_request(&payload) {
+            Ok(resp) => {
+                if write_frame(w, KIND_RESP, &resp).is_err() {
+                    return 2;
+                }
+            }
+            Err(msg) => {
+                let _ = write_frame(w, KIND_ERR, msg.as_bytes());
+            }
+        }
+    }
+}
+
+/// Serve one request payload: parse + validate the spec, run its units
+/// in-process, encode the response payload.
+fn handle_request(payload: &[u8]) -> Result<Vec<u8>, String> {
+    let text = std::str::from_utf8(payload).map_err(|_| "request is not UTF-8".to_owned())?;
+    let spec = wire::from_wire(text).map_err(|e| e.to_string())?;
+    spec.validate().map_err(|e| e.to_string())?;
+    let selected = spec.selected().map_err(|e| e.to_string())?;
+    abort_once_if_requested();
+    let cache = StudyCache::global();
+    let cache = cache.is_enabled().then_some(cache);
+    // No engine pre-validation here: a config/engine mismatch inside a
+    // shard surfaces as per-unit `Failed` artifacts (typed, mergeable)
+    // rather than a worker abort.
+    let outcomes = run_units_local(&spec, &selected, cache);
+    Ok(encode_outcomes(&spec, &selected, &outcomes))
+}
+
+/// See [`EXEC_TEST_ABORT_ENV`].
+fn abort_once_if_requested() {
+    if let Ok(path) = std::env::var(EXEC_TEST_ABORT_ENV) {
+        if !path.is_empty() && !std::path::Path::new(&path).exists() {
+            let _ = std::fs::write(&path, b"aborted");
+            std::process::exit(3);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Frame codec
+// ---------------------------------------------------------------------
+
+const FRAME_MAGIC: &[u8; 4] = b"MWX1";
+const KIND_REQ: u32 = 1;
+const KIND_RESP: u32 = 2;
+const KIND_ERR: u32 = 3;
+/// Upper bound on a frame payload; anything larger is treated as stream
+/// corruption rather than an allocation request.
+const MAX_FRAME: u64 = 1 << 30;
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_bytes(bytes);
+    h.finish()
+}
+
+fn le_u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+}
+
+fn le_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+}
+
+fn write_frame(w: &mut impl Write, kind: u32, payload: &[u8]) -> io::Result<()> {
+    w.write_all(FRAME_MAGIC)?;
+    w.write_all(&kind.to_le_bytes())?;
+    w.write_all(&(payload.len() as u64).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.write_all(&fnv64(payload).to_le_bytes())?;
+    w.flush()
+}
+
+/// Read the next frame, scanning past any non-frame bytes (harness
+/// banners, partial garbage) until the magic is found. `Ok(None)` on
+/// clean EOF before a magic.
+fn read_frame(r: &mut impl Read) -> io::Result<Option<(u32, Vec<u8>)>> {
+    let mut matched = 0usize;
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte) {
+            Ok(0) => return Ok(None),
+            Ok(_) => {}
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+        if byte[0] == FRAME_MAGIC[matched] {
+            matched += 1;
+            if matched == FRAME_MAGIC.len() {
+                break;
+            }
+        } else {
+            matched = usize::from(byte[0] == FRAME_MAGIC[0]);
+        }
+    }
+    let mut head = [0u8; 12];
+    r.read_exact(&mut head)?;
+    let kind = le_u32(&head[0..4]);
+    let len = le_u64(&head[4..12]);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame payload too large",
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    let mut sum = [0u8; 8];
+    r.read_exact(&mut sum)?;
+    if le_u64(&sum) != fnv64(&payload) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame checksum mismatch",
+        ));
+    }
+    Ok(Some((kind, payload)))
+}
+
+/// Response payload: `count:u32`, then per unit `key:u64 | computed:u8
+/// | len:u64 | encode_unit bytes` (the cache codec verifies key, stored
+/// digest and checksum on decode).
+fn encode_outcomes(
+    spec: &StudySpec,
+    selected: &[(usize, BenchmarkUnit)],
+    outcomes: &[UnitOutcome],
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(outcomes.len() as u32).to_le_bytes());
+    for ((index, unit), outcome) in selected.iter().zip(outcomes) {
+        let key = spec.unit_key(*index, unit);
+        let bytes = encode_unit(key, &outcome.artifact);
+        out.extend_from_slice(&key.to_le_bytes());
+        out.push(u8::from(outcome.computed));
+        out.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+        out.extend_from_slice(&bytes);
+    }
+    out
+}
+
+fn decode_outcomes(payload: &[u8]) -> Option<Vec<(u64, bool, UnitArtifact)>> {
+    let take = |at: &mut usize, n: usize| -> Option<&[u8]> {
+        let slice = payload.get(*at..*at + n)?;
+        *at += n;
+        Some(slice)
+    };
+    let mut at = 0usize;
+    let count = le_u32(take(&mut at, 4)?) as usize;
+    let mut out = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        let key = le_u64(take(&mut at, 8)?);
+        let computed = match take(&mut at, 1)?[0] {
+            0 => false,
+            1 => true,
+            _ => return None,
+        };
+        let len = le_u64(take(&mut at, 8)?);
+        if len > MAX_FRAME {
+            return None;
+        }
+        let bytes = take(&mut at, len as usize)?;
+        let artifact = decode_unit(key, bytes)?;
+        out.push((key, computed, artifact));
+    }
+    (at == payload.len()).then_some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwc_soc::config::SocConfig;
+
+    fn tiny_spec() -> StudySpec {
+        StudySpec::new(SocConfig::snapdragon_888(), 77, 1).with_units(["Aitutu", "Antutu CPU"])
+    }
+
+    #[test]
+    fn frames_round_trip_and_skip_leading_garbage() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"running 1 test\nMWX-not-quite MW");
+        write_frame(&mut buf, KIND_REQ, b"hello frame").unwrap();
+        let mut cursor = io::Cursor::new(buf);
+        let (kind, payload) = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(kind, KIND_REQ);
+        assert_eq!(payload, b"hello frame");
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn corrupt_frame_checksum_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, KIND_RESP, b"payload bytes").unwrap();
+        let flip = buf.len() - 12; // inside the payload
+        buf[flip] ^= 0x40;
+        let err = read_frame(&mut io::Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn worker_loop_serves_a_request_in_process() {
+        let spec = tiny_spec();
+        let doc = wire::to_wire_with_threads(&spec).unwrap();
+        let mut request = Vec::new();
+        write_frame(&mut request, KIND_REQ, doc.as_bytes()).unwrap();
+        let mut response = Vec::new();
+        let code = worker_loop(&mut io::Cursor::new(request), &mut response);
+        assert_eq!(code, 0);
+        let (kind, payload) = read_frame(&mut io::Cursor::new(response)).unwrap().unwrap();
+        assert_eq!(kind, KIND_RESP);
+        let outcomes = decode_outcomes(&payload).expect("decodable response");
+        assert_eq!(outcomes.len(), 2);
+        let selected = spec.selected().unwrap();
+        for ((index, unit), (key, _, artifact)) in selected.iter().zip(&outcomes) {
+            assert_eq!(*key, spec.unit_key(*index, unit));
+            assert!(matches!(artifact, UnitArtifact::Profiled(_)));
+        }
+    }
+
+    #[test]
+    fn worker_loop_reports_bad_specs_as_error_frames() {
+        let mut request = Vec::new();
+        write_frame(&mut request, KIND_REQ, b"not a wire document").unwrap();
+        let mut response = Vec::new();
+        let code = worker_loop(&mut io::Cursor::new(request), &mut response);
+        assert_eq!(code, 0, "a bad request is not a worker crash");
+        let (kind, payload) = read_frame(&mut io::Cursor::new(response)).unwrap().unwrap();
+        assert_eq!(kind, KIND_ERR);
+        assert!(!payload.is_empty());
+    }
+
+    #[test]
+    fn subprocess_with_one_shard_matches_local_in_process() {
+        // shards < 2 short-circuits to LocalExec — no child processes
+        // are involved, so this is safe as an in-crate unit test.
+        let spec = tiny_spec();
+        let selected = spec.selected().unwrap();
+        let local = LocalExec.run_units(&spec, &selected, None).unwrap();
+        let sub = SubprocessExec::new(1)
+            .run_units(&spec, &selected, None)
+            .unwrap();
+        assert_eq!(local.len(), sub.len());
+        for (a, b) in local.iter().zip(&sub) {
+            match (&a.artifact, &b.artifact) {
+                (UnitArtifact::Profiled(x), UnitArtifact::Profiled(y)) => {
+                    assert_eq!(x.digest(), y.digest());
+                }
+                other => panic!("expected profiled artifacts, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn engine_mismatch_inside_a_shard_fails_units_not_the_worker() {
+        // An invalid platform reaching a worker must surface as typed
+        // per-unit failures (mergeable artifacts), not a process abort.
+        let mut config = SocConfig::snapdragon_888();
+        config.clusters.clear();
+        let spec = StudySpec::new(config, 7, 1).with_units(["Aitutu"]);
+        let selected = spec.selected().unwrap();
+        let outcomes = run_units_local(&spec, &selected, None);
+        assert_eq!(outcomes.len(), 1);
+        match &outcomes[0].artifact {
+            UnitArtifact::Failed(msg) => {
+                assert!(msg.contains("platform error"), "typed rendering: {msg}");
+            }
+            other => panic!("expected a failed artifact, got {other:?}"),
+        }
+        assert!(outcomes[0].computed);
+    }
+}

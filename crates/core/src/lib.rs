@@ -20,7 +20,13 @@
 //!   unit selection;
 //! * [`cache`] — a persistent, content-addressed cache of study, per-unit
 //!   stage and sweep results, so warm runs skip simulation entirely and a
-//!   one-unit change re-simulates only that unit.
+//!   one-unit change re-simulates only that unit;
+//! * [`exec`] — the fleet execution layer: the `Exec` trait with an
+//!   in-process pool and a subprocess-sharding backend (`MWC_EXEC`),
+//!   both bit-identical by contract;
+//! * [`studydb`] — the append-only study database (`MWC_STUDY_DB`):
+//!   every completed study persisted with spec, timings and capture
+//!   health, enabling resumable sweeps and historical reports.
 //!
 //! ## Quickstart
 //!
@@ -41,19 +47,23 @@
 
 pub mod cache;
 pub mod error;
+pub mod exec;
 pub mod features;
 pub mod figures;
 pub mod observations;
 pub mod pipeline;
 pub mod spec;
 mod stages;
+pub mod studydb;
 pub mod subsets;
 pub mod tables;
 pub mod wire;
 
 pub use cache::{CacheStats, StageKind, StageStats, StudyCache};
 pub use error::PipelineError;
+pub use exec::{Exec, LocalExec, SubprocessExec};
 pub use features::FeatureSet;
 pub use pipeline::{Characterization, DegradationReport, UnitProfile};
 pub use spec::{StudySpec, UnitSelection};
-pub use wire::{from_wire, to_wire, WireError};
+pub use studydb::{StudyDb, StudyRecord};
+pub use wire::{from_wire, to_wire, to_wire_with_threads, WireError};

@@ -10,17 +10,26 @@
 //!                        keyed by unit_key)              featurize ─▶ analyze
 //! ```
 //!
-//! [`execute`] runs the graph. When handed a [`StudyCache`], each unit's
-//! capture+derive work is memoized as a content-addressed *unit artifact*
-//! keyed by [`StudySpec::unit_key`] — so changing one unit's fault config
-//! re-simulates exactly that unit, and the other artifacts are replayed
-//! from cache. Failed captures are cached too (as their rendered error),
-//! which keeps a warm degraded study bit-identical to its cold run.
+//! [`execute`] runs the graph. The per-unit stage is fanned out through
+//! the process-wide [`crate::exec::Exec`] backend — the in-process pool
+//! by default, subprocess shards under `MWC_EXEC=subprocess` — and
+//! every backend is bit-identical by contract. When handed a
+//! [`StudyCache`], each unit's capture+derive work is memoized as a
+//! content-addressed *unit artifact* keyed by [`StudySpec::unit_key`] —
+//! so changing one unit's fault config re-simulates exactly that unit,
+//! and the other artifacts are replayed from cache. Failed captures are
+//! cached too (as their rendered error), which keeps a warm degraded
+//! study bit-identical to its cold run.
+//!
+//! Completed studies are additionally persisted into the append-only
+//! study database when `MWC_STUDY_DB` is set (see [`crate::studydb`]).
 //!
 //! Without a cache the executor is the plain pipeline: bit-identical to
-//! the pre-stage-graph implementation (the digest tests are the oracle).
+//! the pre-stage-graph implementation (the digest tests are the
+//! oracle).
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use mwc_profiler::capture::Profiler;
 use mwc_soc::engine::Engine;
@@ -28,29 +37,29 @@ use mwc_workloads::registry::BenchmarkUnit;
 
 use crate::cache::StudyCache;
 use crate::error::PipelineError;
+use crate::exec::{Exec, UnitArtifact, UnitOutcome};
 use crate::pipeline::{
     capture_stage, derive_stage, stage, Characterization, DegradationReport, FailedUnit,
-    UnitProfile,
 };
 use crate::spec::StudySpec;
 
-/// The cached outcome of one unit's capture+derive stages. Failures are
-/// first-class artifacts: a warm replay of a degraded study must rebuild
-/// the same [`DegradationReport`] without re-simulating.
-#[derive(Debug, Clone)]
-pub(crate) enum UnitArtifact {
-    /// The unit produced a usable profile.
-    Profiled(Arc<UnitProfile>),
-    /// Every capture attempt failed; the rendered error.
-    Failed(String),
-}
-
-/// Run the stage graph for `spec`. With `cache` set, per-unit artifacts
-/// are consulted and stored; without it every stage computes.
+/// Run the stage graph for `spec` through the process-wide execution
+/// backend. With `cache` set, per-unit artifacts are consulted and
+/// stored; without it every stage computes.
 pub(crate) fn execute(
     spec: &StudySpec,
     cache: Option<&StudyCache>,
 ) -> Result<Characterization, PipelineError> {
+    execute_with(crate::exec::global(), spec, cache)
+}
+
+/// [`execute`] with an explicit execution backend.
+pub(crate) fn execute_with(
+    exec: &dyn Exec,
+    spec: &StudySpec,
+    cache: Option<&StudyCache>,
+) -> Result<Characterization, PipelineError> {
+    let started = Instant::now();
     let mut study_span = mwc_obs::span("pipeline.study");
     study_span.field("seed", spec.seed);
     study_span.field("runs", spec.runs);
@@ -59,36 +68,29 @@ pub(crate) fn execute(
 
     let selected = stage("pipeline.validate", || {
         spec.validate()?;
-        // Validate the platform once up front, so worker-side engine
-        // construction below is infallible.
+        // Validate the platform once up front so the common path never
+        // pays per-unit engine failures; a mismatch that still reaches
+        // a shard worker degrades to per-unit Failed artifacts (see
+        // `run_units_local`).
         Engine::new(spec.config.clone(), spec.seed)?;
         spec.selected()
     })?;
     study_span.field("units", selected.len());
 
-    let results = stage("pipeline.capture", || {
-        mwc_parallel::ordered_map_with(
-            &selected,
-            spec.threads,
-            || {
-                let engine = Engine::new(spec.config.clone(), spec.seed)
-                    .expect("configuration validated above");
-                Profiler::new(engine, spec.seed)
-            },
-            |profiler, (unit_index, unit), _| unit_task(profiler, *unit_index, unit, spec, cache),
-        )
-    });
+    let outcomes = stage("pipeline.capture", || {
+        exec.run_units(spec, &selected, cache)
+    })?;
 
-    stage("pipeline.collect", || {
+    let study = stage("pipeline.collect", || {
         let units_requested = selected.len();
         let mut profiles = Vec::with_capacity(units_requested);
         let mut failed_units = Vec::new();
-        for ((_, unit), (artifact, computed)) in selected.iter().zip(results) {
-            match artifact {
+        for ((_, unit), outcome) in selected.iter().zip(outcomes) {
+            match outcome.artifact {
                 UnitArtifact::Profiled(p) => {
                     // Capture-health counters describe work *done* this
-                    // process; artifacts replayed from cache did none.
-                    if computed {
+                    // study run; artifacts replayed from cache did none.
+                    if outcome.computed {
                         p.health.record_metrics();
                     }
                     profiles.push((*p).clone());
@@ -115,18 +117,54 @@ pub(crate) fn execute(
                 failed_units,
             },
         })
-    })
+    })?;
+
+    crate::studydb::record_completed(spec, &study, &exec.describe(), started.elapsed());
+    Ok(study)
+}
+
+/// The in-process per-unit fan-out: the `mwc_parallel` worker pool,
+/// artifact-cache first. This is both the [`crate::exec::LocalExec`]
+/// backend and the compute path inside every subprocess worker.
+pub(crate) fn run_units_local(
+    spec: &StudySpec,
+    selected: &[(usize, BenchmarkUnit)],
+    cache: Option<&StudyCache>,
+) -> Vec<UnitOutcome> {
+    mwc_parallel::ordered_map_with(
+        selected,
+        spec.threads,
+        || {
+            // Engine construction is validated before the fan-out on
+            // the coordinator path, but a shard worker builds engines
+            // from a shipped spec: surface a mismatch as typed per-unit
+            // failures, not a worker abort.
+            Engine::new(spec.config.clone(), spec.seed)
+                .map(|engine| Profiler::new(engine, spec.seed))
+                .map_err(|e| PipelineError::from(e).to_string())
+        },
+        |worker, (unit_index, unit), _| match worker {
+            Ok(profiler) => unit_task(profiler, *unit_index, unit, spec, cache),
+            Err(error) => {
+                mwc_obs::metrics::counter_add("pipeline.engine_failures", 1);
+                // Environmental failure, not unit content: never cached.
+                UnitOutcome {
+                    artifact: UnitArtifact::Failed(error.clone()),
+                    computed: true,
+                }
+            }
+        },
+    )
 }
 
 /// One unit through the capture → derive stages, artifact-cache first.
-/// Returns the artifact plus whether it was computed here (vs. replayed).
 fn unit_task(
     profiler: &mut Profiler,
     unit_index: usize,
     unit: &BenchmarkUnit,
     spec: &StudySpec,
     cache: Option<&StudyCache>,
-) -> (UnitArtifact, bool) {
+) -> UnitOutcome {
     let mut unit_span = mwc_obs::span("pipeline.unit");
     unit_span.field("name", unit.name);
     unit_span.field("index", unit_index);
@@ -134,7 +172,10 @@ fn unit_task(
     if let Some(cache) = cache {
         if let Some(artifact) = cache.unit_artifact(key) {
             unit_span.field("cached", 1u64);
-            return (artifact, false);
+            return UnitOutcome {
+                artifact,
+                computed: false,
+            };
         }
     }
     let faults = spec.effective_faults(unit.name);
@@ -147,5 +188,8 @@ fn unit_task(
     if let Some(cache) = cache {
         cache.store_unit_artifact(key, &artifact);
     }
-    (artifact, true)
+    UnitOutcome {
+        artifact,
+        computed: true,
+    }
 }

@@ -1,0 +1,365 @@
+//! # The append-only study database (`MWC_STUDY_DB`)
+//!
+//! Every completed study is persisted as one self-contained record:
+//! the spec (wire form), timings, the executing backend, and the full
+//! encoded [`Characterization`] — per-unit profiles *and* their
+//! `CaptureHealth` — in the cache's digest-verified codec. That makes
+//! historical runs first-class data:
+//!
+//! * **Resumable sweeps** — an interrupted sweep restarts, finds its
+//!   finished points by [`StudySpec::study_key`] and replays them from
+//!   the DB without re-simulating (the `sweep` bin; the `soc.runs`
+//!   counter is the oracle that no simulation happened).
+//! * **History** — the `report` bin lists records and diffs two runs
+//!   by digest.
+//!
+//! ## Record format
+//!
+//! ```text
+//! b"MWDB" | version:u32 | len:u64 | payload | fnv64(payload)
+//! payload: study_key:u64 | digest:u64 | elapsed_ns:u64
+//!        | recorded_unix:u64 | units:u32 | failed_units:u32
+//!        | exec_len:u32 | exec | wire_len:u32 | wire
+//!        | study_len:u64 | encode_study bytes
+//! ```
+//!
+//! Append-only and crash-tolerant: records are only ever appended, a
+//! torn or corrupt record is skipped by rescanning for the next magic
+//! (counted in `studydb.corrupt_records`), and decoding a record's
+//! study re-verifies the stored digest — corruption degrades to a
+//! recompute, never to wrong results. Duplicate `(study_key, digest)`
+//! pairs are dropped at append time.
+
+use std::collections::HashSet;
+use std::fs::{self, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+use crate::cache::{decode_study, encode_study};
+use crate::pipeline::{Characterization, Fnv1a};
+use crate::spec::StudySpec;
+
+/// Path of the append-only study database; unset disables persistence.
+pub const STUDY_DB_ENV: &str = "MWC_STUDY_DB";
+
+const RECORD_MAGIC: &[u8; 4] = b"MWDB";
+const RECORD_VERSION: u32 = 1;
+/// Upper bound on one record's payload; larger lengths are treated as
+/// corruption while scanning.
+const MAX_RECORD: u64 = 1 << 30;
+
+/// One persisted study run.
+#[derive(Debug, Clone)]
+pub struct StudyRecord {
+    /// Content key of the spec ([`StudySpec::study_key`]).
+    pub study_key: u64,
+    /// Result fingerprint ([`Characterization::digest`]).
+    pub digest: u64,
+    /// Wall-clock of the run that produced it, in nanoseconds.
+    pub elapsed_ns: u64,
+    /// Unix seconds when the record was written.
+    pub recorded_unix: u64,
+    /// Units profiled.
+    pub units: u32,
+    /// Units that failed every capture attempt.
+    pub failed_units: u32,
+    /// Description of the backend that ran it (e.g. `subprocess:4`).
+    pub exec: String,
+    /// The spec in wire form (empty when the platform is not a preset
+    /// the wire format can name).
+    pub spec_wire: String,
+    /// The encoded study (cache codec).
+    payload: Vec<u8>,
+}
+
+impl StudyRecord {
+    /// Build a record for a completed study.
+    pub fn new(
+        spec: &StudySpec,
+        study: &Characterization,
+        exec: impl Into<String>,
+        elapsed: Duration,
+    ) -> Self {
+        let study_key = spec.study_key();
+        let report = study.report();
+        StudyRecord {
+            study_key,
+            digest: study.digest(),
+            elapsed_ns: elapsed.as_nanos().min(u64::MAX as u128) as u64,
+            recorded_unix: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
+            units: study.profiles().len() as u32,
+            failed_units: report.failed_units.len() as u32,
+            exec: exec.into(),
+            spec_wire: crate::wire::to_wire(spec).unwrap_or_default(),
+            payload: encode_study(study_key, study),
+        }
+    }
+
+    /// Decode the stored study, verifying the cache codec's stored
+    /// digest. `None` means the record's study bytes are corrupt.
+    pub fn study(&self) -> Option<Characterization> {
+        decode_study(self.study_key, &self.payload)
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(64 + self.payload.len());
+        payload.extend_from_slice(&self.study_key.to_le_bytes());
+        payload.extend_from_slice(&self.digest.to_le_bytes());
+        payload.extend_from_slice(&self.elapsed_ns.to_le_bytes());
+        payload.extend_from_slice(&self.recorded_unix.to_le_bytes());
+        payload.extend_from_slice(&self.units.to_le_bytes());
+        payload.extend_from_slice(&self.failed_units.to_le_bytes());
+        payload.extend_from_slice(&(self.exec.len() as u32).to_le_bytes());
+        payload.extend_from_slice(self.exec.as_bytes());
+        payload.extend_from_slice(&(self.spec_wire.len() as u32).to_le_bytes());
+        payload.extend_from_slice(self.spec_wire.as_bytes());
+        payload.extend_from_slice(&(self.payload.len() as u64).to_le_bytes());
+        payload.extend_from_slice(&self.payload);
+
+        let mut out = Vec::with_capacity(payload.len() + 24);
+        out.extend_from_slice(RECORD_MAGIC);
+        out.extend_from_slice(&RECORD_VERSION.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out.extend_from_slice(&fnv64(&payload).to_le_bytes());
+        out
+    }
+
+    fn decode(payload: &[u8]) -> Option<StudyRecord> {
+        let take = |at: &mut usize, n: usize| -> Option<&[u8]> {
+            let slice = payload.get(*at..*at + n)?;
+            *at += n;
+            Some(slice)
+        };
+        let mut at = 0usize;
+        let study_key = le_u64(take(&mut at, 8)?);
+        let digest = le_u64(take(&mut at, 8)?);
+        let elapsed_ns = le_u64(take(&mut at, 8)?);
+        let recorded_unix = le_u64(take(&mut at, 8)?);
+        let units = le_u32(take(&mut at, 4)?);
+        let failed_units = le_u32(take(&mut at, 4)?);
+        let exec_len = le_u32(take(&mut at, 4)?) as usize;
+        let exec = String::from_utf8(take(&mut at, exec_len)?.to_vec()).ok()?;
+        let wire_len = le_u32(take(&mut at, 4)?) as usize;
+        let spec_wire = String::from_utf8(take(&mut at, wire_len)?.to_vec()).ok()?;
+        let study_len = le_u64(take(&mut at, 8)?);
+        if study_len > MAX_RECORD {
+            return None;
+        }
+        let study = take(&mut at, study_len as usize)?.to_vec();
+        (at == payload.len()).then_some(StudyRecord {
+            study_key,
+            digest,
+            elapsed_ns,
+            recorded_unix,
+            units,
+            failed_units,
+            exec,
+            spec_wire,
+            payload: study,
+        })
+    }
+}
+
+/// Handle on an append-only study database file.
+#[derive(Debug)]
+pub struct StudyDb {
+    path: PathBuf,
+    /// `(study_key, digest)` pairs already on disk — the append-time
+    /// dedup set.
+    seen: Mutex<HashSet<(u64, u64)>>,
+}
+
+impl StudyDb {
+    /// Open (creating parents as needed) the database at `path`. An
+    /// existing file is scanned once to prime the dedup set; a missing
+    /// file is an empty database.
+    pub fn open(path: impl Into<PathBuf>) -> io::Result<StudyDb> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        let db = StudyDb {
+            path,
+            seen: Mutex::new(HashSet::new()),
+        };
+        let existing: Vec<(u64, u64)> = db
+            .records()
+            .iter()
+            .map(|r| (r.study_key, r.digest))
+            .collect();
+        db.seen
+            .lock()
+            .expect("study db dedup set poisoned")
+            .extend(existing);
+        Ok(db)
+    }
+
+    /// The database file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Every decodable record, in append order. Corrupt or torn spans
+    /// are skipped by rescanning for the next record magic (counted in
+    /// `studydb.corrupt_records`).
+    pub fn records(&self) -> Vec<StudyRecord> {
+        let Ok(bytes) = fs::read(&self.path) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let mut at = 0usize;
+        while let Some(start) = find_magic(&bytes, at) {
+            match parse_record(&bytes[start..]) {
+                Some((record, consumed)) => {
+                    out.push(record);
+                    at = start + consumed;
+                }
+                None => {
+                    mwc_obs::metrics::counter_add("studydb.corrupt_records", 1);
+                    at = start + 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// The most recent record for `study_key`, if any. Counts
+    /// `studydb.hits` / `studydb.misses`.
+    pub fn find(&self, study_key: u64) -> Option<StudyRecord> {
+        let found = self
+            .records()
+            .into_iter()
+            .rev()
+            .find(|r| r.study_key == study_key);
+        match &found {
+            Some(_) => mwc_obs::metrics::counter_add("studydb.hits", 1),
+            None => mwc_obs::metrics::counter_add("studydb.misses", 1),
+        }
+        found
+    }
+
+    /// Append `record` unless an identical `(study_key, digest)` pair
+    /// is already present. Returns whether a record was written.
+    pub fn append(&self, record: &StudyRecord) -> io::Result<bool> {
+        let mut seen = self.seen.lock().expect("study db dedup set poisoned");
+        if !seen.insert((record.study_key, record.digest)) {
+            return Ok(false);
+        }
+        drop(seen);
+        let bytes = record.encode();
+        let mut file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        file.write_all(&bytes)?;
+        mwc_obs::metrics::counter_add("studydb.appends", 1);
+        Ok(true)
+    }
+
+    /// Number of decodable records on disk.
+    pub fn len(&self) -> usize {
+        self.records().len()
+    }
+
+    /// Whether the database holds no decodable records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The process-wide database named by [`STUDY_DB_ENV`], opened on first
+/// use (later env changes are not observed). `None` when the variable
+/// is unset, empty, or the file cannot be opened (counted in
+/// `studydb.errors`).
+pub fn global() -> Option<&'static StudyDb> {
+    static GLOBAL: OnceLock<Option<StudyDb>> = OnceLock::new();
+    GLOBAL
+        .get_or_init(|| {
+            let path = std::env::var(STUDY_DB_ENV).ok().filter(|p| !p.is_empty())?;
+            match StudyDb::open(&path) {
+                Ok(db) => Some(db),
+                Err(_) => {
+                    mwc_obs::metrics::counter_add("studydb.errors", 1);
+                    None
+                }
+            }
+        })
+        .as_ref()
+}
+
+/// Persist a completed study into the global database, if one is
+/// configured. Called by the stage executor; never fails the study.
+pub(crate) fn record_completed(
+    spec: &StudySpec,
+    study: &Characterization,
+    exec: &str,
+    elapsed: Duration,
+) {
+    let Some(db) = global() else {
+        return;
+    };
+    let record = StudyRecord::new(spec, study, exec, elapsed);
+    if db.append(&record).is_err() {
+        mwc_obs::metrics::counter_add("studydb.errors", 1);
+    }
+}
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_bytes(bytes);
+    h.finish()
+}
+
+fn le_u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+}
+
+fn le_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+}
+
+/// Offset of the next record magic at or after `from`.
+fn find_magic(bytes: &[u8], from: usize) -> Option<usize> {
+    if from >= bytes.len() {
+        return None;
+    }
+    bytes[from..]
+        .windows(RECORD_MAGIC.len())
+        .position(|w| w == RECORD_MAGIC)
+        .map(|p| from + p)
+}
+
+/// Parse one record starting at a magic; returns the record and the
+/// total bytes consumed. `None` for torn/corrupt/incompatible spans.
+fn parse_record(bytes: &[u8]) -> Option<(StudyRecord, usize)> {
+    let header = 4 + 4 + 8;
+    if bytes.len() < header {
+        return None;
+    }
+    if le_u32(&bytes[4..8]) != RECORD_VERSION {
+        return None;
+    }
+    let len = le_u64(&bytes[8..16]);
+    if len > MAX_RECORD {
+        return None;
+    }
+    let len = len as usize;
+    let total = header + len + 8;
+    if bytes.len() < total {
+        return None;
+    }
+    let payload = &bytes[header..header + len];
+    if le_u64(&bytes[header + len..total]) != fnv64(payload) {
+        return None;
+    }
+    let record = StudyRecord::decode(payload)?;
+    Some((record, total))
+}

@@ -165,6 +165,15 @@ impl Server {
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
 
+        // Studies are served through the process-wide Exec backend
+        // (MWC_EXEC); publish the fleet configuration on /metrics
+        // (exec_shards, studydb_enabled) before any study runs.
+        let exec = mwc_core::exec::announce();
+        mwc_obs::event_with(
+            "server.exec",
+            vec![("backend".to_owned(), mwc_obs::Value::Str(exec))],
+        );
+
         let cache = match &config.cache_dir {
             Some(dir) => StudyCache::with_dir(dir.clone()),
             None => StudyCache::in_memory(),

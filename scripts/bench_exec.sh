@@ -1,0 +1,87 @@
+#!/bin/sh
+# Regenerate BENCH_exec.json: wall time of one fixed seed sweep through
+# the in-process pool (MWC_EXEC=local) vs the subprocess fleet backend
+# at 1, 2 and 4 shards, from the sweep binary's own elapsed_ms stats.
+# MWC_CACHE=off and no study DB, so every sample is a full computation,
+# and every mode must reproduce the same sweep digest (checked).
+# Run from anywhere; operates on the repository this script lives in.
+set -u
+
+cd "$(dirname "$0")/.."
+
+if ! command -v cargo >/dev/null 2>&1; then
+    echo "error: cargo not found in PATH — install a Rust toolchain (https://rustup.rs)" >&2
+    exit 127
+fi
+
+SAMPLES=3
+SWEEP_ARGS="--seeds 4 --base-seed 3100 --runs 2"
+
+echo "==> cargo build --release -p mwc-bench --bins"
+cargo build --release -p mwc-bench --bins || exit $?
+
+digest_file="target/bench-exec-digest"
+rm -f "$digest_file"
+
+# Prints "median min max" (ms) over $SAMPLES runs of one backend.
+run_mode() { # $1 = MWC_EXEC value, $2 = shard count
+    times=""
+    i=0
+    while [ "$i" -lt "$SAMPLES" ]; do
+        out=$(MWC_CACHE=off MWC_EXEC="$1" MWC_EXEC_SHARDS="$2" \
+            ./target/release/sweep $SWEEP_ARGS) || exit 1
+        ms=$(printf '%s\n' "$out" \
+            | awk '/^sweep stats:/ { for (j = 1; j <= NF; j++) if (sub("^elapsed_ms=", "", $j)) print $j }')
+        digest=$(printf '%s\n' "$out" | awk '/^sweep digest:/ { print $3 }')
+        if [ -z "$ms" ] || [ -z "$digest" ]; then
+            echo "error: sweep printed no elapsed_ms / digest under MWC_EXEC=$1" >&2
+            exit 1
+        fi
+        if [ ! -e "$digest_file" ]; then
+            printf '%s' "$digest" > "$digest_file"
+        elif [ "$(cat "$digest_file")" != "$digest" ]; then
+            echo "error: MWC_EXEC=$1 shards=$2 diverged: $digest vs $(cat "$digest_file")" >&2
+            exit 1
+        fi
+        times="$times $ms"
+        i=$((i + 1))
+    done
+    printf '%s\n' $times | sort -n | awk '
+        { v[NR] = $1 }
+        END { print v[int((NR + 1) / 2)], v[1], v[NR] }'
+}
+
+echo "==> sweep $SWEEP_ARGS x $SAMPLES samples per backend"
+local_stats=$(run_mode local 1) || exit 1
+echo "    local:         $local_stats (median min max, ms)"
+sub1_stats=$(run_mode subprocess 1) || exit 1
+echo "    subprocess/1:  $sub1_stats"
+sub2_stats=$(run_mode subprocess 2) || exit 1
+echo "    subprocess/2:  $sub2_stats"
+sub4_stats=$(run_mode subprocess 4) || exit 1
+echo "    subprocess/4:  $sub4_stats"
+
+digest=$(cat "$digest_file")
+rm -f "$digest_file"
+
+json="$PWD/BENCH_exec.json"
+{
+    printf '{\n'
+    printf '  "generated_by": "scripts/bench_exec.sh",\n'
+    printf '  "sweep": "sweep %s (full 18-unit registry, MWC_CACHE=off)",\n' "$SWEEP_ARGS"
+    printf '  "samples_per_backend": %s,\n' "$SAMPLES"
+    printf '  "sweep_digest": "%s",\n' "$digest"
+    printf '  "benches": [\n'
+    printf '    { "id": "sweep/local", "median_ms": %s, "min_ms": %s, "max_ms": %s },\n' $local_stats
+    printf '    { "id": "sweep/subprocess/1", "median_ms": %s, "min_ms": %s, "max_ms": %s },\n' $sub1_stats
+    printf '    { "id": "sweep/subprocess/2", "median_ms": %s, "min_ms": %s, "max_ms": %s },\n' $sub2_stats
+    printf '    { "id": "sweep/subprocess/4", "median_ms": %s, "min_ms": %s, "max_ms": %s }\n' $sub4_stats
+    printf '  ],\n'
+    printf '  "speedup_local_over": {\n'
+    printf '    "subprocess_1": %s,\n' "$(echo "$local_stats $sub1_stats" | awk '{ printf "%.2f", $4 / $1 }')"
+    printf '    "subprocess_2": %s,\n' "$(echo "$local_stats $sub2_stats" | awk '{ printf "%.2f", $4 / $1 }')"
+    printf '    "subprocess_4": %s\n' "$(echo "$local_stats $sub4_stats" | awk '{ printf "%.2f", $4 / $1 }')"
+    printf '  }\n'
+    printf '}\n'
+} > "$json"
+echo "==> done; review and commit BENCH_exec.json"
